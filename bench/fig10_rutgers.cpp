@@ -1,0 +1,11 @@
+// Figure 10: throughputs for the Rutgers trace.
+//
+// Paper shape: the largest working set (717 MB vs 512 MB of combined
+// cache) keeps disks in play; L2S leads LARD by ~56% and traditional by
+// ~442% at 16 nodes.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  l2s::benchfig::run_figure("Rutgers", "fig10_rutgers", argc, argv);
+  return 0;
+}

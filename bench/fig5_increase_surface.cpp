@@ -1,0 +1,42 @@
+// Figure 5: throughput increase due to locality — Figure 4 divided by
+// Figure 3, element-wise.
+//
+// Paper shape: up to a factor of ~7 on 16 nodes; the improvement grows as
+// the hit rate rises and the file size falls, collapses after Hlo = 0.8
+// (the oblivious server starts performing well), and dips slightly below 1
+// for Hlo >= 0.95 with small files because of the forwarding overhead.
+#include <iostream>
+
+#include "l2sim/common/csv.hpp"
+#include "l2sim/common/table.hpp"
+#include "l2sim/model/surface.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const model::ClusterModel m{model::ModelParams{}};
+  const auto hit_grid = model::default_hit_grid();
+  const auto size_grid = model::default_size_grid();
+  const auto ratio = model::ratio_surface(model::conscious_surface(m, hit_grid, size_grid),
+                                          model::oblivious_surface(m, hit_grid, size_grid));
+
+  std::cout << "Figure 5: Throughput increase due to locality (conscious / oblivious)\n\n";
+  TextTable t({"Hlo\\S(KB)", "8", "16", "32", "64", "96", "128"});
+  const std::vector<std::size_t> cols = {1, 3, 7, 15, 23, 31};
+  for (std::size_t i = 0; i < hit_grid.size(); ++i) {
+    t.cell(hit_grid[i], 2);
+    for (const std::size_t c : cols) t.cell(ratio.at(i, c), 2);
+    t.end_row();
+  }
+  t.print(std::cout);
+  std::cout << "\nmax increase: " << format_double(ratio.max_value(), 2)
+            << "x   min increase: " << format_double(ratio.min_value(), 2) << "x\n";
+
+  CsvWriter csv(csv_dir_from_args(argc, argv), "fig5_increase",
+                {"hit_rate", "size_kb", "ratio"});
+  for (std::size_t i = 0; i < hit_grid.size(); ++i)
+    for (std::size_t j = 0; j < size_grid.size(); ++j)
+      csv.add_row({format_double(hit_grid[i], 2), format_double(size_grid[j], 0),
+                   format_double(ratio.at(i, j), 3)});
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: side view of Figure 5 — per hit rate, the envelope of the
+// throughput-increase surface over all file sizes.
+#include <iostream>
+
+#include "l2sim/common/csv.hpp"
+#include "l2sim/common/table.hpp"
+#include "l2sim/model/surface.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const model::ClusterModel m{model::ModelParams{}};
+  const auto hit_grid = model::default_hit_grid();
+  const auto size_grid = model::default_size_grid();
+  const auto ratio = model::ratio_surface(model::conscious_surface(m, hit_grid, size_grid),
+                                          model::oblivious_surface(m, hit_grid, size_grid));
+  const auto side = ratio.side_view();
+
+  std::cout << "Figure 6: Throughput increase due to locality (side view)\n\n";
+  TextTable t({"Hlo", "max over S", "min over S"});
+  for (std::size_t i = 0; i < side.hit_rates.size(); ++i) {
+    t.cell(side.hit_rates[i], 2)
+        .cell(side.max_over_sizes[i], 2)
+        .cell(side.min_over_sizes[i], 2)
+        .end_row();
+  }
+  t.print(std::cout);
+
+  CsvWriter csv(csv_dir_from_args(argc, argv), "fig6_sideview", {"hit_rate", "max", "min"});
+  for (std::size_t i = 0; i < side.hit_rates.size(); ++i)
+    csv.add_row({format_double(side.hit_rates[i], 2),
+                 format_double(side.max_over_sizes[i], 3),
+                 format_double(side.min_over_sizes[i], 3)});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7: throughputs for the Calgary trace — model bound (15%
+// replication), L2S, LARD and the traditional server vs cluster size.
+//
+// Paper shape at 16 nodes: L2S within 22% of the model, about 33% over
+// LARD (which flattens near 5000 req/s) and about 180% over traditional.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  l2s::benchfig::run_figure("Calgary", "fig7_calgary", argc, argv);
+  return 0;
+}

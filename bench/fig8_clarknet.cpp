@@ -1,0 +1,11 @@
+// Figure 8: throughputs for the ClarkNet trace.
+//
+// Paper shape at 16 nodes: L2S about 141% over LARD (hard-capped by the
+// front-end near 5000 req/s) and 366% over traditional; the model line
+// reaches ~13k req/s.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  l2s::benchfig::run_figure("Clarknet", "fig8_clarknet", argc, argv);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 9: throughputs for the NASA trace.
+//
+// Paper shape: the large average requested size (47 KB) makes per-byte
+// costs dominate, so all three servers bunch together; L2S leads LARD by
+// only ~7% at 16 nodes and traditional trails by ~27%.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  l2s::benchfig::run_figure("NASA", "fig9_nasa", argc, argv);
+  return 0;
+}

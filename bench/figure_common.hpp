@@ -1,0 +1,59 @@
+// Shared driver for the Figure 7-10 benches and the per-metric studies:
+// generates the named paper trace at the bench scale, runs the node-count
+// sweep over model/L2S/LARD/trad, prints the paper-style table and emits
+// CSV when enabled.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "l2sim/l2sim.hpp"
+
+namespace l2s::benchfig {
+
+inline trace::Trace scaled_paper_trace(const std::string& name, double scale) {
+  auto spec = trace::paper_trace_spec(name);
+  spec.requests = static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
+  return trace::generate(spec);
+}
+
+inline core::ExperimentConfig figure_config(double scale) {
+  core::ExperimentConfig cfg;
+  cfg.sim.node.cache_bytes = 32 * kMiB;  // the paper's simulation memory size
+  cfg.node_counts = {1, 2, 4, 8, 12, 16};
+  // The 20 s replication-decay windows cover the same fraction of a
+  // truncated replay as they do of a full-length one.
+  cfg.set_shrink_seconds = 20.0 * scale;
+  return cfg;
+}
+
+/// Run one full throughput figure; returns the series for further study.
+inline core::FigureSeries run_figure(const std::string& trace_name,
+                                     const std::string& figure_label, int argc,
+                                     char** argv) {
+  const double scale = bench_scale();
+  const trace::Trace tr = scaled_paper_trace(trace_name, scale);
+  const auto cfg = figure_config(scale);
+
+  std::cout << figure_label << " (synthetic " << trace_name
+            << " trace, L2SIM_SCALE=" << scale << ")\n\n";
+  const auto fig = core::run_throughput_figure(tr, cfg);
+  core::print_throughput_figure(std::cout, fig);
+
+  const std::string dir = csv_dir_from_args(argc, argv);
+  core::write_throughput_csv(fig, dir, figure_label);
+
+  // Paper acceptance checks, reported but not enforced (shapes, not
+  // absolute numbers):
+  const std::size_t last = fig.node_counts.size() - 1;
+  const double l2s16 = fig.l2s[last].throughput_rps;
+  std::cout << "\nat 16 nodes: L2S/model = "
+            << format_double(l2s16 / fig.model_rps[last] * 100.0, 1)
+            << "%  L2S/LARD = "
+            << format_double(l2s16 / fig.lard[last].throughput_rps, 2)
+            << "x  L2S/trad = "
+            << format_double(l2s16 / fig.traditional[last].throughput_rps, 2) << "x\n";
+  return fig;
+}
+
+}  // namespace l2s::benchfig

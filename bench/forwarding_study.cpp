@@ -1,0 +1,46 @@
+// Section 5.2 forwarding study.
+//
+// Paper findings: LARD forwards 100% of requests (everything passes the
+// front-end); L2S forwards at least 15% fewer for clusters up to 4 nodes,
+// and between ~8% (ClarkNet, Rutgers) and ~25% (NASA, Calgary) fewer at
+// 16 nodes. The traditional server never forwards.
+#include "figure_common.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const double scale = bench_scale();
+  const std::string dir = csv_dir_from_args(argc, argv);
+  std::cout << "Forwarded requests (%) by policy and cluster size"
+            << " (L2SIM_SCALE=" << scale << ")\n\n";
+
+  TextTable summary({"Trace", "L2S fwd @4 (%)", "L2S fwd @16 (%)", "LARD fwd (%)"});
+  for (const auto& base : trace::paper_trace_specs()) {
+    auto spec = base;
+    spec.requests = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale), 600000);
+    const trace::Trace tr = trace::generate(spec);
+    const auto cfg = benchfig::figure_config(scale);
+    const auto fig = core::run_throughput_figure(tr, cfg);
+    core::print_metric_figure(std::cout, fig, "forwarded");
+    std::cout << '\n';
+
+    double at4 = 0.0;
+    double at16 = 0.0;
+    for (std::size_t i = 0; i < fig.node_counts.size(); ++i) {
+      if (fig.node_counts[i] == 4) at4 = fig.l2s[i].forwarded_fraction * 100.0;
+      if (fig.node_counts[i] == 16) at16 = fig.l2s[i].forwarded_fraction * 100.0;
+    }
+    summary.cell(spec.name).cell(at4, 1).cell(at16, 1).cell(100.0, 1).end_row();
+
+    CsvWriter csv(dir, "forwarding_" + spec.name, {"nodes", "l2s", "lard", "trad"});
+    for (std::size_t i = 0; i < fig.node_counts.size(); ++i)
+      csv.add_row({std::to_string(fig.node_counts[i]),
+                   format_double(fig.l2s[i].forwarded_fraction * 100.0, 2),
+                   format_double(fig.lard[i].forwarded_fraction * 100.0, 2),
+                   format_double(fig.traditional[i].forwarded_fraction * 100.0, 2)});
+  }
+  std::cout << "Summary (LARD always forwards 100%):\n";
+  summary.print(std::cout);
+  return 0;
+}

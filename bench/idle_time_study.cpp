@@ -1,0 +1,35 @@
+// Section 5.2 CPU idle-time study.
+//
+// Paper findings: the traditional server's idle times stay roughly
+// constant with cluster size; the LARD server's decrease up to 8-12 nodes
+// and then increase again as the front-end saturates; L2S's idle times
+// always improve, approaching full utilization at 16 nodes.
+#include "figure_common.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const double scale = bench_scale();
+  const std::string dir = csv_dir_from_args(argc, argv);
+  std::cout << "CPU idle time (%) by policy and cluster size"
+            << " (L2SIM_SCALE=" << scale << ")\n\n";
+
+  for (const auto& base : trace::paper_trace_specs()) {
+    auto spec = base;
+    spec.requests = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale), 600000);
+    const trace::Trace tr = trace::generate(spec);
+    const auto cfg = benchfig::figure_config(scale);
+    const auto fig = core::run_throughput_figure(tr, cfg);
+    core::print_metric_figure(std::cout, fig, "idle");
+    std::cout << '\n';
+
+    CsvWriter csv(dir, "idle_" + spec.name, {"nodes", "l2s", "lard", "trad"});
+    for (std::size_t i = 0; i < fig.node_counts.size(); ++i)
+      csv.add_row({std::to_string(fig.node_counts[i]),
+                   format_double(fig.l2s[i].cpu_idle_fraction * 100.0, 2),
+                   format_double(fig.lard[i].cpu_idle_fraction * 100.0, 2),
+                   format_double(fig.traditional[i].cpu_idle_fraction * 100.0, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Model latency curves (extension; the paper reports throughput only and
+// notes server latency is small next to WAN latency — these curves show
+// where that stops being true as the server approaches saturation).
+#include <iostream>
+
+#include "l2sim/common/csv.hpp"
+#include "l2sim/common/table.hpp"
+#include "l2sim/model/latency.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const model::ClusterModel m{model::ModelParams{}};
+  std::cout << "Model mean response time vs offered load (16 nodes, S=16 KB)\n\n";
+
+  CsvWriter csv(csv_dir_from_args(argc, argv), "latency_curves",
+                {"server", "hlo", "load_fraction", "arrival_rps", "response_ms"});
+  for (const double hlo : {0.6, 0.9}) {
+    TextTable t({"Load (%)", "oblivious req/s", "oblivious ms", "conscious req/s",
+                 "conscious ms"});
+    const auto lo = model::latency_curve(m, false, hlo, 16.0, 10, 0.95);
+    const auto lc = model::latency_curve(m, true, hlo, 16.0, 10, 0.95);
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+      t.cell(lo[i].utilization * 100.0, 0)
+          .cell(lo[i].arrival_rate, 0)
+          .cell(lo[i].mean_response_s * 1e3, 2)
+          .cell(lc[i].arrival_rate, 0)
+          .cell(lc[i].mean_response_s * 1e3, 2)
+          .end_row();
+      csv.add_row({"oblivious", format_double(hlo, 2), format_double(lo[i].utilization, 3),
+                   format_double(lo[i].arrival_rate, 1),
+                   format_double(lo[i].mean_response_s * 1e3, 3)});
+      csv.add_row({"conscious", format_double(hlo, 2), format_double(lc[i].utilization, 3),
+                   format_double(lc[i].arrival_rate, 1),
+                   format_double(lc[i].mean_response_s * 1e3, 3)});
+    }
+    std::cout << "Hlo = " << hlo << ":\n";
+    t.print(std::cout);
+    const double knee_lo = model::load_fraction_at_latency(m, false, hlo, 16.0, 0.1);
+    const double knee_lc = model::load_fraction_at_latency(m, true, hlo, 16.0, 0.1);
+    std::cout << "load fraction where mean response crosses 100 ms: oblivious "
+              << format_double(knee_lo * 100.0, 0) << "%, conscious "
+              << format_double(knee_lc * 100.0, 0) << "%\n\n";
+  }
+  return 0;
+}

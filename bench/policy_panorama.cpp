@@ -1,0 +1,75 @@
+// Panorama: every distribution scheme in the repository on one workload —
+// the paper's policies (traditional, LARD, L2S), the naive RR-DNS server
+// of Section 2, the follow-up LARD dispatcher variant of Related Work [4],
+// and consistent hashing (the modern load-balancer default). ClarkNet is
+// used because its light requests expose the front-end/dispatcher
+// bottlenecks most clearly.
+#include "figure_common.hpp"
+
+#include "l2sim/policy/consistent_hash.hpp"
+#include "l2sim/policy/lard_dispatcher.hpp"
+#include "l2sim/policy/round_robin.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  const double scale = bench_scale();
+  const std::string dir = csv_dir_from_args(argc, argv);
+  std::cout << "Policy panorama (synthetic ClarkNet, 16 nodes, "
+            << "L2SIM_SCALE=" << scale << ")\n\n";
+
+  auto spec = trace::paper_trace_spec("Clarknet");
+  spec.requests = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale), 400000);
+  const trace::Trace tr = trace::generate(spec);
+  const double shrink = 20.0 * scale;
+
+  core::SimConfig cfg;
+  cfg.nodes = 16;
+  cfg.node.cache_bytes = 32 * kMiB;
+
+  struct Entry {
+    std::string name;
+    std::function<std::unique_ptr<policy::Policy>()> make;
+  };
+  policy::LardParams lard_params;
+  lard_params.set_shrink_seconds = shrink;
+  policy::L2sParams l2s_params;
+  l2s_params.set_shrink_seconds = shrink;
+  const std::vector<Entry> entries = {
+      {"L2S", [&] { return std::make_unique<policy::L2sPolicy>(l2s_params); }},
+      {"LARD (front-end)", [&] { return std::make_unique<policy::LardPolicy>(lard_params); }},
+      {"LARD (dispatcher)",
+       [&] { return std::make_unique<policy::LardDispatcherPolicy>(lard_params); }},
+      {"consistent-hash", [&] { return std::make_unique<policy::ConsistentHashPolicy>(); }},
+      {"traditional", [&] { return std::make_unique<policy::TraditionalPolicy>(); }},
+      {"rr-dns", [&] { return std::make_unique<policy::RoundRobinPolicy>(); }},
+  };
+
+  TextTable t({"Policy", "Throughput", "Miss (%)", "Forwarded (%)", "Idle (%)",
+               "Load CoV", "p95 (ms)"});
+  CsvWriter csv(dir, "policy_panorama",
+                {"policy", "rps", "miss", "forwarded", "idle", "cov", "p95_ms"});
+  for (const auto& e : entries) {
+    core::ClusterSimulation sim(cfg, tr, e.make());
+    const auto r = sim.run();
+    t.cell(e.name)
+        .cell(r.throughput_rps, 0)
+        .cell(r.miss_rate * 100.0, 1)
+        .cell(r.forwarded_fraction * 100.0, 1)
+        .cell(r.cpu_idle_fraction * 100.0, 1)
+        .cell(r.load_cov, 2)
+        .cell(r.p95_response_ms, 1)
+        .end_row();
+    csv.add_row({e.name, format_double(r.throughput_rps, 1), format_double(r.miss_rate, 4),
+                 format_double(r.forwarded_fraction, 4),
+                 format_double(r.cpu_idle_fraction, 4), format_double(r.load_cov, 3),
+                 format_double(r.p95_response_ms, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected ordering on this workload: L2S and the dispatcher variant\n"
+               "lead (no accept bottleneck), the original LARD pins at its ~5000\n"
+               "req/s front-end, consistent hashing gets the locality but not the\n"
+               "balance, and the locality-oblivious servers trail far behind.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table 1: model parameters and their default values, plus the derived
+// station rates at a few representative file sizes as a sanity check.
+#include <iostream>
+
+#include "l2sim/common/table.hpp"
+#include "l2sim/model/parameters.hpp"
+
+int main() {
+  const l2s::model::ModelParams params;  // paper defaults
+  std::cout << "Table 1: Model parameters and their default values\n\n";
+  std::cout << params.describe() << '\n';
+
+  std::cout << "Derived service rates (ops/s) at representative sizes:\n";
+  l2s::TextTable t({"S (KB)", "mu_r", "mu_m", "mu_d", "mu_o"});
+  for (const double s : {1.0, 8.0, 32.0, 64.0, 128.0}) {
+    t.cell(s, 0)
+        .cell(params.router_rate(s), 0)
+        .cell(params.reply_rate(s), 0)
+        .cell(params.disk_rate(s), 1)
+        .cell(params.ni_reply_rate(s), 0)
+        .end_row();
+  }
+  t.print(std::cout);
+  return 0;
+}

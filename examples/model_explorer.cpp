@@ -1,0 +1,62 @@
+// model_explorer: query the analytic model from the command line.
+//
+//   $ ./model_explorer <Hlo> <avg_size_kb> [nodes] [replication]
+//
+// Prints, for one workload point, everything Section 3 of the paper
+// derives: the conscious hit rate, replicated hit rate, forwarded
+// fraction, both servers' throughput bounds, bottleneck stations, and the
+// per-station utilizations just below saturation.
+#include <cstdlib>
+#include <iostream>
+
+#include "l2sim/l2sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace l2s;
+
+  if (argc < 3) {
+    std::cerr << "usage: model_explorer <Hlo 0..1> <avg_size_kb> [nodes=16] [replication=0]\n";
+    return 1;
+  }
+  const double hlo = std::atof(argv[1]);
+  const double size_kb = std::atof(argv[2]);
+  model::ModelParams params;
+  if (argc > 3) params.nodes = std::atoi(argv[3]);
+  if (argc > 4) params.replication = std::atof(argv[4]);
+
+  try {
+    const model::ClusterModel m(params);
+    const auto lo = m.oblivious(hlo, size_kb);
+    const auto lc = m.conscious(hlo, size_kb);
+
+    std::cout << "workload: Hlo=" << hlo << "  S=" << size_kb << " KB  N=" << params.nodes
+              << "  R=" << params.replication * 100 << "%\n\n";
+
+    TextTable t({"server", "hit rate", "Q (%)", "throughput (req/s)", "bottleneck"});
+    t.cell("locality-oblivious").cell(lo.hit_rate, 3).cell(0.0, 1)
+        .cell(lo.throughput, 0).cell(lo.bottleneck).end_row();
+    t.cell("locality-conscious").cell(lc.hit_rate, 3)
+        .cell(lc.forwarded_fraction * 100.0, 1).cell(lc.throughput, 0)
+        .cell(lc.bottleneck).end_row();
+    t.print(std::cout);
+    std::cout << "\nthroughput increase due to locality: "
+              << format_double(lc.throughput / lo.throughput, 2) << "x\n";
+
+    // Station detail at 95% of the conscious bound.
+    const auto net = m.build_network(lc.hit_rate, lc.forwarded_fraction, size_kb, size_kb);
+    const auto report = net.solve(0.95 * lc.throughput);
+    std::cout << "\nstations at 95% of the conscious bound:\n";
+    TextTable s({"station", "utilization", "mean queue", "residence (ms)"});
+    for (const auto& st : report.stations) {
+      s.cell(st.name).cell(st.metrics.utilization, 3).cell(st.metrics.mean_customers, 2)
+          .cell(st.metrics.mean_response * 1e3, 3).end_row();
+    }
+    s.print(std::cout);
+    std::cout << "\nmean response (model, per request): "
+              << format_double(report.mean_response * 1e3, 3) << " ms\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

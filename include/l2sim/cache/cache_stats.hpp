@@ -1,0 +1,23 @@
+// Cache hit/miss accounting shared by the per-node caches and reports.
+#pragma once
+
+#include <cstdint>
+
+namespace l2s::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_evicted = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const;
+  [[nodiscard]] double miss_rate() const;
+
+  void reset();
+  void merge(const CacheStats& other);
+};
+
+}  // namespace l2s::cache

@@ -1,0 +1,59 @@
+// Byte-capacity LRU cache of whole files — the model of a node's main
+// memory used as file cache. The paper's servers cache entire files; an
+// access either hits (file fully resident) or misses (file read from disk
+// and inserted, evicting least-recently-used files until it fits).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "l2sim/cache/file_cache.hpp"
+
+namespace l2s::cache {
+
+class LruCache final : public FileCache {
+ public:
+  explicit LruCache(Bytes capacity);
+
+  /// Record an access: on hit the file moves to MRU position and stats
+  /// count a hit; on miss stats count a miss (caller fetches from disk and
+  /// calls insert()). Returns true on hit.
+  bool lookup(FileId id) override;
+
+  /// Residency probe without touching stats or recency.
+  [[nodiscard]] bool contains(FileId id) const override;
+
+  /// Insert (or refresh) a file of `size` bytes, evicting LRU entries
+  /// until it fits. Files larger than the whole capacity are not cached.
+  void insert(FileId id, Bytes size) override;
+
+  /// Remove a file if present; returns true if it was resident.
+  bool erase(FileId id) override;
+
+  [[nodiscard]] Bytes used() const override { return used_; }
+  [[nodiscard]] Bytes capacity() const override { return capacity_; }
+  [[nodiscard]] std::size_t entries() const override { return index_.size(); }
+
+  [[nodiscard]] const CacheStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  /// Drop all contents (not stats).
+  void clear() override;
+
+ private:
+  struct Entry {
+    FileId id;
+    Bytes size;
+  };
+
+  void evict_one();
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Entry> lru_;  // front = MRU, back = LRU
+  std::unordered_map<FileId, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace l2s::cache

@@ -1,0 +1,64 @@
+// Mattson stack-distance analysis: one pass over a reference stream
+// yields the LRU hit rate for *every* cache size simultaneously.
+//
+// For each access, the stack distance is the number of distinct files
+// referenced since the previous access to the same file (infinite for
+// first touches). An LRU cache of capacity >= distance hits. The
+// distance histogram therefore gives the full miss-ratio curve — which is
+// how one answers the paper's sizing questions (why 32 MB memories make
+// working sets "significant", what 128 MB changes) without re-simulating
+// per size.
+//
+// Distances here are measured two ways:
+//   * in files (classic Mattson, capacity counted in cached files), and
+//   * in bytes (sum of the sizes of the distinct files above the reused
+//     one — the right measure for byte-capacity caches like l2sim's).
+//
+// Implementation: order-statistics tree over last-access times (a Fenwick
+// tree indexed by access position) for file distances; a second Fenwick
+// tree weighted by file size for byte distances. O(R log R) total.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::cache {
+
+class StackDistanceAnalyzer {
+ public:
+  /// Analyze the whole trace.
+  explicit StackDistanceAnalyzer(const trace::Trace& trace);
+
+  /// Number of accesses whose (file-count) stack distance was exactly d.
+  /// Index 0 = re-access with no distinct files in between.
+  [[nodiscard]] const std::vector<std::uint64_t>& distance_histogram() const {
+    return histogram_;
+  }
+
+  /// First touches (infinite distance): compulsory misses.
+  [[nodiscard]] std::uint64_t cold_misses() const { return cold_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+
+  /// LRU hit rate for a cache holding `capacity_files` whole files.
+  [[nodiscard]] double hit_rate_at_files(std::uint64_t capacity_files) const;
+
+  /// LRU hit rate for a byte-capacity cache. Computed from the byte-
+  /// distance samples (distance = bytes of distinct files more recently
+  /// used than the re-accessed file, plus the file itself).
+  [[nodiscard]] double hit_rate_at_bytes(Bytes capacity) const;
+
+  /// Miss-ratio curve at the given byte capacities.
+  [[nodiscard]] std::vector<double> miss_curve_bytes(
+      const std::vector<Bytes>& capacities) const;
+
+ private:
+  std::vector<std::uint64_t> histogram_;       ///< by file-count distance
+  std::vector<std::uint64_t> cumulative_;      ///< prefix sums of histogram_
+  std::vector<Bytes> byte_distances_sorted_;   ///< per reuse access
+  std::uint64_t cold_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace l2s::cache

@@ -1,0 +1,56 @@
+// A client connection being serviced by the cluster: one HTTP/1.0-style
+// request-reply pair (the paper's algorithms target non-persistent
+// connections, one request per connection).
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::cluster {
+
+enum class ConnectionStage : std::uint8_t {
+  kArriving,    ///< in the router / entry NIC
+  kParsing,     ///< entry node CPU
+  kForwarding,  ///< hand-off in flight to the service node
+  kServing,     ///< cache/disk + reply path at the service node
+  kDone,
+};
+
+struct Connection {
+  std::uint64_t id = 0;
+  trace::Request request{};
+  int entry_node = -1;    ///< node that accepted the client connection
+  int service_node = -1;  ///< node that services the request (== entry if local)
+  ConnectionStage stage = ConnectionStage::kArriving;
+  SimTime arrival = 0;    ///< arrival of the *current* request
+  SimTime completion = 0;
+  bool cache_hit = false;
+
+  /// Persistent (HTTP/1.1-style) connections: how many more requests this
+  /// connection may still carry after the current one, and how many it has
+  /// served. HTTP/1.0 connections have remaining_requests == 0 throughout.
+  std::uint32_t remaining_requests = 0;
+  std::uint32_t requests_served = 0;
+
+  /// True while the connection is counted in its service node's
+  /// open-connection load (between connection_opened and _closed); lets
+  /// failure aborts release the count exactly once.
+  bool counted_in_service = false;
+
+  /// Stage timestamps of the current request, for latency breakdowns:
+  /// arrival -> decided (entry processing incl. queueing) -> service
+  /// start (hand-off, zero when local) -> disk done (zero on hits) ->
+  /// completion (reply path).
+  SimTime t_decided = 0;
+  SimTime t_service = 0;
+  SimTime t_disk_done = 0;
+
+  [[nodiscard]] bool forwarded() const {
+    return service_node >= 0 && service_node != entry_node;
+  }
+  [[nodiscard]] SimTime response_time() const { return completion - arrival; }
+};
+
+}  // namespace l2s::cluster

@@ -1,0 +1,57 @@
+// Saturation load injector.
+//
+// The paper measures maximum throughput: "we disregarded the timing
+// information in the traces and scheduled new requests as soon as the
+// router and network interface buffers would accept them." We model the
+// admission buffers as a bounded number of in-flight connections; a new
+// trace request is injected the moment a slot frees up, keeping the server
+// saturated without unbounded queues.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::cluster {
+
+class Injector {
+ public:
+  using InjectFn = std::function<void(std::uint64_t seq, const trace::Request&)>;
+
+  /// `max_in_flight` models the total buffer space (router + NICs).
+  Injector(const trace::Trace& trace, std::uint64_t max_in_flight);
+
+  /// Set the injection callback and fill the initial window.
+  void start(InjectFn inject);
+
+  /// A connection completed: free its slot and inject as many requests as
+  /// now fit.
+  void on_complete();
+
+  /// Take the next trace request *without* occupying a new slot — used by
+  /// persistent connections pulling further requests onto an already
+  /// admitted connection. Returns false when the trace is exhausted.
+  [[nodiscard]] bool try_take(std::uint64_t& seq, trace::Request& request);
+
+  /// Manual (open-loop) admission: occupy a slot and hand out the next
+  /// request if both a slot and a request are available. Used instead of
+  /// start() when arrivals are driven by an external process; in that mode
+  /// on_complete() only frees slots (no callback-driven refill).
+  [[nodiscard]] bool try_admit(std::uint64_t& seq, trace::Request& request);
+
+  [[nodiscard]] bool exhausted() const { return next_ >= trace_->requests().size(); }
+  [[nodiscard]] std::uint64_t injected() const { return next_; }
+  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  void pump();
+
+  const trace::Trace* trace_;
+  std::uint64_t max_in_flight_;
+  InjectFn inject_;
+  std::uint64_t next_ = 0;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace l2s::cluster

@@ -1,0 +1,62 @@
+// Load views and broadcast thresholds.
+//
+// Every L2S node keeps a (possibly stale) view of all nodes' open-connection
+// counts. A node broadcasts its own load when it drifted by at least
+// `broadcast_delta` connections from the last value it broadcast (the paper
+// uses 4, found best for both L2S and LARD). The LARD front-end reuses the
+// same structure for its back-end view.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cluster {
+
+class LoadView {
+ public:
+  explicit LoadView(int nodes) : loads_(static_cast<std::size_t>(nodes), 0) {}
+
+  [[nodiscard]] int get(int node) const { return loads_[index(node)]; }
+  void set(int node, int load) { loads_[index(node)] = load; }
+  void adjust(int node, int delta) { loads_[index(node)] += delta; }
+
+  /// Least-loaded node overall (ties: lowest id).
+  [[nodiscard]] int least_loaded() const;
+
+  /// Least-loaded node among `candidates` (ties: first listed).
+  [[nodiscard]] int least_loaded_of(const std::vector<int>& candidates) const;
+
+  /// Most-loaded node among `candidates` (ties: first listed).
+  [[nodiscard]] int most_loaded_of(const std::vector<int>& candidates) const;
+
+  /// True if any node's load is strictly below `threshold`.
+  [[nodiscard]] bool any_below(int threshold) const;
+
+  [[nodiscard]] int nodes() const { return static_cast<int>(loads_.size()); }
+
+ private:
+  [[nodiscard]] std::size_t index(int node) const {
+    L2S_REQUIRE(node >= 0 && node < nodes());
+    return static_cast<std::size_t>(node);
+  }
+  std::vector<int> loads_;
+};
+
+/// Tracks when a node's own load drifted enough from its last broadcast.
+class BroadcastThrottle {
+ public:
+  explicit BroadcastThrottle(int delta) : delta_(delta) { L2S_REQUIRE(delta > 0); }
+
+  /// Report the current value; returns true when a broadcast should be sent
+  /// (and records the value as broadcast).
+  bool should_broadcast(int current);
+
+  [[nodiscard]] int last_broadcast() const { return last_; }
+
+ private:
+  int delta_;
+  int last_ = 0;
+};
+
+}  // namespace l2s::cluster

@@ -1,0 +1,30 @@
+// Minimal --flag/value command-line parser used by the l2sim CLI (and
+// available to downstream tools). Flags may be boolean (present without a
+// value), `--key value`, or `--key=value`; anything not starting with
+// "--" is positional.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace l2s {
+
+class CliArgs {
+ public:
+  /// Parse argv[start..argc).
+  CliArgs(int argc, const char* const* argv, int start = 1);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace l2s

@@ -1,0 +1,25 @@
+// Error handling: l2sim throws l2s::Error for user-facing failures
+// (bad parameters, malformed traces) and uses L2S_REQUIRE for internal
+// invariants that indicate a bug if violated.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace l2s {
+
+/// Exception type for all user-facing l2sim failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const std::string& message);
+
+/// Internal invariant check; active in all build types because simulation
+/// correctness bugs are silent otherwise and the checks are off the hot path.
+void require(bool condition, const char* expr, const char* file, int line);
+
+}  // namespace l2s
+
+#define L2S_REQUIRE(cond) ::l2s::require((cond), #cond, __FILE__, __LINE__)

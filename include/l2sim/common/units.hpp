@@ -1,0 +1,56 @@
+// Units used throughout l2sim.
+//
+// Simulated time is kept in integer nanoseconds (SimTime) so that event
+// ordering is exact and runs are reproducible; all service-time formulas are
+// computed in double seconds and converted at the boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace l2s {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A size in bytes (file sizes, cache capacities, message payloads).
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// The paper quotes sizes in "KBytes" meaning 2^10 bytes and bandwidths in
+/// decimal units (e.g. 10 MBytes/s disks, 1 Gbit/s links); we follow suit.
+inline constexpr double kBitsPerByte = 8.0;
+
+inline constexpr SimTime kNsPerSec = 1'000'000'000;
+
+/// Convert a duration in (double) seconds to integer nanoseconds, rounding
+/// to nearest. Negative durations are a programming error and are clamped
+/// in release builds (checked in debug by callers that care).
+[[nodiscard]] constexpr SimTime seconds_to_simtime(double sec) {
+  const double ns = sec * 1e9;
+  return static_cast<SimTime>(ns + (ns >= 0.0 ? 0.5 : -0.5));
+}
+
+[[nodiscard]] constexpr double simtime_to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+
+[[nodiscard]] constexpr double bytes_to_kib(Bytes b) {
+  return static_cast<double>(b) / 1024.0;
+}
+
+[[nodiscard]] constexpr Bytes kib_to_bytes(double kib) {
+  return static_cast<Bytes>(kib * 1024.0 + 0.5);
+}
+
+/// Time to push `bytes` through a link of `bits_per_sec` capacity.
+[[nodiscard]] constexpr double transfer_seconds(Bytes bytes, double bits_per_sec) {
+  return static_cast<double>(bytes) * kBitsPerByte / bits_per_sec;
+}
+
+/// Pretty string like "1.50 s", "340 us" for humans; defined in units.cpp.
+[[nodiscard]] double simtime_ms(SimTime t);
+
+}  // namespace l2s

@@ -1,0 +1,59 @@
+// Experiment runner: node-count sweeps over the three simulated servers
+// plus the trace-calibrated model bound — the structure of Figures 7-10
+// and of the miss-rate / idle-time / forwarding studies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "l2sim/core/simulation.hpp"
+#include "l2sim/model/trace_model.hpp"
+#include "l2sim/trace/characterize.hpp"
+
+namespace l2s::core {
+
+enum class PolicyKind { kTraditional, kLard, kL2s };
+
+/// `set_shrink_seconds` is LARD's K and L2S's server-set decay window
+/// (paper value: 20 s). Benches that replay truncated traces scale it down
+/// proportionally so replication decays as it would over a full-length run.
+[[nodiscard]] std::unique_ptr<policy::Policy> make_policy(PolicyKind kind,
+                                                          double set_shrink_seconds = 20.0);
+[[nodiscard]] const char* policy_kind_name(PolicyKind kind);
+
+/// All simulated policies, in the order the paper's legends list them.
+[[nodiscard]] const std::vector<PolicyKind>& all_policies();
+
+struct ExperimentConfig {
+  SimConfig sim;  ///< base configuration; `sim.nodes` is overridden per point
+  std::vector<int> node_counts = {1, 2, 4, 8, 12, 16};
+  double model_replication = 0.15;  ///< R for the model bound (paper: 15%)
+  double set_shrink_seconds = 20.0; ///< LARD K / L2S decay window
+};
+
+/// One trace's full figure: per node count, the model bound and the three
+/// simulated servers' results.
+struct FigureSeries {
+  std::string trace_name;
+  trace::TraceCharacteristics characteristics;
+  std::vector<int> node_counts;
+  std::vector<double> model_rps;
+  std::vector<SimResult> l2s;
+  std::vector<SimResult> lard;
+  std::vector<SimResult> traditional;
+};
+
+/// Run one simulation.
+[[nodiscard]] SimResult run_once(const trace::Trace& trace, SimConfig sim, PolicyKind kind,
+                                 double set_shrink_seconds = 20.0);
+
+/// Model bound (requests/s) for the trace at each node count.
+[[nodiscard]] std::vector<double> model_series(const trace::TraceCharacteristics& ch,
+                                               const ExperimentConfig& cfg);
+
+/// The full sweep behind one of Figures 7-10.
+[[nodiscard]] FigureSeries run_throughput_figure(const trace::Trace& trace,
+                                                 const ExperimentConfig& cfg);
+
+}  // namespace l2s::core

@@ -1,0 +1,66 @@
+// Results of one simulation run: the quantities the paper's evaluation
+// section reports (throughput, miss rates, CPU idle times, forwarded
+// fraction) plus supporting detail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace l2s::core {
+
+struct SimResult {
+  std::string policy;
+  std::string trace;
+  int nodes = 0;
+
+  std::uint64_t completed = 0;
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;
+
+  double hit_rate = 0.0;
+  double miss_rate = 0.0;
+
+  std::uint64_t forwarded = 0;
+  double forwarded_fraction = 0.0;
+
+  /// Persistent-connection accounting (== completed with HTTP/1.0).
+  std::uint64_t connections = 0;
+  std::uint64_t migrations = 0;      ///< connection hand-offs between nodes
+  std::uint64_t remote_fetches = 0;  ///< back-end request forwardings
+
+  /// Requests lost to injected node crashes (availability studies).
+  std::uint64_t failed = 0;
+
+  /// Mean over nodes of (1 - CPU utilization) during the measured pass.
+  double cpu_idle_fraction = 0.0;
+  std::vector<double> node_cpu_utilization;
+
+  /// Load imbalance across nodes, sampled periodically during the run:
+  /// mean coefficient of variation (stddev/mean) of the per-node
+  /// open-connection counts, and mean max/mean ratio. 0 = perfect balance.
+  double load_cov = 0.0;
+  double load_max_over_mean = 0.0;
+
+  double mean_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+
+  /// Mean per-request time in each lifecycle stage (ms); the four parts
+  /// sum to mean_response_ms.
+  double stage_entry_ms = 0.0;    ///< router/NI/parse incl. queueing + decision
+  double stage_forward_ms = 0.0;  ///< hand-off wire + CPU (0 when local)
+  double stage_disk_ms = 0.0;     ///< disk queue + transfer (0 on hits)
+  double stage_reply_ms = 0.0;    ///< reply CPU/NI/router incl. queueing
+
+  std::uint64_t via_messages = 0;
+  std::uint64_t load_broadcasts = 0;
+  std::uint64_t locality_broadcasts = 0;
+
+  /// One-paragraph human-readable summary.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace l2s::core

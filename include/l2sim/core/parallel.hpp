@@ -1,0 +1,34 @@
+// Parallel experiment execution: node-count sweeps multiply into dozens of
+// completely independent simulations, so they scale across cores. Each job
+// builds its own ClusterSimulation (no shared mutable state; the only
+// shared structure, the harmonic-number prefix cache, is internally
+// synchronized), so results are bit-identical to serial execution.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/core/experiment.hpp"
+
+namespace l2s::core {
+
+struct SimJob {
+  const trace::Trace* trace = nullptr;
+  SimConfig sim;
+  PolicyKind kind = PolicyKind::kTraditional;
+  double set_shrink_seconds = 20.0;
+};
+
+/// Run all jobs and return their results in job order. `threads == 0`
+/// uses the hardware concurrency; `threads == 1` runs inline. Exceptions
+/// from any job are rethrown (the first one encountered, after all
+/// threads join).
+[[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs,
+                                                  unsigned threads = 0);
+
+/// Parallel variant of run_throughput_figure: identical results, wall
+/// clock divided by the usable cores.
+[[nodiscard]] FigureSeries run_throughput_figure_parallel(const trace::Trace& trace,
+                                                          const ExperimentConfig& cfg,
+                                                          unsigned threads = 0);
+
+}  // namespace l2s::core

@@ -1,0 +1,194 @@
+// ClusterSimulation: the trace-driven discrete-event simulator of a
+// cluster-based network server (Section 5 of the paper).
+//
+// Request lifecycle (HTTP/1.0-style, one request per connection):
+//
+//   client -> router -> entry NI-in -> entry CPU (parse)
+//     -> policy decision
+//        local:      -> service path on the entry node
+//        forwarded:  -> entry CPU (hand-off) -> VIA transfer
+//                    -> target CPU (receive) -> service path on target
+//   service path: cache hit ? CPU reply : disk read + cache insert + CPU reply
+//     -> NI-out -> router -> client (connection closes)
+//
+// Measurement protocol follows the paper: caches are warmed by simulating
+// the trace once, statistics are reset, and the same trace is replayed
+// under saturation to measure maximum throughput.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "l2sim/cluster/connection.hpp"
+#include "l2sim/cluster/injector.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/core/metrics.hpp"
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/net/router.hpp"
+#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/via.hpp"
+#include "l2sim/policy/policy.hpp"
+#include "l2sim/stats/accumulator.hpp"
+#include "l2sim/stats/histogram.hpp"
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::core {
+
+/// How a persistent (HTTP/1.1-style) connection obtains a file its current
+/// node does not cache, following Aron et al.'s two mechanisms:
+/// migrate the whole connection to the caching node (hand-off), or have
+/// the current node fetch the content from the caching node over the
+/// cluster network and reply itself (back-end request forwarding).
+enum class PersistentMode { kConnectionHandoff, kBackendForwarding };
+
+struct SimConfig {
+  int nodes = 16;
+  cluster::NodeParams node;  ///< per-node cache (32 MB default), CPU, disk
+  net::NetParams net;
+  Bytes request_msg_bytes = 256;  ///< client request / hand-off payload
+  Bytes control_msg_bytes = 16;   ///< load & locality update payload
+  /// Admission buffer slots per node (total in-flight = nodes * this).
+  /// At saturation the average per-node open-connection count equals this
+  /// value, so it should sit at or just below the L2S overload threshold
+  /// (T = 20): only nodes serving hot files then cross T, which is what
+  /// triggers selective replication. Values far above T put every node
+  /// permanently over threshold and degrade L2S into full replication.
+  std::uint64_t buffer_slots_per_node = 20;
+  bool warmup = true;
+
+  /// Open-loop arrival mode: when positive, requests arrive as a Poisson
+  /// process at this rate (requests/second) instead of the paper's
+  /// saturation replay — the configuration for latency-vs-load studies.
+  /// The admission window still caps outstanding work (arrivals finding
+  /// it full are dropped and counted as failed), bounding queue blow-up
+  /// above saturation.
+  double open_loop_arrival_rate = 0.0;
+
+  /// Mean requests served per client connection (geometric distribution);
+  /// 1.0 reproduces the paper's HTTP/1.0 setting of one request per
+  /// connection. Larger values simulate persistent connections.
+  double mean_requests_per_connection = 1.0;
+  PersistentMode persistent_mode = PersistentMode::kConnectionHandoff;
+  /// Seed for the simulation's own randomness (connection lengths).
+  std::uint64_t seed = 0x5EEDC0DE;
+
+  /// Interval at which per-node open-connection counts are sampled to
+  /// compute the load-imbalance statistics (0 disables sampling).
+  SimTime load_sample_interval = seconds_to_simtime(0.05);
+  /// When non-empty, every load sample of the measured pass is appended to
+  /// this CSV file (time_s, node0, node1, ...): the per-node load timeline
+  /// for plotting balance behaviour over time.
+  std::string timeline_csv_path;
+
+  /// DNS-translation caching skew: with this probability a client's
+  /// connection ignores the DNS round-robin answer and lands on a node
+  /// drawn from a Zipf(1) "cached translation" distribution instead — the
+  /// imbalance Section 2 attributes to intermediate name servers caching
+  /// translations. Applies only to policies with a DNS front door.
+  double dns_entry_skew = 0.0;
+
+  /// Node crashes injected during the measured pass (availability study:
+  /// the paper's L2S has no single point of failure, while LARD's
+  /// front-end is one). Times are seconds after measurement starts.
+  struct NodeFailure {
+    int node = 0;
+    double at_seconds = 0.0;
+  };
+  std::vector<NodeFailure> failures;
+  /// Delay until the survivors (policies, DNS) stop using a crashed node.
+  double failure_detection_seconds = 0.5;
+  /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
+  /// assumption). When set, the vector length must equal `nodes`.
+  std::vector<double> node_speed_factors;
+
+  /// How long a client waits on a connection to a crashed node before
+  /// giving up (its admission slot is held for the duration). Without this
+  /// timeout, fail-fast aborts would let a dead node black-hole the whole
+  /// trace during the detection window — the classic least-connections
+  /// pathology, where the dead node's frozen (minimal) connection count
+  /// attracts every new request.
+  double failure_client_timeout_seconds = 0.1;
+
+  void validate() const;
+};
+
+class ClusterSimulation {
+ public:
+  ClusterSimulation(SimConfig config, const trace::Trace& trace,
+                    std::unique_ptr<policy::Policy> policy);
+  ~ClusterSimulation();
+
+  ClusterSimulation(const ClusterSimulation&) = delete;
+  ClusterSimulation& operator=(const ClusterSimulation&) = delete;
+
+  /// Run (warm-up pass if configured, then the measured pass) and return
+  /// the measured results. May be called once per instance.
+  SimResult run();
+
+  // --- component access (tests, custom analyses) -------------------------
+  [[nodiscard]] policy::Policy& policy() { return *policy_; }
+  [[nodiscard]] cluster::Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] des::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  using ConnPtr = std::shared_ptr<cluster::Connection>;
+
+  void replay_trace();                 ///< inject the whole trace and drain
+  void open_loop_arrival();            ///< Poisson arrival pump
+  void inject(std::uint64_t seq, const trace::Request& r);
+  void distribute(const ConnPtr& conn);
+  void dispatch_to(const ConnPtr& conn, int target);
+  void begin_service(const ConnPtr& conn, bool opening);
+  void reply_path(const ConnPtr& conn);
+  void request_finished(const ConnPtr& conn);
+  void close_connection(const ConnPtr& conn);
+  /// Start the next request of a persistent connection at its current node.
+  void continue_connection(const ConnPtr& conn);
+  void persistent_distribute(const ConnPtr& conn);
+  void migrate_connection(const ConnPtr& conn, int target);
+  void remote_fetch(const ConnPtr& conn, int owner);
+  [[nodiscard]] std::uint32_t sample_connection_length();
+  [[nodiscard]] bool node_alive(int id) const;
+  /// Abort a connection whose node crashed: the client sees a failure and
+  /// the admission slot frees. Idempotent.
+  void abort_connection(const ConnPtr& conn);
+  void schedule_failures(SimTime measure_start);
+  void sample_loads();
+  void reset_statistics();
+  [[nodiscard]] SimResult collect(SimTime measure_start) const;
+
+  SimConfig config_;
+  const trace::Trace& trace_;
+  des::Scheduler sched_;
+  net::SwitchFabric fabric_;
+  net::Router router_;
+  net::ViaNetwork via_;
+  std::vector<std::unique_ptr<cluster::Node>> nodes_;
+  std::unique_ptr<policy::Policy> policy_;
+  std::unique_ptr<cluster::Injector> injector_;
+
+  // Measured-pass statistics.
+  std::uint64_t completed_ = 0;
+  std::uint64_t connections_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t remote_fetches_ = 0;
+  std::uint64_t failed_ = 0;
+  stats::Accumulator response_times_;
+  stats::LogHistogram response_hist_{0.01, 1.3, 64};  ///< ms buckets
+  stats::Accumulator stage_entry_;
+  stats::Accumulator stage_forward_;
+  stats::Accumulator stage_disk_;
+  stats::Accumulator stage_reply_;
+  stats::Accumulator load_cov_;       ///< per-sample load coefficient of variation
+  stats::Accumulator load_max_mean_;  ///< per-sample max/mean load ratio
+  Rng rng_{0};  ///< connection-length sampling (seeded from config)
+  std::unique_ptr<std::ofstream> timeline_;  ///< optional load timeline sink
+  bool ran_ = false;
+};
+
+}  // namespace l2s::core

@@ -1,0 +1,45 @@
+// StageChain: a small helper to express a request's journey through a
+// sequence of resources and latencies without hand-written callback
+// pyramids. Each stage runs when the previous completes:
+//
+//   StageChain(sched)
+//       .use(nic_out, send_time)
+//       .delay(switch_latency)
+//       .use(nic_in, recv_time)
+//       .run([&] { deliver(); });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "l2sim/des/resource.hpp"
+#include "l2sim/des/scheduler.hpp"
+
+namespace l2s::des {
+
+class StageChain {
+ public:
+  explicit StageChain(Scheduler& sched) : sched_(sched) {}
+
+  /// Queue at `resource` for `service` time.
+  StageChain& use(Resource& resource, SimTime service);
+
+  /// Pure latency (no queueing, e.g. wire/switch delay).
+  StageChain& delay(SimTime d);
+
+  /// Immediate side effect between stages.
+  StageChain& then(EventFn action);
+
+  /// Start the chain; `on_complete` fires after the last stage. The chain
+  /// owns its continuation state, so the StageChain object itself may be a
+  /// temporary.
+  void run(EventFn on_complete);
+
+ private:
+  using Stage = std::function<void(EventFn next)>;
+  Scheduler& sched_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace l2s::des

@@ -1,0 +1,95 @@
+// The paper's analytic model (Section 3): an open queueing network over the
+// Figure 2 cluster, solved by bottleneck analysis for the maximum stable
+// throughput, plus the hit-rate algebra that links the locality-oblivious
+// and locality-conscious servers.
+//
+// Derivations implemented here (with C in KBytes-equivalents of S):
+//   n    = Clo / S                       files held by one node's cache
+//   f    solves Hlo = z(n, f)            virtual file population
+//   Hlc  = z(min(Clc / S, f), f)         conscious hit rate
+//        = min(1, Hlo * H(Clc/S) / H(n)) (equivalent, overflow-free form)
+//   h    = z(R * Clo / S, f)             hit rate of replicated files
+//   Q    = (N - 1) * (1 - h) / N         fraction of requests forwarded
+//
+// Station demands per external request (perfect load balance):
+//   router  1/mu_r                        shared by all nodes
+//   NI-in   (1 + Q)/mu_i / N              client requests + forwarded ones
+//   CPU     (1/mu_p + Q/mu_f + 1/mu_m)/N  parse + forward + in-memory reply
+//   disk    (1 - H)/mu_d / N              misses only
+//   NI-out  (1/mu_o + Q/mu_i)/N           reply + forwarded-request send
+#pragma once
+
+#include <string>
+
+#include "l2sim/model/parameters.hpp"
+#include "l2sim/queueing/jackson.hpp"
+
+namespace l2s::model {
+
+/// Result of evaluating one server configuration at one workload point.
+struct ServerEval {
+  double throughput = 0.0;           ///< max stable requests/second
+  double hit_rate = 0.0;             ///< cache hit rate used (H)
+  double forwarded_fraction = 0.0;   ///< Q
+  double replicated_hit_rate = 0.0;  ///< h
+  std::string bottleneck;            ///< station that binds throughput
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(ModelParams params);
+
+  /// Locality-oblivious server at the given oblivious hit rate and average
+  /// requested-file size (KBytes). Fig. 3 sweeps this.
+  [[nodiscard]] ServerEval oblivious(double hlo, double avg_kb) const;
+
+  /// Locality-conscious server at the workload implied by the same
+  /// (Hlo, S) point; derives Hlc, h and Q per the paper. Fig. 4 sweeps this.
+  [[nodiscard]] ServerEval conscious(double hlo, double avg_kb) const;
+
+  /// Core evaluator with all workload quantities explicit. `file_kb` feeds
+  /// mu_m/mu_d/mu_o, `transfer_kb` feeds the router rate.
+  [[nodiscard]] ServerEval evaluate(double hit_rate, double forwarded_fraction,
+                                    double file_kb, double transfer_kb) const;
+
+  /// Hlc derived from Hlo at average size avg_kb (overflow-free form).
+  [[nodiscard]] double conscious_hit_rate(double hlo, double avg_kb) const;
+
+  /// h, the hit rate of replicated files, derived from Hlo.
+  [[nodiscard]] double replicated_hit_rate(double hlo, double avg_kb) const;
+
+  /// Q, the forwarded-request fraction, derived from Hlo.
+  [[nodiscard]] double forwarded_fraction(double hlo, double avg_kb) const;
+
+  /// Virtual file population f with z(n, f) = Hlo; may be astronomically
+  /// large for small Hlo. Exposed for tests and reports.
+  [[nodiscard]] double virtual_population(double hlo, double avg_kb) const;
+
+  /// The Jackson network for a configuration (for detailed per-station
+  /// reports at a sub-saturation arrival rate).
+  [[nodiscard]] queueing::JacksonNetwork build_network(double hit_rate,
+                                                       double forwarded_fraction,
+                                                       double file_kb,
+                                                       double transfer_kb) const;
+
+  [[nodiscard]] const ModelParams& params() const { return params_; }
+
+ private:
+  /// Files one node's cache holds at average size avg_kb (continuous).
+  [[nodiscard]] double oblivious_cache_files(double avg_kb) const;
+  /// Files the combined conscious cache holds (continuous).
+  [[nodiscard]] double conscious_cache_files(double avg_kb) const;
+
+  ModelParams params_;
+};
+
+/// Load-imbalance analysis (the paper's Section 3.2 "summary of other
+/// modeling results"): with a finite population of F files assigned to
+/// nodes round-robin by popularity rank (the hottest `replicated_files`
+/// served by every node), returns max-node-share * N — 1.0 means perfect
+/// balance, larger values mean the hottest node limits throughput to
+/// balanced_throughput / factor.
+[[nodiscard]] double imbalance_factor(double files, double alpha, int nodes,
+                                      double replicated_files);
+
+}  // namespace l2s::model

@@ -1,0 +1,33 @@
+// Latency-side analysis of the model. The paper focuses on throughput
+// (server latencies are small next to WAN latencies), but the M/M/1
+// machinery directly yields mean response times as a function of offered
+// load — useful for capacity planning with the same calibrated model.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/model/cluster_model.hpp"
+
+namespace l2s::model {
+
+struct LatencyPoint {
+  double arrival_rate = 0.0;     ///< offered load, requests/second
+  double utilization = 0.0;      ///< fraction of the throughput bound
+  double mean_response_s = 0.0;  ///< mean time in the server, seconds
+};
+
+/// Mean response time of a server configuration as the offered load rises
+/// toward its throughput bound. Samples `points` loads spread uniformly
+/// over (0, max_fraction] of the bound.
+[[nodiscard]] std::vector<LatencyPoint> latency_curve(const ClusterModel& model,
+                                                      bool conscious, double hlo,
+                                                      double avg_kb, int points = 16,
+                                                      double max_fraction = 0.95);
+
+/// Smallest sampled load fraction at which the mean response exceeds
+/// `limit_seconds`, or 1.0 if it stays below throughout the curve.
+[[nodiscard]] double load_fraction_at_latency(const ClusterModel& model, bool conscious,
+                                              double hlo, double avg_kb,
+                                              double limit_seconds);
+
+}  // namespace l2s::model

@@ -1,0 +1,67 @@
+// Table 1 of the paper: model parameters and their default values.
+//
+//   N    number of nodes                     16
+//   R    percentage of replication           0%
+//   alpha Zipf constant                      1
+//   mu_r routing rate                        500000/size ops/s
+//   mu_i request service rate at NI          140000 ops/s
+//   mu_p request read/parsing rate           6300 ops/s
+//   mu_f request forwarding rate             10000 ops/s
+//   mu_m reply rate (after stored locally)   (0.0001 + S/12000)^-1 ops/s
+//   mu_d disk access rate                    (0.028 + S/10000)^-1 ops/s
+//   mu_o reply service rate at NI            (0.000003 + S/128000)^-1 ops/s
+//   C    total cache space                   128 MBytes per node
+//
+// S is the average requested-file size in KBytes and `size` the average
+// transfer size in KBytes. Rates with an S term are per-request service
+// rates whose time grows linearly in the bytes moved.
+#pragma once
+
+#include <string>
+
+#include "l2sim/common/units.hpp"
+
+namespace l2s::model {
+
+struct ModelParams {
+  int nodes = 16;               ///< N
+  double replication = 0.0;     ///< R in [0, 1]
+  double alpha = 1.0;           ///< Zipf constant
+  Bytes cache_bytes = 128 * kMiB;  ///< C, per-node main memory used as cache
+
+  // Fixed-rate stations (ops/s).
+  double ni_request_rate = 140000.0;  ///< mu_i
+  double parse_rate = 6300.0;         ///< mu_p
+  double forward_rate = 10000.0;      ///< mu_f
+
+  // Coefficients of the size-dependent stations; rate = 1/(a + S_kb/b).
+  double reply_overhead_s = 0.0001;      ///< mu_m fixed term (seconds)
+  double reply_kb_per_s = 12000.0;       ///< mu_m slope (KBytes per second)
+  double disk_overhead_s = 0.028;        ///< mu_d fixed term: 2 accesses incl. directory
+  double disk_kb_per_s = 10000.0;        ///< mu_d transfer rate, 10 MBytes/s
+  double ni_reply_overhead_s = 0.000003; ///< mu_o fixed term, 3 us per message
+  double ni_reply_kb_per_s = 128000.0;   ///< mu_o slope, ~1 Gbit/s
+
+  double router_kb_per_s = 500000.0;  ///< mu_r = router_kb_per_s / size, ~4 Gbit/s
+
+  /// mu_r for the given average transfer size (KBytes).
+  [[nodiscard]] double router_rate(double transfer_kb) const;
+  /// mu_m for the given average file size (KBytes).
+  [[nodiscard]] double reply_rate(double file_kb) const;
+  /// mu_d for the given average file size (KBytes).
+  [[nodiscard]] double disk_rate(double file_kb) const;
+  /// mu_o for the given average file size (KBytes).
+  [[nodiscard]] double ni_reply_rate(double file_kb) const;
+
+  /// Total locality-conscious cache space in bytes:
+  /// Clc = N*(1-R)*C + R*C. With R = 1 this degenerates to C = Clo.
+  [[nodiscard]] double conscious_cache_bytes() const;
+
+  /// Validate ranges; throws l2s::Error on nonsense values.
+  void validate() const;
+
+  /// Human-readable parameter dump (used by the Table 1 bench).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace l2s::model

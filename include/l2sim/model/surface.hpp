@@ -1,0 +1,55 @@
+// Throughput surfaces over the (oblivious hit rate x average file size)
+// plane — the data behind Figures 3-6.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "l2sim/model/cluster_model.hpp"
+
+namespace l2s::model {
+
+/// A rectangular grid of values indexed by [hit_rate][size].
+struct Surface {
+  std::vector<double> hit_rates;  ///< ascending, typically 0..1
+  std::vector<double> sizes_kb;   ///< ascending, typically up to 128 KB
+  std::vector<std::vector<double>> values;  ///< values[i][j] at (hit_rates[i], sizes_kb[j])
+
+  [[nodiscard]] double at(std::size_t hit_index, std::size_t size_index) const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+  /// Per-hit-rate envelope over sizes — the paper's Figure 6 "side view".
+  struct SideView {
+    std::vector<double> hit_rates;
+    std::vector<double> max_over_sizes;
+    std::vector<double> min_over_sizes;
+  };
+  [[nodiscard]] SideView side_view() const;
+};
+
+/// Default grids matching the paper's axes: hit rate 0..1 (0.05 steps) and
+/// size 2..128 KB.
+[[nodiscard]] std::vector<double> default_hit_grid();
+[[nodiscard]] std::vector<double> default_size_grid();
+
+/// Sweep a per-point evaluator over the grid.
+[[nodiscard]] Surface sweep(const std::vector<double>& hit_rates,
+                            const std::vector<double>& sizes_kb,
+                            const std::function<double(double hlo, double size_kb)>& fn);
+
+/// Figure 3: locality-oblivious throughput surface.
+[[nodiscard]] Surface oblivious_surface(const ClusterModel& model,
+                                        const std::vector<double>& hit_rates,
+                                        const std::vector<double>& sizes_kb);
+
+/// Figure 4: locality-conscious throughput surface.
+[[nodiscard]] Surface conscious_surface(const ClusterModel& model,
+                                        const std::vector<double>& hit_rates,
+                                        const std::vector<double>& sizes_kb);
+
+/// Figure 5: element-wise ratio conscious/oblivious.
+[[nodiscard]] Surface ratio_surface(const Surface& conscious, const Surface& oblivious);
+
+}  // namespace l2s::model

@@ -1,0 +1,52 @@
+// Trace-calibrated model bounds — the "model" series in Figures 7-10.
+//
+// For a real (finite) trace the workload is characterized by its file
+// population F, Zipf exponent alpha, average file size (cache occupancy)
+// and average requested size (bytes moved per request). The paper plots
+// the best possible locality-conscious throughput assuming 15% replication
+// against the simulated servers.
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/model/cluster_model.hpp"
+
+namespace l2s::model {
+
+/// Statistical summary of a workload/trace (matches Table 2 columns).
+struct WorkloadStats {
+  std::uint64_t files = 0;      ///< distinct files
+  double avg_file_kb = 0.0;     ///< average file size, KBytes
+  double avg_request_kb = 0.0;  ///< average requested size, KBytes
+  double alpha = 1.0;           ///< fitted Zipf exponent
+};
+
+/// Per-configuration bound derived from trace statistics.
+struct TraceBound {
+  ServerEval conscious;   ///< locality-conscious bound (the paper's line)
+  ServerEval oblivious;   ///< same-workload locality-oblivious bound
+};
+
+class TraceModel {
+ public:
+  /// `params.replication` is honored (the paper uses 15% for Figs. 7-10);
+  /// `params.cache_bytes` is the per-node memory (32 MB in the paper).
+  TraceModel(ModelParams params, WorkloadStats stats);
+
+  /// Bound at `nodes` cluster nodes (overrides params.nodes).
+  [[nodiscard]] TraceBound bound(int nodes) const;
+
+  /// Conscious cache hit rate at `nodes` nodes.
+  [[nodiscard]] double conscious_hit_rate(int nodes) const;
+
+  /// Oblivious (per-node cache) hit rate; independent of node count.
+  [[nodiscard]] double oblivious_hit_rate() const;
+
+  [[nodiscard]] const WorkloadStats& stats() const { return stats_; }
+
+ private:
+  ModelParams params_;
+  WorkloadStats stats_;
+};
+
+}  // namespace l2s::model

@@ -1,0 +1,28 @@
+// A node's network interface: independent receive and transmit queues
+// (the model's mu_i and mu_o stations).
+#pragma once
+
+#include <string>
+
+#include "l2sim/des/resource.hpp"
+#include "l2sim/net/params.hpp"
+
+namespace l2s::net {
+
+class Nic {
+ public:
+  Nic(des::Scheduler& sched, const std::string& node_name);
+
+  [[nodiscard]] des::Resource& rx() { return rx_; }
+  [[nodiscard]] des::Resource& tx() { return tx_; }
+  [[nodiscard]] const des::Resource& rx() const { return rx_; }
+  [[nodiscard]] const des::Resource& tx() const { return tx_; }
+
+  void reset_stats();
+
+ private:
+  des::Resource rx_;
+  des::Resource tx_;
+};
+
+}  // namespace l2s::net

@@ -1,0 +1,27 @@
+// The bridge/router between the cluster and the Internet — a shared
+// single-server queue with the paper's mu_r = 500000/size ops/s capacity
+// (about 4 Gbit/s, approximating a Cisco 7576). All client requests enter
+// and all replies leave through it.
+#pragma once
+
+#include "l2sim/des/resource.hpp"
+#include "l2sim/net/params.hpp"
+
+namespace l2s::net {
+
+class Router {
+ public:
+  Router(des::Scheduler& sched, const NetParams& params);
+
+  /// Move `bytes` through the router, then fire `done`.
+  void forward(Bytes bytes, des::EventFn done);
+
+  [[nodiscard]] des::Resource& resource() { return res_; }
+  [[nodiscard]] const des::Resource& resource() const { return res_; }
+
+ private:
+  const NetParams& params_;
+  des::Resource res_;
+};
+
+}  // namespace l2s::net

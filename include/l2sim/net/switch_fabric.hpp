@@ -1,0 +1,28 @@
+// The cluster switch. The paper simulates a very fast switched network and
+// explicitly excludes contention inside the fabric, so the switch is a pure
+// latency element (1 us per traversal), not a queue.
+#pragma once
+
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/net/params.hpp"
+
+namespace l2s::net {
+
+class SwitchFabric {
+ public:
+  SwitchFabric(des::Scheduler& sched, SimTime latency);
+
+  /// Deliver after the fabric latency. Counts traversals for reports.
+  void traverse(des::EventFn deliver);
+
+  [[nodiscard]] std::uint64_t traversals() const { return traversals_; }
+  [[nodiscard]] SimTime latency() const { return latency_; }
+  void reset_stats() { traversals_ = 0; }
+
+ private:
+  des::Scheduler& sched_;
+  SimTime latency_;
+  std::uint64_t traversals_ = 0;
+};
+
+}  // namespace l2s::net

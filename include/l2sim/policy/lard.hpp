@@ -1,0 +1,79 @@
+// LARD (Locality-Aware Request Distribution) with replication, after
+// Pai et al. [ASPLOS-8], as simulated by the paper for comparison.
+//
+// Node 0 is a dedicated front-end: it accepts and parses every client
+// request, runs the LARD/R algorithm over its (slightly stale) view of the
+// back-ends' open-connection counts, and hands the connection off. The
+// front-end neither services requests nor contributes cache space. A
+// back-end notifies the front-end after every `update_batch` (4) completed
+// connections — the same update frequency the paper found best.
+//
+// LARD/R (with the original parameters T_low = 25, T_high = 65, K = 20 s):
+//   if the target's server set is empty: assign the least-loaded back-end;
+//   otherwise pick the least-loaded member n, and if
+//   (load(n) > T_high and some back-end is below T_low) or
+//   load(n) >= 2 * T_high, add the overall least-loaded back-end;
+//   if the set has not changed for K seconds and has more than one member,
+//   drop its most-loaded member.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/cluster/load_tracker.hpp"
+#include "l2sim/policy/policy.hpp"
+#include "l2sim/policy/server_set.hpp"
+
+namespace l2s::policy {
+
+struct LardParams {
+  int t_low = 25;
+  int t_high = 65;
+  double set_shrink_seconds = 20.0;  ///< K
+  int update_batch = 4;              ///< completions per load update message
+};
+
+class LardPolicy final : public Policy {
+ public:
+  explicit LardPolicy(LardParams params = {});
+
+  [[nodiscard]] const char* name() const override { return "lard"; }
+
+  void attach(const ClusterContext& ctx) override;
+
+  [[nodiscard]] int entry_node(std::uint64_t seq, const trace::Request& r) override;
+  [[nodiscard]] int select_service_node(int entry, const trace::Request& r) override;
+  [[nodiscard]] SimTime forward_cpu_time(int entry) const override;
+  void on_complete(int node, const trace::Request& r) override;
+
+  /// Persistent connections: the back-end consults the front-end's tables
+  /// (the "dispatcher" design of the follow-up LARD work) — the decision
+  /// is the same LARD/R computation.
+  [[nodiscard]] int select_next_in_connection(int current, const trace::Request& r) override;
+  void on_connection_migrated(int from, int to, const trace::Request& r) override;
+
+  /// A dead back-end leaves the candidate pool (its server-set entries are
+  /// sidestepped via an infinite load view). A dead front-end is fatal —
+  /// the single point of failure the paper criticizes.
+  void on_node_failed(int node) override;
+
+  [[nodiscard]] static constexpr int front_end() { return 0; }
+
+  /// Front-end's current view of a back-end's load (for tests).
+  [[nodiscard]] int front_end_view(int node) const;
+  [[nodiscard]] const ServerSetMap& server_sets() const { return sets_; }
+
+ private:
+  [[nodiscard]] int least_loaded_backend() const;
+  [[nodiscard]] bool any_backend_below(int threshold) const;
+  [[nodiscard]] int decide(const trace::Request& r);
+  void record_termination(int node);
+
+  LardParams params_;
+  ClusterContext ctx_;
+  cluster::LoadView view_{1};
+  ServerSetMap sets_;
+  std::vector<int> completions_since_update_;
+  SimTime shrink_ns_ = 0;
+};
+
+}  // namespace l2s::policy

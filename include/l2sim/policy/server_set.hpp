@@ -1,0 +1,48 @@
+// Per-file server sets: the nodes believed to cache each file, plus the
+// time of the last membership change (both LARD's front-end table and each
+// L2S node's replicated copy use this structure).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/storage/file_set.hpp"
+
+namespace l2s::policy {
+
+class ServerSetMap {
+ public:
+  /// Members for a file; empty vector if the file was never assigned.
+  [[nodiscard]] const std::vector<int>& members(storage::FileId file) const;
+
+  [[nodiscard]] bool contains(storage::FileId file, int node) const;
+
+  /// Add `node` to the file's set (no-op if present). Records `now`.
+  void add(storage::FileId file, int node, SimTime now);
+
+  /// Remove `node` (no-op if absent). Records `now` if removed.
+  void remove(storage::FileId file, int node, SimTime now);
+
+  /// Replace the whole membership (applying a received broadcast).
+  void replace(storage::FileId file, std::vector<int> nodes, SimTime now);
+
+  [[nodiscard]] SimTime last_modified(storage::FileId file) const;
+
+  [[nodiscard]] std::size_t tracked_files() const { return sets_.size(); }
+
+  /// Total membership entries (replication degree x files).
+  [[nodiscard]] std::size_t total_members() const;
+
+  void clear() { sets_.clear(); }
+
+ private:
+  struct Entry {
+    std::vector<int> nodes;
+    SimTime modified = 0;
+  };
+  std::unordered_map<storage::FileId, Entry> sets_;
+  static const std::vector<int> kEmpty;
+};
+
+}  // namespace l2s::policy

@@ -1,0 +1,63 @@
+// Open Jackson network of M/M/1 stations.
+//
+// Each station i has a service rate mu_i and a visit ratio v_i — the mean
+// number of visits one external request makes to the station. For external
+// arrival rate Lambda, station arrival rates are lambda_i = Lambda * v_i
+// and, by Jackson's theorem, the stations behave as independent M/M/1
+// queues. The model's "upper bound on throughput" is the largest Lambda
+// keeping every station stable: min_i mu_i / v_i (the bottleneck analysis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "l2sim/queueing/mm1.hpp"
+
+namespace l2s::queueing {
+
+struct Station {
+  std::string name;
+  double service_rate;  ///< mu_i, jobs per second (per replica)
+  double visit_ratio;   ///< v_i, visits per replica per external request
+  /// Number of identical copies of this station (e.g. one CPU per cluster
+  /// node). Each replica receives lambda * visit_ratio; a request's total
+  /// expected residence in the group is replicas * visit_ratio * W.
+  int replicas = 1;
+};
+
+struct StationReport {
+  std::string name;
+  Mm1Metrics metrics;
+};
+
+struct NetworkReport {
+  std::vector<StationReport> stations;
+  double mean_response;  ///< sum_i v_i * W_i, seconds per external request
+};
+
+class JacksonNetwork {
+ public:
+  /// Add a station; zero visit ratios are allowed (station unused in this
+  /// configuration) and simply never bind.
+  void add_station(Station s);
+
+  /// Largest stable external arrival rate: min over stations with positive
+  /// visit ratio of mu_i / v_i. Throws if the network has no active station.
+  [[nodiscard]] double max_throughput() const;
+
+  /// Name of the station that binds max_throughput (ties: first added).
+  [[nodiscard]] const std::string& bottleneck() const;
+
+  /// Full per-station steady-state report at external rate `lambda`.
+  /// Throws if any station would be unstable.
+  [[nodiscard]] NetworkReport solve(double lambda) const;
+
+  [[nodiscard]] bool stable_at(double lambda) const;
+
+  [[nodiscard]] const std::vector<Station>& stations() const { return stations_; }
+
+ private:
+  std::vector<Station> stations_;
+};
+
+}  // namespace l2s::queueing

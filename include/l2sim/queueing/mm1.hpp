@@ -1,0 +1,24 @@
+// Closed-form M/M/1 queue formulas. The paper's model "assumes that all
+// queues are M/M/1"; these are the per-station building blocks the Jackson
+// network solver composes.
+#pragma once
+
+namespace l2s::queueing {
+
+/// Steady-state metrics of an M/M/1 queue with arrival rate lambda and
+/// service rate mu. Only valid when stable (lambda < mu).
+struct Mm1Metrics {
+  double utilization;     ///< rho = lambda / mu
+  double mean_customers;  ///< L = rho / (1 - rho)
+  double mean_response;   ///< W = 1 / (mu - lambda), includes service
+  double mean_waiting;    ///< Wq = rho / (mu - lambda)
+};
+
+/// True when the queue has a steady state (lambda < mu strictly).
+[[nodiscard]] bool mm1_stable(double lambda, double mu);
+
+/// Compute steady-state metrics. Throws l2s::Error if unstable or if the
+/// rates are non-positive.
+[[nodiscard]] Mm1Metrics mm1_metrics(double lambda, double mu);
+
+}  // namespace l2s::queueing

@@ -1,0 +1,29 @@
+// M/M/c queue (Erlang C). The cluster's N nodes are N independent M/M/1
+// queues; an idealized work-stealing cluster would behave like one M/M/N
+// queue over the same capacity. Comparing the two quantifies the latency
+// cost of static partitioning — the gap L2S's load balancing tries to
+// close from the M/M/1 side.
+#pragma once
+
+namespace l2s::queueing {
+
+struct MmcMetrics {
+  double utilization;     ///< rho = lambda / (c * mu)
+  double prob_wait;       ///< Erlang-C probability an arrival queues
+  double mean_customers;  ///< L, including those in service
+  double mean_response;   ///< W = Wq + 1/mu
+  double mean_waiting;    ///< Wq
+};
+
+/// True when lambda < c * mu strictly.
+[[nodiscard]] bool mmc_stable(double lambda, double mu, int servers);
+
+/// Erlang-C formula: probability that an arrival finds all `servers` busy,
+/// with offered load a = lambda / mu. Computed with a numerically stable
+/// recurrence (no factorials).
+[[nodiscard]] double erlang_c(double offered_load, int servers);
+
+/// Steady-state metrics; throws l2s::Error when unstable or ill-formed.
+[[nodiscard]] MmcMetrics mmc_metrics(double lambda, double mu, int servers);
+
+}  // namespace l2s::queueing

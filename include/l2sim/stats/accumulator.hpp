@@ -1,0 +1,34 @@
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+#pragma once
+
+#include <cstdint>
+
+namespace l2s::stats {
+
+class Accumulator {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other);
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace l2s::stats

@@ -1,0 +1,30 @@
+// Named monotonically increasing counters with stable iteration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l2s::stats {
+
+class CounterSet {
+ public:
+  /// Increment (creating at zero on first use).
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; zero if never touched.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// Counters in first-touch order.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>& items() const {
+    return items_;
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> items_;
+};
+
+}  // namespace l2s::stats

@@ -1,0 +1,39 @@
+// Log-scale histogram for latency and size distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace l2s::stats {
+
+/// Histogram with geometrically growing bucket boundaries:
+/// [0, base), [base, base*growth), ... Values below zero are clamped to
+/// the first bucket; values beyond the last boundary land in an overflow
+/// bucket. Suited to quantities spanning several orders of magnitude.
+class LogHistogram {
+ public:
+  LogHistogram(double base, double growth, std::size_t buckets);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] double bucket_lower_bound(std::size_t i) const;
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+
+  /// Approximate quantile (q in [0,1]) using bucket lower bounds.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double value) const;
+
+  double base_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;  // last bucket = overflow
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace l2s::stats

@@ -1,0 +1,34 @@
+// Disk model: a single-server FIFO device with the paper's timing —
+// a fixed access cost of 28 ms per read (seek + rotation for the data and
+// the directory entry) plus transfer at 10 MBytes/s.
+#pragma once
+
+#include <string>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/des/resource.hpp"
+
+namespace l2s::storage {
+
+struct DiskParams {
+  double access_seconds = 0.028;    ///< fixed cost per read (two accesses)
+  double transfer_kb_per_s = 10000; ///< 10 MBytes/s
+};
+
+class Disk {
+ public:
+  Disk(des::Scheduler& sched, std::string name, DiskParams params = {});
+
+  /// Read `bytes` and fire `done` at completion. Reads queue FIFO.
+  void read(Bytes bytes, des::EventFn done);
+
+  [[nodiscard]] SimTime read_time(Bytes bytes) const;
+  [[nodiscard]] const des::Resource& resource() const { return res_; }
+  [[nodiscard]] des::Resource& resource() { return res_; }
+
+ private:
+  DiskParams params_;
+  des::Resource res_;
+};
+
+}  // namespace l2s::storage

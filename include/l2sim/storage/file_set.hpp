@@ -1,0 +1,34 @@
+// The set of files a server hosts: id -> size. File ids are dense
+// (0..count-1) and, for synthetic traces, ordered by popularity rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/cache/lru_cache.hpp"  // FileId
+#include "l2sim/common/units.hpp"
+
+namespace l2s::storage {
+
+using cache::FileId;
+
+class FileSet {
+ public:
+  FileSet() = default;
+
+  /// Append a file; returns its id.
+  FileId add(Bytes size);
+
+  [[nodiscard]] Bytes size_of(FileId id) const;
+  [[nodiscard]] std::uint64_t count() const { return sizes_.size(); }
+  [[nodiscard]] Bytes total_bytes() const { return total_; }  ///< working set
+  [[nodiscard]] double avg_kb() const;
+
+  void reserve(std::uint64_t n) { sizes_.reserve(n); }
+
+ private:
+  std::vector<Bytes> sizes_;
+  Bytes total_ = 0;
+};
+
+}  // namespace l2s::storage

@@ -1,0 +1,29 @@
+// Compact binary trace format (".l2st") for caching generated traces:
+// paper-scale synthesis takes seconds, but re-reading a 3M-request trace
+// from disk takes milliseconds. Layout (little-endian):
+//
+//   magic   "L2ST"            4 bytes
+//   version u32               currently 1
+//   name    u32 length + bytes
+//   files   u64 count + u64 size per file
+//   reqs    u64 count + { u32 file, u64 bytes } per request
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::trace {
+
+inline constexpr std::uint32_t kBinaryTraceVersion = 1;
+
+/// Serialize a trace. Throws l2s::Error on stream failure.
+void write_binary(const Trace& trace, std::ostream& out);
+void write_binary_file(const Trace& trace, const std::string& path);
+
+/// Deserialize; validates magic, version and internal consistency.
+[[nodiscard]] Trace read_binary(std::istream& in);
+[[nodiscard]] Trace read_binary_file(const std::string& path);
+
+}  // namespace l2s::trace

@@ -1,0 +1,40 @@
+// Trace characterization: computes the Table 2 statistics from a trace —
+// file count, average file size, request count, average request size, and
+// the fitted Zipf exponent alpha — plus the working-set size.
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/model/trace_model.hpp"
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::trace {
+
+struct TraceCharacteristics {
+  std::uint64_t files = 0;
+  double avg_file_kb = 0.0;
+  std::uint64_t requests = 0;
+  double avg_request_kb = 0.0;
+  double alpha = 0.0;           ///< fitted Zipf exponent
+  Bytes working_set_bytes = 0;  ///< sum of distinct file sizes
+
+  /// Convert to the model's workload summary.
+  [[nodiscard]] model::WorkloadStats to_workload_stats() const;
+};
+
+/// Characterize a trace. Alpha is the maximum-likelihood fit (see
+/// fit_zipf_alpha_mle below).
+[[nodiscard]] TraceCharacteristics characterize(const Trace& trace);
+
+/// Fit alpha alone from per-file request counts (log-log regression over
+/// the repeated-rank region).
+[[nodiscard]] double fit_zipf_alpha(const std::vector<std::uint64_t>& frequencies);
+
+/// Maximum-likelihood alpha under the finite Zipf model
+/// P(rank r) = r^-alpha / H_F(alpha): maximizes
+///   L(alpha) = -alpha * sum_r c_r ln r - R ln H_F(alpha)
+/// by golden-section search. Less biased than the regression fit when the
+/// tail is heavy with singletons.
+[[nodiscard]] double fit_zipf_alpha_mle(const std::vector<std::uint64_t>& frequencies);
+
+}  // namespace l2s::trace

@@ -1,0 +1,34 @@
+// Common Log Format reader. The paper drives its simulator with WWW server
+// access logs (Calgary, ClarkNet, NASA, Rutgers); those logs are CLF:
+//
+//   host ident user [date] "METHOD /path HTTP/x.y" status bytes
+//
+// Following the paper we keep only complete, successful static GETs
+// (status 200 with a positive byte count) and treat each distinct path as
+// one file whose size is the largest byte count observed for it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::trace {
+
+struct ClfParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_status = 0;
+  std::uint64_t rejected_method = 0;
+};
+
+/// Parse an entire CLF stream into a trace named `name`.
+[[nodiscard]] Trace read_clf(std::istream& in, const std::string& name,
+                             ClfParseStats* stats = nullptr);
+
+/// Parse one CLF line; returns true and fills path/status/bytes on success.
+[[nodiscard]] bool parse_clf_line(const std::string& line, std::string& method,
+                                  std::string& path, int& status, std::uint64_t& bytes);
+
+}  // namespace l2s::trace

@@ -1,0 +1,47 @@
+// A request trace: the file set plus the ordered sequence of requests that
+// drive the simulator. Timing information is deliberately absent — the
+// paper "disregarded the timing information in the traces and scheduled new
+// requests as soon as the router and network interface buffers would accept
+// them" to measure maximum throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "l2sim/storage/file_set.hpp"
+
+namespace l2s::trace {
+
+using storage::FileId;
+
+struct Request {
+  FileId file;
+  /// Bytes transferred by this request (== file size for complete GETs).
+  Bytes bytes;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, storage::FileSet files, std::vector<Request> requests);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const storage::FileSet& files() const { return files_; }
+  [[nodiscard]] const std::vector<Request>& requests() const { return requests_; }
+
+  [[nodiscard]] std::uint64_t request_count() const { return requests_.size(); }
+  [[nodiscard]] double avg_request_kb() const;
+  [[nodiscard]] Bytes total_request_bytes() const { return request_bytes_; }
+
+  /// A copy truncated to the first `n` requests (bench scaling).
+  [[nodiscard]] Trace truncated(std::uint64_t n) const;
+
+ private:
+  std::string name_;
+  storage::FileSet files_;
+  std::vector<Request> requests_;
+  Bytes request_bytes_ = 0;
+};
+
+}  // namespace l2s::trace

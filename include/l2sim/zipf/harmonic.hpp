@@ -1,0 +1,23 @@
+// Generalized harmonic numbers H_n^(alpha) = sum_{i=1..n} i^-alpha.
+//
+// The paper's hit-rate function z(n, F) is a ratio of generalized harmonic
+// numbers. Model sweeps need H at arguments up to ~1e30 (the working-set
+// inversion for very low hit rates produces astronomically large virtual
+// file populations), so we combine an exact prefix sum with a midpoint-rule
+// tail integral whose error is negligible for smooth monotone integrands.
+#pragma once
+
+#include <cstdint>
+
+namespace l2s::zipf {
+
+/// Exact sum for integer n (n kept small; O(n) once, used by tests and the
+/// continuous version's prefix).
+[[nodiscard]] double harmonic_exact(std::uint64_t n, double alpha);
+
+/// Continuous extension of H_x^(alpha) for real x >= 0. Exact summation up
+/// to an internal prefix bound, then a midpoint-rule integral for the tail;
+/// fractional x interpolates the next term. Monotone nondecreasing in x.
+[[nodiscard]] double harmonic(double x, double alpha);
+
+}  // namespace l2s::zipf

@@ -1,0 +1,30 @@
+// Discrete Zipf-like sampler used by the synthetic trace generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/common/rng.hpp"
+
+namespace l2s::zipf {
+
+/// Samples ranks in [0, files) with P(rank r) ~ 1/(r+1)^alpha.
+/// Precomputes the CDF once (O(files)); each draw is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t files, double alpha);
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  /// Probability mass of an individual rank (0-based).
+  [[nodiscard]] double probability(std::uint64_t rank) const;
+
+  [[nodiscard]] std::uint64_t files() const { return static_cast<std::uint64_t>(cdf_.size()); }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace l2s::zipf

@@ -1,0 +1,26 @@
+// Zipf-like popularity math from Section 3 of the paper.
+//
+// Requests follow a Zipf-like distribution: P(i'th most popular of F files)
+// ~ 1/i^alpha. The accumulated probability of the n most popular files is
+//   z(n, F) = H_n^(alpha) / H_F^(alpha),
+// which the paper uses as the cache hit rate when the n hottest files fit
+// in cache. The model also needs the inverse: given the locality-oblivious
+// hit rate Hlo achieved by caching n files, find the virtual file population
+// f with z(n, f) = Hlo, so that the locality-conscious hit rate can be
+// derived for the same workload.
+#pragma once
+
+namespace l2s::zipf {
+
+/// Accumulated request probability of the n most popular of `files` files
+/// under a Zipf-like distribution with exponent `alpha`. Both arguments are
+/// continuous (cache capacities divided by file sizes are fractional).
+/// Returns a value in [0, 1]; n >= files yields exactly 1.
+[[nodiscard]] double z(double n, double files, double alpha);
+
+/// Solve z(n, f) = target for f >= n by bisection on log f.
+/// target must be in (0, 1]; target == 1 returns n (everything cached).
+/// Throws l2s::Error if target is out of range or unreachable.
+[[nodiscard]] double invert_population(double n, double target, double alpha);
+
+}  // namespace l2s::zipf

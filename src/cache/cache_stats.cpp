@@ -1,0 +1,25 @@
+#include "l2sim/cache/cache_stats.hpp"
+
+namespace l2s::cache {
+
+double CacheStats::hit_rate() const {
+  const std::uint64_t total = accesses();
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double CacheStats::miss_rate() const {
+  const std::uint64_t total = accesses();
+  return total == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(total);
+}
+
+void CacheStats::reset() { *this = CacheStats{}; }
+
+void CacheStats::merge(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  bytes_evicted += other.bytes_evicted;
+}
+
+}  // namespace l2s::cache

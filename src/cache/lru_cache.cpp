@@ -1,0 +1,68 @@
+#include "l2sim/cache/lru_cache.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cache {
+
+LruCache::LruCache(Bytes capacity) : capacity_(capacity) {
+  L2S_REQUIRE(capacity > 0);
+}
+
+bool LruCache::lookup(FileId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+bool LruCache::contains(FileId id) const { return index_.contains(id); }
+
+void LruCache::evict_one() {
+  L2S_REQUIRE(!lru_.empty());
+  const Entry victim = lru_.back();
+  lru_.pop_back();
+  index_.erase(victim.id);
+  used_ -= victim.size;
+  ++stats_.evictions;
+  stats_.bytes_evicted += victim.size;
+}
+
+void LruCache::insert(FileId id, Bytes size) {
+  if (size > capacity_) return;  // cannot ever fit; serve from disk each time
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Refresh: update size in place (sizes are stable in practice, but the
+    // trace format permits re-stat) and move to MRU.
+    used_ -= it->second->size;
+    it->second->size = size;
+    used_ += size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{id, size});
+    index_[id] = lru_.begin();
+    used_ += size;
+    ++stats_.insertions;
+  }
+  while (used_ > capacity_) evict_one();
+}
+
+bool LruCache::erase(FileId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+}  // namespace l2s::cache

@@ -1,0 +1,114 @@
+#include "l2sim/cache/stack_distance.hpp"
+
+#include <algorithm>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cache {
+namespace {
+
+/// Fenwick tree over access positions; supports point update and suffix
+/// sums. Used twice: with weight 1 (count of distinct files) and with
+/// weight = file size (bytes of distinct files).
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
+
+  void add(std::size_t index, std::int64_t delta) {
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+      tree_[i] += delta;
+  }
+
+  /// Sum of [0, index].
+  [[nodiscard]] std::int64_t prefix(std::size_t index) const {
+    std::int64_t s = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+  [[nodiscard]] std::int64_t total() const { return prefix(tree_.size() - 2); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+StackDistanceAnalyzer::StackDistanceAnalyzer(const trace::Trace& trace) {
+  const auto& requests = trace.requests();
+  accesses_ = requests.size();
+  const std::size_t n = requests.size();
+
+  Fenwick present(n);      // 1 at the position of each file's last access
+  Fenwick present_bytes(n);  // file size at that position
+  std::vector<std::int64_t> last_pos(trace.files().count(), -1);
+
+  histogram_.clear();
+  byte_distances_sorted_.clear();
+  byte_distances_sorted_.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto file = requests[i].file;
+    const Bytes size = trace.files().size_of(file);
+    const std::int64_t prev = last_pos[file];
+    if (prev < 0) {
+      ++cold_;
+    } else {
+      // Distinct files touched after `prev`: total present entries at
+      // positions > prev, excluding the file itself (still marked at prev).
+      const std::int64_t upto_prev = present.prefix(static_cast<std::size_t>(prev));
+      const std::int64_t distinct_after = present.total() - upto_prev;
+      const auto d = static_cast<std::uint64_t>(distinct_after);
+      if (histogram_.size() <= d) histogram_.resize(d + 1, 0);
+      ++histogram_[d];
+
+      const std::int64_t bytes_upto_prev =
+          present_bytes.prefix(static_cast<std::size_t>(prev));
+      const std::int64_t bytes_after = present_bytes.total() - bytes_upto_prev;
+      // A cache must hold the distinct files above plus the file itself.
+      byte_distances_sorted_.push_back(static_cast<Bytes>(bytes_after) + size);
+
+      present.add(static_cast<std::size_t>(prev), -1);
+      present_bytes.add(static_cast<std::size_t>(prev),
+                        -static_cast<std::int64_t>(size));
+    }
+    present.add(i, 1);
+    present_bytes.add(i, static_cast<std::int64_t>(size));
+    last_pos[file] = static_cast<std::int64_t>(i);
+  }
+
+  cumulative_.resize(histogram_.size());
+  std::uint64_t acc = 0;
+  for (std::size_t d = 0; d < histogram_.size(); ++d) {
+    acc += histogram_[d];
+    cumulative_[d] = acc;
+  }
+  std::sort(byte_distances_sorted_.begin(), byte_distances_sorted_.end());
+}
+
+double StackDistanceAnalyzer::hit_rate_at_files(std::uint64_t capacity_files) const {
+  if (accesses_ == 0) return 0.0;
+  if (capacity_files == 0 || cumulative_.empty()) return 0.0;
+  // A cache of k files hits accesses with distance <= k-1 (the reused file
+  // plus up to k-1 distinct files above it fit).
+  const std::size_t idx = std::min<std::size_t>(capacity_files - 1, cumulative_.size() - 1);
+  return static_cast<double>(cumulative_[idx]) / static_cast<double>(accesses_);
+}
+
+double StackDistanceAnalyzer::hit_rate_at_bytes(Bytes capacity) const {
+  if (accesses_ == 0) return 0.0;
+  const auto it = std::upper_bound(byte_distances_sorted_.begin(),
+                                   byte_distances_sorted_.end(), capacity);
+  const auto hits = static_cast<std::uint64_t>(it - byte_distances_sorted_.begin());
+  return static_cast<double>(hits) / static_cast<double>(accesses_);
+}
+
+std::vector<double> StackDistanceAnalyzer::miss_curve_bytes(
+    const std::vector<Bytes>& capacities) const {
+  std::vector<double> curve;
+  curve.reserve(capacities.size());
+  for (const Bytes c : capacities) curve.push_back(1.0 - hit_rate_at_bytes(c));
+  return curve;
+}
+
+}  // namespace l2s::cache

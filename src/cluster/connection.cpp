@@ -1,0 +1,7 @@
+#include "l2sim/cluster/connection.hpp"
+
+// Connection is a plain data carrier; its logic lives in the simulation
+// lifecycle (core/simulation.cpp). This translation unit exists to anchor
+// the header's ODR-used inline functions during non-LTO builds.
+
+namespace l2s::cluster {}

@@ -1,0 +1,50 @@
+#include "l2sim/cluster/injector.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cluster {
+
+Injector::Injector(const trace::Trace& trace, std::uint64_t max_in_flight)
+    : trace_(&trace), max_in_flight_(max_in_flight) {
+  L2S_REQUIRE(max_in_flight > 0);
+}
+
+void Injector::start(InjectFn inject) {
+  L2S_REQUIRE(inject != nullptr);
+  inject_ = std::move(inject);
+  pump();
+}
+
+bool Injector::try_take(std::uint64_t& seq, trace::Request& request) {
+  const auto& requests = trace_->requests();
+  if (next_ >= requests.size()) return false;
+  seq = next_;
+  request = requests[next_++];
+  return true;
+}
+
+bool Injector::try_admit(std::uint64_t& seq, trace::Request& request) {
+  if (in_flight_ >= max_in_flight_) return false;
+  if (!try_take(seq, request)) return false;
+  ++in_flight_;
+  return true;
+}
+
+void Injector::on_complete() {
+  L2S_REQUIRE(in_flight_ > 0);
+  --in_flight_;
+  if (inject_) pump();  // closed-loop mode refills; open loop only frees
+}
+
+void Injector::pump() {
+  const auto& requests = trace_->requests();
+  while (in_flight_ < max_in_flight_ && next_ < requests.size()) {
+    ++in_flight_;
+    const std::uint64_t seq = next_++;
+    // inject_ may complete a request synchronously in degenerate setups;
+    // the counters above are already consistent when it runs.
+    inject_(seq, requests[seq]);
+  }
+}
+
+}  // namespace l2s::cluster

@@ -1,0 +1,42 @@
+#include "l2sim/cluster/load_tracker.hpp"
+
+#include <cstdlib>
+
+namespace l2s::cluster {
+
+int LoadView::least_loaded() const {
+  int best = 0;
+  for (int n = 1; n < nodes(); ++n)
+    if (loads_[static_cast<std::size_t>(n)] < loads_[static_cast<std::size_t>(best)]) best = n;
+  return best;
+}
+
+int LoadView::least_loaded_of(const std::vector<int>& candidates) const {
+  L2S_REQUIRE(!candidates.empty());
+  int best = candidates.front();
+  for (const int n : candidates)
+    if (get(n) < get(best)) best = n;
+  return best;
+}
+
+int LoadView::most_loaded_of(const std::vector<int>& candidates) const {
+  L2S_REQUIRE(!candidates.empty());
+  int best = candidates.front();
+  for (const int n : candidates)
+    if (get(n) > get(best)) best = n;
+  return best;
+}
+
+bool LoadView::any_below(int threshold) const {
+  for (const int l : loads_)
+    if (l < threshold) return true;
+  return false;
+}
+
+bool BroadcastThrottle::should_broadcast(int current) {
+  if (std::abs(current - last_) < delta_) return false;
+  last_ = current;
+  return true;
+}
+
+}  // namespace l2s::cluster

@@ -1,0 +1,65 @@
+#include "l2sim/cluster/node.hpp"
+
+#include "l2sim/cache/gdsf_cache.hpp"
+#include "l2sim/cache/lru_cache.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cluster {
+namespace {
+
+std::unique_ptr<cache::FileCache> make_cache(CachePolicy policy, Bytes capacity) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return std::make_unique<cache::LruCache>(capacity);
+    case CachePolicy::kGdsf:
+      return std::make_unique<cache::GdsfCache>(capacity);
+  }
+  throw_error("unknown cache policy");
+}
+
+}  // namespace
+
+Node::Node(des::Scheduler& sched, int id, const NodeParams& params, double cpu_speed)
+    : id_(id),
+      name_("node" + std::to_string(id)),
+      cpu_params_(params.cpu),
+      cpu_speed_(cpu_speed),
+      cpu_(sched, name_ + "/cpu"),
+      nic_(sched, name_),
+      disk_(sched, name_ + "/disk", params.disk),
+      cache_(make_cache(params.cache_policy, params.cache_bytes)) {
+  L2S_REQUIRE(id >= 0);
+  L2S_REQUIRE(cpu_speed > 0.0);
+}
+
+void Node::connection_closed() {
+  L2S_REQUIRE(open_connections_ > 0);
+  --open_connections_;
+}
+
+SimTime Node::parse_time() const {
+  return seconds_to_simtime(1.0 / cpu_params_.parse_rate / cpu_speed_);
+}
+
+SimTime Node::forward_time() const {
+  return seconds_to_simtime(1.0 / cpu_params_.forward_rate / cpu_speed_);
+}
+
+SimTime Node::handoff_initiate_time() const {
+  return seconds_to_simtime(cpu_params_.handoff_initiate_s / cpu_speed_);
+}
+
+SimTime Node::reply_time(Bytes bytes) const {
+  return seconds_to_simtime((cpu_params_.reply_overhead_s +
+                             bytes_to_kib(bytes) / cpu_params_.reply_kb_per_s) /
+                            cpu_speed_);
+}
+
+void Node::reset_stats() {
+  cpu_.reset_stats();
+  nic_.reset_stats();
+  disk_.resource().reset_stats();
+  cache_->reset_stats();
+}
+
+}  // namespace l2s::cluster

@@ -1,0 +1,34 @@
+#include "l2sim/common/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) throw_error(std::string(name) + " is not a number: " + raw);
+  return v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) throw_error(std::string(name) + " is not an integer: " + raw);
+  return v;
+}
+
+double bench_scale() {
+  const double s = env_double("L2SIM_SCALE", 0.1);
+  if (s <= 0.0 || s > 1.0) throw_error("L2SIM_SCALE must be in (0, 1]");
+  return s;
+}
+
+}  // namespace l2s

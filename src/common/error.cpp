@@ -1,0 +1,16 @@
+#include "l2sim/common/error.hpp"
+
+#include <sstream>
+
+namespace l2s {
+
+void throw_error(const std::string& message) { throw Error(message); }
+
+void require(bool condition, const char* expr, const char* file, int line) {
+  if (condition) return;
+  std::ostringstream os;
+  os << "l2sim invariant violated: " << expr << " at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace l2s

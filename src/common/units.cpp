@@ -1,0 +1,7 @@
+#include "l2sim/common/units.hpp"
+
+namespace l2s {
+
+double simtime_ms(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace l2s

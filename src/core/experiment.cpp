@@ -1,0 +1,83 @@
+#include "l2sim/core/experiment.hpp"
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/policy/lard.hpp"
+#include "l2sim/policy/traditional.hpp"
+
+namespace l2s::core {
+
+std::unique_ptr<policy::Policy> make_policy(PolicyKind kind, double set_shrink_seconds) {
+  switch (kind) {
+    case PolicyKind::kTraditional:
+      return std::make_unique<policy::TraditionalPolicy>();
+    case PolicyKind::kLard: {
+      policy::LardParams params;
+      params.set_shrink_seconds = set_shrink_seconds;
+      return std::make_unique<policy::LardPolicy>(params);
+    }
+    case PolicyKind::kL2s: {
+      policy::L2sParams params;
+      params.set_shrink_seconds = set_shrink_seconds;
+      return std::make_unique<policy::L2sPolicy>(params);
+    }
+  }
+  throw_error("make_policy: unknown policy kind");
+}
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kTraditional:
+      return "trad";
+    case PolicyKind::kLard:
+      return "LARD";
+    case PolicyKind::kL2s:
+      return "L2S";
+  }
+  return "?";
+}
+
+const std::vector<PolicyKind>& all_policies() {
+  static const std::vector<PolicyKind> kinds = {PolicyKind::kL2s, PolicyKind::kLard,
+                                                PolicyKind::kTraditional};
+  return kinds;
+}
+
+SimResult run_once(const trace::Trace& trace, SimConfig sim, PolicyKind kind,
+                   double set_shrink_seconds) {
+  ClusterSimulation simulation(sim, trace, make_policy(kind, set_shrink_seconds));
+  return simulation.run();
+}
+
+std::vector<double> model_series(const trace::TraceCharacteristics& ch,
+                                 const ExperimentConfig& cfg) {
+  model::ModelParams params;
+  params.cache_bytes = cfg.sim.node.cache_bytes;
+  params.replication = cfg.model_replication;
+  params.alpha = ch.alpha;
+  const model::TraceModel tm(params, ch.to_workload_stats());
+  std::vector<double> series;
+  series.reserve(cfg.node_counts.size());
+  for (const int n : cfg.node_counts) series.push_back(tm.bound(n).conscious.throughput);
+  return series;
+}
+
+FigureSeries run_throughput_figure(const trace::Trace& trace, const ExperimentConfig& cfg) {
+  FigureSeries fig;
+  fig.trace_name = trace.name();
+  fig.characteristics = trace::characterize(trace);
+  fig.node_counts = cfg.node_counts;
+  fig.model_rps = model_series(fig.characteristics, cfg);
+
+  for (const int nodes : cfg.node_counts) {
+    SimConfig sim = cfg.sim;
+    sim.nodes = nodes;
+    fig.l2s.push_back(run_once(trace, sim, PolicyKind::kL2s, cfg.set_shrink_seconds));
+    fig.lard.push_back(run_once(trace, sim, PolicyKind::kLard, cfg.set_shrink_seconds));
+    fig.traditional.push_back(
+        run_once(trace, sim, PolicyKind::kTraditional, cfg.set_shrink_seconds));
+  }
+  return fig;
+}
+
+}  // namespace l2s::core

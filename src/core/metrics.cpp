@@ -1,0 +1,22 @@
+#include "l2sim/core/metrics.hpp"
+
+#include <sstream>
+
+#include "l2sim/common/table.hpp"
+
+namespace l2s::core {
+
+std::string SimResult::describe() const {
+  std::ostringstream os;
+  os << policy << " on " << trace << " with " << nodes << " node(s): "
+     << format_double(throughput_rps, 1) << " req/s (" << completed << " requests in "
+     << format_double(elapsed_seconds, 2) << " s), hit rate "
+     << format_double(hit_rate * 100.0, 1) << "%, forwarded "
+     << format_double(forwarded_fraction * 100.0, 1) << "%, CPU idle "
+     << format_double(cpu_idle_fraction * 100.0, 1) << "%, mean response "
+     << format_double(mean_response_ms, 2) << " ms";
+  if (failed > 0) os << ", FAILED " << failed << " requests";
+  return os.str();
+}
+
+}  // namespace l2s::core

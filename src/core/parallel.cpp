@@ -1,0 +1,88 @@
+#include "l2sim/core/parallel.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <exception>
+#include <thread>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::core {
+
+std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned threads) {
+  for (const auto& job : jobs)
+    if (job.trace == nullptr) throw_error("run_parallel: job without a trace");
+
+  std::vector<SimResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size() || failed.load()) return;
+      try {
+        const SimJob& job = jobs[i];
+        ClusterSimulation sim(job.sim, *job.trace,
+                              make_policy(job.kind, job.set_shrink_seconds));
+        results[i] = sim.run();
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+FigureSeries run_throughput_figure_parallel(const trace::Trace& trace,
+                                            const ExperimentConfig& cfg,
+                                            unsigned threads) {
+  FigureSeries fig;
+  fig.trace_name = trace.name();
+  fig.characteristics = trace::characterize(trace);
+  fig.node_counts = cfg.node_counts;
+  fig.model_rps = model_series(fig.characteristics, cfg);
+
+  std::vector<SimJob> jobs;
+  for (const int nodes : cfg.node_counts) {
+    for (const auto kind :
+         {PolicyKind::kL2s, PolicyKind::kLard, PolicyKind::kTraditional}) {
+      SimJob job;
+      job.trace = &trace;
+      job.sim = cfg.sim;
+      job.sim.nodes = nodes;
+      job.kind = kind;
+      job.set_shrink_seconds = cfg.set_shrink_seconds;
+      jobs.push_back(job);
+    }
+  }
+  auto results = run_parallel(jobs, threads);
+  for (std::size_t i = 0; i < cfg.node_counts.size(); ++i) {
+    fig.l2s.push_back(std::move(results[3 * i]));
+    fig.lard.push_back(std::move(results[3 * i + 1]));
+    fig.traditional.push_back(std::move(results[3 * i + 2]));
+  }
+  return fig;
+}
+
+}  // namespace l2s::core

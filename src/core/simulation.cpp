@@ -1,0 +1,569 @@
+#include "l2sim/core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::core {
+
+void SimConfig::validate() const {
+  if (nodes < 1) throw_error("SimConfig: nodes must be >= 1");
+  if (buffer_slots_per_node < 1) throw_error("SimConfig: buffer_slots_per_node must be >= 1");
+  if (request_msg_bytes == 0) throw_error("SimConfig: request_msg_bytes must be positive");
+  if (mean_requests_per_connection < 1.0)
+    throw_error("SimConfig: mean_requests_per_connection must be >= 1");
+  for (const auto& f : failures) {
+    if (f.node < 0 || f.node >= nodes) throw_error("SimConfig: failure node out of range");
+    if (f.at_seconds < 0.0) throw_error("SimConfig: failure time must be nonnegative");
+  }
+  if (failure_detection_seconds < 0.0)
+    throw_error("SimConfig: failure_detection_seconds must be nonnegative");
+  if (failure_client_timeout_seconds < 0.0)
+    throw_error("SimConfig: failure_client_timeout_seconds must be nonnegative");
+  if (open_loop_arrival_rate < 0.0)
+    throw_error("SimConfig: open_loop_arrival_rate must be nonnegative");
+  if (!node_speed_factors.empty()) {
+    if (node_speed_factors.size() != static_cast<std::size_t>(nodes))
+      throw_error("SimConfig: node_speed_factors must have one entry per node");
+    for (const double f : node_speed_factors)
+      if (f <= 0.0) throw_error("SimConfig: node speed factors must be positive");
+  }
+}
+
+ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace,
+                                     std::unique_ptr<policy::Policy> policy)
+    : config_(config),
+      trace_(trace),
+      fabric_(sched_, config.net.switch_latency()),
+      router_(sched_, config_.net),
+      via_(sched_, fabric_, config_.net),
+      policy_(std::move(policy)),
+      rng_(config.seed) {
+  config_.validate();
+  L2S_REQUIRE(policy_ != nullptr);
+  if (trace_.request_count() == 0) throw_error("ClusterSimulation: empty trace");
+
+  policy::ClusterContext ctx;
+  ctx.sched = &sched_;
+  ctx.via = &via_;
+  ctx.control_msg_bytes = config_.control_msg_bytes;
+  for (int i = 0; i < config_.nodes; ++i) {
+    const double speed = config_.node_speed_factors.empty()
+                             ? 1.0
+                             : config_.node_speed_factors[static_cast<std::size_t>(i)];
+    nodes_.push_back(std::make_unique<cluster::Node>(sched_, i, config_.node, speed));
+    via_.add_endpoint({&nodes_.back()->cpu(), &nodes_.back()->nic()});
+    ctx.nodes.push_back(nodes_.back().get());
+  }
+  policy_->attach(ctx);
+}
+
+ClusterSimulation::~ClusterSimulation() = default;
+
+SimResult ClusterSimulation::run() {
+  L2S_REQUIRE(!ran_);
+  ran_ = true;
+
+  int pass = 0;
+  if (config_.warmup) {
+    policy_->on_pass_start(pass++);
+    replay_trace();
+    reset_statistics();
+  }
+  const SimTime measure_start = sched_.now();
+  policy_->on_pass_start(pass);
+  schedule_failures(measure_start);
+  if (!config_.timeline_csv_path.empty()) {
+    timeline_ = std::make_unique<std::ofstream>(config_.timeline_csv_path);
+    if (!*timeline_) throw_error("cannot open timeline CSV: " + config_.timeline_csv_path);
+    *timeline_ << "time_s";
+    for (int n = 0; n < config_.nodes; ++n) *timeline_ << ",node" << n;
+    *timeline_ << '\n';
+  }
+  replay_trace();
+  return collect(measure_start);
+}
+
+bool ClusterSimulation::node_alive(int id) const {
+  return nodes_[static_cast<std::size_t>(id)]->alive();
+}
+
+void ClusterSimulation::schedule_failures(SimTime measure_start) {
+  for (const auto& f : config_.failures) {
+    const SimTime when = measure_start + seconds_to_simtime(f.at_seconds);
+    sched_.at(when, [this, f]() {
+      nodes_[static_cast<std::size_t>(f.node)]->fail();
+    });
+    sched_.at(when + seconds_to_simtime(config_.failure_detection_seconds),
+              [this, f]() { policy_->on_node_failed(f.node); });
+  }
+}
+
+void ClusterSimulation::abort_connection(const ConnPtr& conn) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  conn->stage = cluster::ConnectionStage::kDone;
+  ++failed_;
+  if (conn->counted_in_service) {
+    conn->counted_in_service = false;
+    cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+    // A dead node's bookkeeping died with it.
+    if (n.alive()) n.connection_closed();
+  }
+  // The client holds the connection until its timeout expires; only then
+  // does the admission slot free up for the next request.
+  const SimTime timeout = seconds_to_simtime(config_.failure_client_timeout_seconds);
+  if (timeout > 0) {
+    sched_.after(timeout, [this]() { injector_->on_complete(); });
+  } else {
+    injector_->on_complete();
+  }
+}
+
+void ClusterSimulation::replay_trace() {
+  const std::uint64_t slots =
+      config_.buffer_slots_per_node * static_cast<std::uint64_t>(config_.nodes);
+  injector_ = std::make_unique<cluster::Injector>(trace_, slots);
+  if (config_.open_loop_arrival_rate > 0.0) {
+    // Open loop: a Poisson pump admits requests at the configured rate;
+    // the injector tracks the trace cursor and in-flight slots only.
+    sched_.after(0, [this]() { open_loop_arrival(); });
+  } else {
+    injector_->start(
+        [this](std::uint64_t seq, const trace::Request& r) { inject(seq, r); });
+  }
+  if (config_.load_sample_interval > 0 && config_.nodes > 1)
+    sched_.after(config_.load_sample_interval, [this]() { sample_loads(); });
+  sched_.run();
+  L2S_REQUIRE(injector_->exhausted() && injector_->in_flight() == 0);
+}
+
+void ClusterSimulation::open_loop_arrival() {
+  std::uint64_t seq = 0;
+  trace::Request r{};
+  if (injector_->try_admit(seq, r)) {
+    inject(seq, r);
+  } else if (!injector_->exhausted()) {
+    // The admission buffers are full: the arrival is refused and the
+    // request it would have carried is counted as failed (finite-buffer
+    // semantics above saturation).
+    if (injector_->try_take(seq, r)) ++failed_;
+  }
+  if (!injector_->exhausted()) {
+    const SimTime gap =
+        seconds_to_simtime(rng_.next_exponential(config_.open_loop_arrival_rate));
+    sched_.after(gap, [this]() { open_loop_arrival(); });
+  }
+}
+
+void ClusterSimulation::sample_loads() {
+  // The sampler rides along with the run and stops once the work drains
+  // (a perpetual self-rescheduling event would keep the scheduler alive).
+  if (injector_->exhausted() && injector_->in_flight() == 0) return;
+  double sum = 0.0;
+  double sq = 0.0;
+  double max = 0.0;
+  for (const auto& n : nodes_) {
+    const auto load = static_cast<double>(n->open_connections());
+    sum += load;
+    sq += load * load;
+    max = std::max(max, load);
+  }
+  const auto count = static_cast<double>(nodes_.size());
+  const double mean = sum / count;
+  if (mean > 0.0) {
+    const double variance = std::max(0.0, sq / count - mean * mean);
+    load_cov_.add(std::sqrt(variance) / mean);
+    load_max_mean_.add(max / mean);
+  }
+  if (timeline_ && timeline_->is_open()) {
+    *timeline_ << simtime_to_seconds(sched_.now());
+    for (const auto& n : nodes_) *timeline_ << ',' << n->open_connections();
+    *timeline_ << '\n';
+  }
+  sched_.after(config_.load_sample_interval, [this]() { sample_loads(); });
+}
+
+std::uint32_t ClusterSimulation::sample_connection_length() {
+  const double mean = config_.mean_requests_per_connection;
+  if (mean <= 1.0) return 1;
+  // Geometric on {1, 2, ...} with the requested mean.
+  const double p = 1.0 / mean;
+  double u = rng_.next_double();
+  while (u <= 0.0) u = rng_.next_double();
+  const double k = std::floor(std::log(u) / std::log(1.0 - p));
+  return 1 + static_cast<std::uint32_t>(std::min(k, 1e6));
+}
+
+void ClusterSimulation::inject(std::uint64_t seq, const trace::Request& r) {
+  auto conn = std::make_shared<cluster::Connection>();
+  conn->id = seq;
+  conn->request = r;
+  conn->arrival = sched_.now();
+  conn->entry_node = policy_->entry_node(seq, r);
+  if (config_.dns_entry_skew > 0.0 && policy_->entry_is_dns() &&
+      rng_.next_double() < config_.dns_entry_skew) {
+    // A cached DNS translation: the client population behind some name
+    // server reuses an old answer. Popular resolvers concentrate on a few
+    // nodes (Zipf over node ids).
+    const auto n = static_cast<double>(config_.nodes);
+    const double u = rng_.next_double();
+    const double h = std::exp(u * std::log(n + 1.0));  // Zipf(1)-ish via inverse
+    conn->entry_node = std::min(config_.nodes - 1, static_cast<int>(h) - 1);
+  }
+  conn->stage = cluster::ConnectionStage::kArriving;
+  conn->remaining_requests = sample_connection_length() - 1;
+
+  // Client request: router, then the entry node's NI-in, then parse.
+  router_.forward(config_.request_msg_bytes, [this, conn]() {
+    if (!node_alive(conn->entry_node)) {
+      abort_connection(conn);  // connection refused: the entry node is down
+      return;
+    }
+    cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
+    entry.nic().rx().submit(config_.net.ni_request_time(), [this, conn]() {
+      if (!node_alive(conn->entry_node)) {
+        abort_connection(conn);
+        return;
+      }
+      cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->entry_node)];
+      conn->stage = cluster::ConnectionStage::kParsing;
+      n.cpu().submit(n.parse_time(), [this, conn]() { distribute(conn); });
+    });
+  });
+}
+
+void ClusterSimulation::distribute(const ConnPtr& conn) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  if (!node_alive(conn->entry_node)) {
+    abort_connection(conn);
+    return;
+  }
+  if (policy_->decides_asynchronously()) {
+    policy_->select_service_node_async(
+        conn->entry_node, conn->request,
+        [this, conn](int target) { dispatch_to(conn, target); });
+    return;
+  }
+  dispatch_to(conn, policy_->select_service_node(conn->entry_node, conn->request));
+}
+
+void ClusterSimulation::dispatch_to(const ConnPtr& conn, int target) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  conn->t_decided = sched_.now();
+  if (target < 0) {
+    // The policy could not produce a decision (e.g. its dispatcher died):
+    // the client's request fails.
+    abort_connection(conn);
+    return;
+  }
+  L2S_REQUIRE(target < config_.nodes);
+  conn->service_node = target;
+
+  if (target == conn->entry_node) {
+    begin_service(conn, /*opening=*/true);
+    return;
+  }
+
+  ++forwarded_;
+  conn->stage = cluster::ConnectionStage::kForwarding;
+  cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
+  // Hand-off: policy-specific CPU cost at the entry node, the wire
+  // transfer, and the VIA receive overhead at the target.
+  entry.cpu().submit(policy_->forward_cpu_time(conn->entry_node), [this, conn]() {
+    via_.transmit(conn->entry_node, conn->service_node, config_.request_msg_bytes,
+                  [this, conn]() {
+                    cluster::Node& target_node =
+                        *nodes_[static_cast<std::size_t>(conn->service_node)];
+                    target_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn]() {
+                      begin_service(conn, /*opening=*/true);
+                    });
+                  });
+  });
+}
+
+void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  if (!node_alive(conn->service_node)) {
+    abort_connection(conn);
+    return;
+  }
+  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+  conn->stage = cluster::ConnectionStage::kServing;
+  conn->t_service = sched_.now();
+  if (opening) {
+    n.connection_opened();
+    conn->counted_in_service = true;
+    policy_->on_service_start(conn->service_node, conn->request);
+  }
+
+  if (n.file_cache().lookup(conn->request.file)) {
+    conn->cache_hit = true;
+    conn->t_disk_done = sched_.now();
+    reply_path(conn);
+    return;
+  }
+  // Miss: read the whole file from disk, make it resident, then reply.
+  const Bytes file_bytes = trace_.files().size_of(conn->request.file);
+  n.disk().read(file_bytes, [this, conn, file_bytes]() {
+    if (conn->stage == cluster::ConnectionStage::kDone) return;
+    if (!node_alive(conn->service_node)) {
+      abort_connection(conn);
+      return;
+    }
+    cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
+    node.file_cache().insert(conn->request.file, file_bytes);
+    conn->t_disk_done = sched_.now();
+    reply_path(conn);
+  });
+}
+
+void ClusterSimulation::reply_path(const ConnPtr& conn) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  if (!node_alive(conn->service_node)) {
+    abort_connection(conn);
+    return;
+  }
+  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+  const Bytes bytes = conn->request.bytes;
+  n.cpu().submit(n.reply_time(bytes), [this, conn, bytes]() {
+    cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
+    node.nic().tx().submit(config_.net.ni_reply_time(bytes), [this, conn, bytes]() {
+      router_.forward(bytes, [this, conn]() { request_finished(conn); });
+    });
+  });
+}
+
+void ClusterSimulation::request_finished(const ConnPtr& conn) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  conn->completion = sched_.now();
+  ++completed_;
+  ++conn->requests_served;
+  const double response_ms = simtime_to_seconds(conn->response_time()) * 1e3;
+  response_times_.add(response_ms);
+  response_hist_.add(response_ms);
+  stage_entry_.add(simtime_ms(conn->t_decided - conn->arrival));
+  stage_forward_.add(simtime_ms(conn->t_service - conn->t_decided));
+  stage_disk_.add(simtime_ms(conn->t_disk_done - conn->t_service));
+  stage_reply_.add(simtime_ms(conn->completion - conn->t_disk_done));
+
+  if (conn->remaining_requests > 0) {
+    std::uint64_t seq = 0;
+    trace::Request next{};
+    if (injector_->try_take(seq, next)) {
+      --conn->remaining_requests;
+      conn->id = seq;
+      conn->request = next;
+      continue_connection(conn);
+      return;
+    }
+  }
+  close_connection(conn);
+}
+
+void ClusterSimulation::close_connection(const ConnPtr& conn) {
+  conn->stage = cluster::ConnectionStage::kDone;
+  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+  n.connection_closed();
+  conn->counted_in_service = false;
+  ++connections_;
+  policy_->on_complete(conn->service_node, conn->request);
+  injector_->on_complete();
+}
+
+void ClusterSimulation::continue_connection(const ConnPtr& conn) {
+  // The client pipelines its next request over the open connection: it
+  // passes the router and the current node's NI-in, is parsed, and then
+  // redistributed without the connection-establishment work.
+  router_.forward(config_.request_msg_bytes, [this, conn]() {
+    if (conn->stage == cluster::ConnectionStage::kDone) return;
+    if (!node_alive(conn->service_node)) {
+      abort_connection(conn);
+      return;
+    }
+    cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+    n.nic().rx().submit(config_.net.ni_request_time(), [this, conn]() {
+      if (conn->stage == cluster::ConnectionStage::kDone) return;
+      if (!node_alive(conn->service_node)) {
+        abort_connection(conn);
+        return;
+      }
+      cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
+      conn->arrival = sched_.now();
+      conn->stage = cluster::ConnectionStage::kParsing;
+      node.cpu().submit(node.parse_time(), [this, conn]() { persistent_distribute(conn); });
+    });
+  });
+}
+
+void ClusterSimulation::persistent_distribute(const ConnPtr& conn) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  if (!node_alive(conn->service_node)) {
+    abort_connection(conn);
+    return;
+  }
+  const int current = conn->service_node;
+  const int target = policy_->select_next_in_connection(current, conn->request);
+  L2S_REQUIRE(target >= 0 && target < config_.nodes);
+  if (target == current) {
+    begin_service(conn, /*opening=*/false);
+    return;
+  }
+  if (config_.persistent_mode == PersistentMode::kConnectionHandoff) {
+    migrate_connection(conn, target);
+  } else {
+    remote_fetch(conn, target);
+  }
+}
+
+void ClusterSimulation::migrate_connection(const ConnPtr& conn, int target) {
+  ++migrations_;
+  ++forwarded_;
+  conn->stage = cluster::ConnectionStage::kForwarding;
+  const int from = conn->service_node;
+  cluster::Node& old_node = *nodes_[static_cast<std::size_t>(from)];
+  old_node.cpu().submit(policy_->forward_cpu_time(from), [this, conn, from, target]() {
+    via_.transmit(from, target, config_.request_msg_bytes, [this, conn, from, target]() {
+      cluster::Node& new_node = *nodes_[static_cast<std::size_t>(target)];
+      new_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn, from, target]() {
+        if (conn->stage == cluster::ConnectionStage::kDone) return;
+        if (!node_alive(target)) {
+          abort_connection(conn);
+          return;
+        }
+        if (node_alive(from)) nodes_[static_cast<std::size_t>(from)]->connection_closed();
+        nodes_[static_cast<std::size_t>(target)]->connection_opened();
+        conn->service_node = target;
+        policy_->on_connection_migrated(from, target, conn->request);
+        begin_service(conn, /*opening=*/false);
+      });
+    });
+  });
+}
+
+void ClusterSimulation::remote_fetch(const ConnPtr& conn, int owner) {
+  ++remote_fetches_;
+  ++forwarded_;
+  // Back-end request forwarding: the connection stays put; the caching
+  // node supplies the content over the cluster network and the current
+  // node replies to the client. The fetched file is *not* inserted into
+  // the local cache (proxy semantics).
+  const int current = conn->service_node;
+  cluster::Node& cur = *nodes_[static_cast<std::size_t>(current)];
+  cur.cpu().submit(policy_->forward_cpu_time(current), [this, conn, current, owner]() {
+    via_.transmit(current, owner, config_.request_msg_bytes, [this, conn, current, owner]() {
+      cluster::Node& own = *nodes_[static_cast<std::size_t>(owner)];
+      own.cpu().submit(config_.net.cpu_msg_time(), [this, conn, current, owner]() {
+        if (conn->stage == cluster::ConnectionStage::kDone) return;
+        if (!node_alive(owner) || !node_alive(current)) {
+          abort_connection(conn);
+          return;
+        }
+        cluster::Node& o = *nodes_[static_cast<std::size_t>(owner)];
+        const Bytes file_bytes = trace_.files().size_of(conn->request.file);
+        auto send_back = [this, conn, current, owner, file_bytes]() {
+          cluster::Node& src = *nodes_[static_cast<std::size_t>(owner)];
+          // Memory-to-NIC copy at the owner, bulk transfer, then the
+          // normal reply path at the connection's node.
+          src.cpu().submit(src.reply_time(conn->request.bytes), [this, conn, current,
+                                                                 owner]() {
+            via_.transmit(owner, current, conn->request.bytes, [this, conn, current]() {
+              cluster::Node& c = *nodes_[static_cast<std::size_t>(current)];
+              c.cpu().submit(config_.net.cpu_msg_time(),
+                             [this, conn]() { reply_path(conn); });
+            });
+          });
+        };
+        if (o.file_cache().lookup(conn->request.file)) {
+          send_back();
+        } else {
+          o.disk().read(file_bytes, [this, owner, conn, file_bytes, send_back]() {
+            nodes_[static_cast<std::size_t>(owner)]->file_cache().insert(conn->request.file,
+                                                                         file_bytes);
+            send_back();
+          });
+        }
+      });
+    });
+  });
+}
+
+void ClusterSimulation::reset_statistics() {
+  for (auto& n : nodes_) n->reset_stats();
+  router_.resource().reset_stats();
+  fabric_.reset_stats();
+  via_.reset_stats();
+  policy_->reset_counters();
+  completed_ = 0;
+  connections_ = 0;
+  forwarded_ = 0;
+  migrations_ = 0;
+  remote_fetches_ = 0;
+  failed_ = 0;
+  response_times_.reset();
+  response_hist_ = stats::LogHistogram(0.01, 1.3, 64);
+  stage_entry_.reset();
+  stage_forward_.reset();
+  stage_disk_.reset();
+  stage_reply_.reset();
+  load_cov_.reset();
+  load_max_mean_.reset();
+}
+
+SimResult ClusterSimulation::collect(SimTime measure_start) const {
+  SimResult r;
+  r.policy = policy_->name();
+  r.trace = trace_.name();
+  r.nodes = config_.nodes;
+  r.completed = completed_;
+  const SimTime elapsed = sched_.now() - measure_start;
+  r.elapsed_seconds = simtime_to_seconds(elapsed);
+  r.throughput_rps =
+      r.elapsed_seconds > 0.0 ? static_cast<double>(completed_) / r.elapsed_seconds : 0.0;
+
+  cache::CacheStats cache_totals;
+  double idle_sum = 0.0;
+  for (const auto& n : nodes_) {
+    cache_totals.merge(n->file_cache().stats());
+    const double util = n->cpu().utilization(elapsed);
+    r.node_cpu_utilization.push_back(util);
+    idle_sum += 1.0 - util;
+  }
+  r.hit_rate = cache_totals.hit_rate();
+  r.miss_rate = cache_totals.miss_rate();
+  r.cpu_idle_fraction = idle_sum / static_cast<double>(config_.nodes);
+
+  r.forwarded = forwarded_;
+  r.forwarded_fraction =
+      completed_ == 0 ? 0.0
+                      : static_cast<double>(forwarded_) / static_cast<double>(completed_);
+  r.connections = connections_;
+  r.migrations = migrations_;
+  r.remote_fetches = remote_fetches_;
+  r.failed = failed_;
+
+  if (response_times_.count() > 0) {
+    r.mean_response_ms = response_times_.mean();
+    r.max_response_ms = response_times_.max();
+    r.p50_response_ms = response_hist_.quantile(0.50);
+    r.p95_response_ms = response_hist_.quantile(0.95);
+    r.p99_response_ms = response_hist_.quantile(0.99);
+    r.stage_entry_ms = stage_entry_.mean();
+    r.stage_forward_ms = stage_forward_.mean();
+    r.stage_disk_ms = stage_disk_.mean();
+    r.stage_reply_ms = stage_reply_.mean();
+  }
+  if (load_cov_.count() > 0) {
+    r.load_cov = load_cov_.mean();
+    r.load_max_over_mean = load_max_mean_.mean();
+  }
+  r.via_messages = via_.messages_sent();
+  r.load_broadcasts = policy_->counters().get("load_broadcasts");
+  r.locality_broadcasts =
+      policy_->counters().get("locality_broadcasts") + policy_->counters().get("set_create") +
+      policy_->counters().get("set_grow") + policy_->counters().get("set_shrink");
+  return r;
+}
+
+}  // namespace l2s::core

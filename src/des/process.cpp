@@ -1,0 +1,55 @@
+#include "l2sim/des/process.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::des {
+
+StageChain& StageChain::use(Resource& resource, SimTime service) {
+  stages_.push_back([&resource, service](EventFn next) {
+    resource.submit(service, std::move(next));
+  });
+  return *this;
+}
+
+StageChain& StageChain::delay(SimTime d) {
+  Scheduler& sched = sched_;
+  stages_.push_back([&sched, d](EventFn next) { sched.after(d, std::move(next)); });
+  return *this;
+}
+
+StageChain& StageChain::then(EventFn action) {
+  stages_.push_back([action = std::move(action)](EventFn next) {
+    action();
+    next();
+  });
+  return *this;
+}
+
+void StageChain::run(EventFn on_complete) {
+  L2S_REQUIRE(on_complete != nullptr);
+  struct State : std::enable_shared_from_this<State> {
+    std::vector<Stage> stages;
+    EventFn on_complete;
+    std::size_t index = 0;
+
+    void advance() {
+      if (index >= stages.size()) {
+        // Detach before invoking so the completion callback may start a new
+        // chain (or destroy whatever owns this one) safely.
+        EventFn done = std::move(on_complete);
+        stages.clear();
+        done();
+        return;
+      }
+      Stage& stage = stages[index++];
+      auto self = shared_from_this();
+      stage([self]() { self->advance(); });
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->stages = std::move(stages_);
+  state->on_complete = std::move(on_complete);
+  state->advance();
+}
+
+}  // namespace l2s::des

@@ -1,0 +1,41 @@
+#include "l2sim/des/resource.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::des {
+
+Resource::Resource(Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void Resource::submit(SimTime service, EventFn done) {
+  L2S_REQUIRE(service >= 0);
+  queue_.push_back(Job{service, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void Resource::start_next() {
+  L2S_REQUIRE(!busy_ && !queue_.empty());
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime service = job.service;
+  sched_.after(service, [this, service, done = std::move(job.done)]() mutable {
+    busy_time_ += service;
+    ++jobs_;
+    busy_ = false;
+    if (!queue_.empty()) start_next();
+    done();
+  });
+}
+
+double Resource::utilization(SimTime elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+void Resource::reset_stats() {
+  busy_time_ = 0;
+  jobs_ = 0;
+}
+
+}  // namespace l2s::des

@@ -1,0 +1,47 @@
+#include "l2sim/des/scheduler.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::des {
+
+void Scheduler::at(SimTime t, EventFn fn) {
+  L2S_REQUIRE(t >= now_);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::after(SimTime delay, EventFn fn) {
+  L2S_REQUIRE(delay >= 0);
+  at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is safe because
+  // the entry is popped immediately after and never observed again.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++processed_;
+  entry.fn();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime t) {
+  L2S_REQUIRE(t >= now_);
+  while (!heap_.empty() && heap_.top().time <= t) step();
+  now_ = t;
+}
+
+void Scheduler::reset() {
+  heap_ = {};
+  now_ = 0;
+  next_seq_ = 0;
+  processed_ = 0;
+}
+
+}  // namespace l2s::des

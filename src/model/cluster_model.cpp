@@ -1,0 +1,144 @@
+#include "l2sim/model/cluster_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/zipf/harmonic.hpp"
+#include "l2sim/zipf/zipf.hpp"
+
+namespace l2s::model {
+
+ClusterModel::ClusterModel(ModelParams params) : params_(params) { params_.validate(); }
+
+double ClusterModel::oblivious_cache_files(double avg_kb) const {
+  L2S_REQUIRE(avg_kb > 0.0);
+  return bytes_to_kib(params_.cache_bytes) / avg_kb;
+}
+
+double ClusterModel::conscious_cache_files(double avg_kb) const {
+  L2S_REQUIRE(avg_kb > 0.0);
+  return params_.conscious_cache_bytes() / 1024.0 / avg_kb;
+}
+
+double ClusterModel::conscious_hit_rate(double hlo, double avg_kb) const {
+  if (hlo <= 0.0) return 0.0;
+  const double n = oblivious_cache_files(avg_kb);
+  const double n_lc = conscious_cache_files(avg_kb);
+  // Hlc = z(min(n_lc, f), f) = Hlo * H(n_lc)/H(n) while n_lc <= f, and
+  // saturates at 1 exactly when f < n_lc; the min() below covers both.
+  const double ratio = zipf::harmonic(n_lc, params_.alpha) / zipf::harmonic(n, params_.alpha);
+  return std::min(1.0, hlo * ratio);
+}
+
+double ClusterModel::replicated_hit_rate(double hlo, double avg_kb) const {
+  if (hlo <= 0.0 || params_.replication <= 0.0) return 0.0;
+  const double n = oblivious_cache_files(avg_kb);
+  const double n_rep = params_.replication * n;
+  const double ratio = zipf::harmonic(n_rep, params_.alpha) / zipf::harmonic(n, params_.alpha);
+  return std::min(1.0, hlo * ratio);
+}
+
+double ClusterModel::forwarded_fraction(double hlo, double avg_kb) const {
+  const double h = replicated_hit_rate(hlo, avg_kb);
+  const double n = static_cast<double>(params_.nodes);
+  return (n - 1.0) * (1.0 - h) / n;
+}
+
+double ClusterModel::virtual_population(double hlo, double avg_kb) const {
+  const double n = oblivious_cache_files(avg_kb);
+  return zipf::invert_population(n, hlo, params_.alpha);
+}
+
+queueing::JacksonNetwork ClusterModel::build_network(double hit_rate,
+                                                     double forwarded_fraction,
+                                                     double file_kb,
+                                                     double transfer_kb) const {
+  L2S_REQUIRE(hit_rate >= 0.0 && hit_rate <= 1.0);
+  L2S_REQUIRE(forwarded_fraction >= 0.0 && forwarded_fraction <= 1.0);
+  const double n = static_cast<double>(params_.nodes);
+  const double q = forwarded_fraction;
+
+  queueing::JacksonNetwork net;
+  // Shared stations are (rate = 1/demand, visit = 1); per-node stations
+  // are modeled as N replicas each visited with probability 1/N, so both
+  // the bottleneck bound (min over stations of rate/visit per replica
+  // group) and the low-load response (sum of service demands) are exact.
+  auto add_shared = [&net](const std::string& name, double demand_seconds) {
+    if (demand_seconds <= 0.0) return;  // station unused
+    net.add_station({name, 1.0 / demand_seconds, 1.0, 1});
+  };
+  auto add_per_node = [&net, &n, this](const std::string& name, double demand_seconds) {
+    if (demand_seconds <= 0.0) return;
+    net.add_station({name, 1.0 / demand_seconds, 1.0 / n, params_.nodes});
+  };
+
+  add_shared("router", 1.0 / params_.router_rate(transfer_kb));
+  add_per_node("ni-in", (1.0 + q) / params_.ni_request_rate);
+  const double cpu_demand = 1.0 / params_.parse_rate + q / params_.forward_rate +
+                            1.0 / params_.reply_rate(file_kb);
+  add_per_node("cpu", cpu_demand);
+  add_per_node("disk", (1.0 - hit_rate) / params_.disk_rate(file_kb));
+  const double ni_out_demand =
+      1.0 / params_.ni_reply_rate(file_kb) + q / params_.ni_request_rate;
+  add_per_node("ni-out", ni_out_demand);
+  return net;
+}
+
+ServerEval ClusterModel::evaluate(double hit_rate, double forwarded_fraction,
+                                  double file_kb, double transfer_kb) const {
+  const auto net = build_network(hit_rate, forwarded_fraction, file_kb, transfer_kb);
+  ServerEval e;
+  e.throughput = net.max_throughput();
+  e.hit_rate = hit_rate;
+  e.forwarded_fraction = forwarded_fraction;
+  e.bottleneck = net.bottleneck();
+  return e;
+}
+
+ServerEval ClusterModel::oblivious(double hlo, double avg_kb) const {
+  L2S_REQUIRE(hlo >= 0.0 && hlo <= 1.0);
+  return evaluate(hlo, 0.0, avg_kb, avg_kb);
+}
+
+ServerEval ClusterModel::conscious(double hlo, double avg_kb) const {
+  L2S_REQUIRE(hlo >= 0.0 && hlo <= 1.0);
+  const double hlc = conscious_hit_rate(hlo, avg_kb);
+  const double h = replicated_hit_rate(hlo, avg_kb);
+  const double n = static_cast<double>(params_.nodes);
+  const double q = (n - 1.0) * (1.0 - h) / n;
+  ServerEval e = evaluate(hlc, q, avg_kb, avg_kb);
+  e.replicated_hit_rate = h;
+  return e;
+}
+
+double imbalance_factor(double files, double alpha, int nodes, double replicated_files) {
+  L2S_REQUIRE(files >= 1.0 && nodes >= 1);
+  if (nodes == 1) return 1.0;
+  const double total = zipf::harmonic(files, alpha);
+  const double rep = std::clamp(replicated_files, 0.0, files);
+  // Mass of the replicated hottest files is spread evenly over all nodes.
+  const double replicated_mass = zipf::harmonic(rep, alpha) / total;
+
+  // Remaining ranks are assigned round-robin by popularity: rank rep+1 to
+  // node 0, rep+2 to node 1, ... Node 0 therefore holds the heaviest file
+  // of every stripe of N. Summation is exact up to a cutoff; past it the
+  // stripes are flat enough that every node gets tail_mass / N.
+  constexpr double kExactRanks = 2e6;
+  const double cutoff = std::min(files, rep + kExactRanks);
+  double node0 = 0.0;
+  double counted = 0.0;
+  for (double r = rep + 1.0; r <= cutoff; r += static_cast<double>(nodes)) {
+    const double p = std::pow(r, -alpha) / total;
+    node0 += p;
+    counted = r;
+  }
+  double tail_mass = 0.0;
+  if (cutoff < files) {
+    tail_mass = (zipf::harmonic(files, alpha) - zipf::harmonic(counted, alpha)) / total;
+  }
+  const double share0 = replicated_mass / nodes + node0 + tail_mass / nodes;
+  return share0 * static_cast<double>(nodes);
+}
+
+}  // namespace l2s::model

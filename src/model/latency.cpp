@@ -1,0 +1,59 @@
+#include "l2sim/model/latency.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::model {
+namespace {
+
+struct Configured {
+  queueing::JacksonNetwork net;
+  double bound;
+};
+
+Configured configure(const ClusterModel& model, bool conscious, double hlo, double avg_kb) {
+  Configured c;
+  if (conscious) {
+    const double hlc = model.conscious_hit_rate(hlo, avg_kb);
+    const double h = model.replicated_hit_rate(hlo, avg_kb);
+    const double n = static_cast<double>(model.params().nodes);
+    const double q = (n - 1.0) * (1.0 - h) / n;
+    c.net = model.build_network(hlc, q, avg_kb, avg_kb);
+  } else {
+    c.net = model.build_network(hlo, 0.0, avg_kb, avg_kb);
+  }
+  c.bound = c.net.max_throughput();
+  return c;
+}
+
+}  // namespace
+
+std::vector<LatencyPoint> latency_curve(const ClusterModel& model, bool conscious,
+                                        double hlo, double avg_kb, int points,
+                                        double max_fraction) {
+  if (points < 1) throw_error("latency_curve: points must be >= 1");
+  if (max_fraction <= 0.0 || max_fraction >= 1.0)
+    throw_error("latency_curve: max_fraction must be in (0, 1)");
+  const auto c = configure(model, conscious, hlo, avg_kb);
+
+  std::vector<LatencyPoint> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    LatencyPoint p;
+    p.utilization = max_fraction * static_cast<double>(i) / static_cast<double>(points);
+    p.arrival_rate = p.utilization * c.bound;
+    p.mean_response_s = c.net.solve(p.arrival_rate).mean_response;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double load_fraction_at_latency(const ClusterModel& model, bool conscious, double hlo,
+                                double avg_kb, double limit_seconds) {
+  if (limit_seconds <= 0.0) throw_error("load_fraction_at_latency: limit must be positive");
+  const auto curve = latency_curve(model, conscious, hlo, avg_kb, 64, 0.99);
+  for (const auto& p : curve)
+    if (p.mean_response_s > limit_seconds) return p.utilization;
+  return 1.0;
+}
+
+}  // namespace l2s::model

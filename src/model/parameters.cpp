@@ -1,0 +1,67 @@
+#include "l2sim/model/parameters.hpp"
+
+#include <sstream>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/common/table.hpp"
+
+namespace l2s::model {
+
+double ModelParams::router_rate(double transfer_kb) const {
+  L2S_REQUIRE(transfer_kb > 0.0);
+  return router_kb_per_s / transfer_kb;
+}
+
+double ModelParams::reply_rate(double file_kb) const {
+  return 1.0 / (reply_overhead_s + file_kb / reply_kb_per_s);
+}
+
+double ModelParams::disk_rate(double file_kb) const {
+  return 1.0 / (disk_overhead_s + file_kb / disk_kb_per_s);
+}
+
+double ModelParams::ni_reply_rate(double file_kb) const {
+  return 1.0 / (ni_reply_overhead_s + file_kb / ni_reply_kb_per_s);
+}
+
+double ModelParams::conscious_cache_bytes() const {
+  const double c = static_cast<double>(cache_bytes);
+  return static_cast<double>(nodes) * (1.0 - replication) * c + replication * c;
+}
+
+void ModelParams::validate() const {
+  if (nodes < 1) throw_error("ModelParams: nodes must be >= 1");
+  if (replication < 0.0 || replication > 1.0)
+    throw_error("ModelParams: replication must be in [0, 1]");
+  if (alpha <= 0.0) throw_error("ModelParams: alpha must be positive");
+  if (cache_bytes == 0) throw_error("ModelParams: cache must be nonzero");
+  if (ni_request_rate <= 0.0 || parse_rate <= 0.0 || forward_rate <= 0.0 ||
+      router_kb_per_s <= 0.0)
+    throw_error("ModelParams: rates must be positive");
+}
+
+std::string ModelParams::describe() const {
+  TextTable t({"Param", "Description", "Value"});
+  t.cell("N").cell("Number of nodes").cell(static_cast<long long>(nodes)).end_row();
+  t.cell("R").cell("Percentage of replication").cell(replication * 100.0, 0).end_row();
+  t.cell("alpha").cell("Zipf constant").cell(alpha, 2).end_row();
+  t.cell("mu_r").cell("Routing rate (ops/s)").cell(std::to_string(router_kb_per_s) + "/size").end_row();
+  t.cell("mu_i").cell("Request service rate at NI (ops/s)").cell(ni_request_rate, 0).end_row();
+  t.cell("mu_p").cell("Request read/parsing rate (ops/s)").cell(parse_rate, 0).end_row();
+  t.cell("mu_f").cell("Request forwarding rate (ops/s)").cell(forward_rate, 0).end_row();
+  t.cell("mu_m").cell("Reply rate, cached (ops/s)")
+      .cell("1/(" + format_double(reply_overhead_s, 4) + " + S/" + format_double(reply_kb_per_s, 0) + ")")
+      .end_row();
+  t.cell("mu_d").cell("Disk access rate (ops/s)")
+      .cell("1/(" + format_double(disk_overhead_s, 3) + " + S/" + format_double(disk_kb_per_s, 0) + ")")
+      .end_row();
+  t.cell("mu_o").cell("Reply service rate at NI (ops/s)")
+      .cell("1/(" + format_double(ni_reply_overhead_s, 6) + " + S/" + format_double(ni_reply_kb_per_s, 0) + ")")
+      .end_row();
+  t.cell("C").cell("Cache space per node (MBytes)")
+      .cell(static_cast<long long>(cache_bytes / kMiB))
+      .end_row();
+  return t.to_string();
+}
+
+}  // namespace l2s::model

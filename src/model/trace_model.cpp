@@ -1,0 +1,60 @@
+#include "l2sim/model/trace_model.hpp"
+
+#include <algorithm>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/zipf/zipf.hpp"
+
+namespace l2s::model {
+
+TraceModel::TraceModel(ModelParams params, WorkloadStats stats)
+    : params_(params), stats_(stats) {
+  params_.validate();
+  if (stats_.files == 0) throw_error("TraceModel: workload has no files");
+  if (stats_.avg_file_kb <= 0.0 || stats_.avg_request_kb <= 0.0)
+    throw_error("TraceModel: average sizes must be positive");
+  if (stats_.alpha <= 0.0) throw_error("TraceModel: alpha must be positive");
+}
+
+// Cache occupancy is estimated with the *request-weighted* average size:
+// the files a cache actually holds are the popular ones, whose mean size is
+// the average requested size (e.g. Calgary: 19.7 KB requested vs 42.9 KB
+// across all files). Using the plain file average would understate how
+// many hot files fit and make the "upper bound" fall below the simulators.
+double TraceModel::oblivious_hit_rate() const {
+  const double cache_files = bytes_to_kib(params_.cache_bytes) / stats_.avg_request_kb;
+  return zipf::z(cache_files, static_cast<double>(stats_.files), stats_.alpha);
+}
+
+double TraceModel::conscious_hit_rate(int nodes) const {
+  ModelParams p = params_;
+  p.nodes = nodes;
+  const double cache_files = p.conscious_cache_bytes() / 1024.0 / stats_.avg_request_kb;
+  return zipf::z(cache_files, static_cast<double>(stats_.files), stats_.alpha);
+}
+
+TraceBound TraceModel::bound(int nodes) const {
+  L2S_REQUIRE(nodes >= 1);
+  ModelParams p = params_;
+  p.nodes = nodes;
+  const ClusterModel model(p);
+  const double files = static_cast<double>(stats_.files);
+
+  TraceBound b;
+  // Conscious: combined cache with R replication; h is the hit rate of the
+  // replicated (hottest) slice of one node's memory.
+  const double hlc = conscious_hit_rate(nodes);
+  const double rep_files =
+      p.replication * bytes_to_kib(p.cache_bytes) / stats_.avg_request_kb;
+  const double h = zipf::z(std::min(rep_files, files), files, stats_.alpha);
+  const double q = (static_cast<double>(nodes) - 1.0) * (1.0 - h) / static_cast<double>(nodes);
+  b.conscious = model.evaluate(hlc, q, stats_.avg_request_kb, stats_.avg_request_kb);
+  b.conscious.replicated_hit_rate = h;
+
+  // Oblivious: every node caches independently from the same distribution.
+  b.oblivious = model.evaluate(oblivious_hit_rate(), 0.0, stats_.avg_request_kb,
+                               stats_.avg_request_kb);
+  return b;
+}
+
+}  // namespace l2s::model

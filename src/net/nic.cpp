@@ -1,0 +1,13 @@
+#include "l2sim/net/nic.hpp"
+
+namespace l2s::net {
+
+Nic::Nic(des::Scheduler& sched, const std::string& node_name)
+    : rx_(sched, node_name + "/nic-rx"), tx_(sched, node_name + "/nic-tx") {}
+
+void Nic::reset_stats() {
+  rx_.reset_stats();
+  tx_.reset_stats();
+}
+
+}  // namespace l2s::net

@@ -1,0 +1,12 @@
+#include "l2sim/net/router.hpp"
+
+namespace l2s::net {
+
+Router::Router(des::Scheduler& sched, const NetParams& params)
+    : params_(params), res_(sched, "router") {}
+
+void Router::forward(Bytes bytes, des::EventFn done) {
+  res_.submit(params_.router_time(bytes), std::move(done));
+}
+
+}  // namespace l2s::net

@@ -1,0 +1,17 @@
+#include "l2sim/net/switch_fabric.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::net {
+
+SwitchFabric::SwitchFabric(des::Scheduler& sched, SimTime latency)
+    : sched_(sched), latency_(latency) {
+  L2S_REQUIRE(latency >= 0);
+}
+
+void SwitchFabric::traverse(des::EventFn deliver) {
+  ++traversals_;
+  sched_.after(latency_, std::move(deliver));
+}
+
+}  // namespace l2s::net

@@ -1,0 +1,55 @@
+#include "l2sim/net/via.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::net {
+
+ViaNetwork::ViaNetwork(des::Scheduler& sched, SwitchFabric& fabric, const NetParams& params)
+    : sched_(sched), fabric_(fabric), params_(params) {
+  (void)sched_;  // retained for future timeout/retry modeling
+}
+
+int ViaNetwork::add_endpoint(Endpoint ep) {
+  L2S_REQUIRE(ep.cpu != nullptr && ep.nic != nullptr);
+  endpoints_.push_back(ep);
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_delivered) {
+  L2S_REQUIRE(src >= 0 && src < endpoints());
+  L2S_REQUIRE(dst >= 0 && dst < endpoints());
+  L2S_REQUIRE(src != dst);
+  ++messages_;
+  des::Resource& tx = endpoints_[static_cast<std::size_t>(src)].nic->tx();
+  des::Resource& rx = endpoints_[static_cast<std::size_t>(dst)].nic->rx();
+  const SimTime xfer = params_.nic_transfer_time(bytes);
+  tx.submit(xfer, [this, &rx, xfer, done = std::move(on_delivered)]() mutable {
+    fabric_.traverse([&rx, xfer, done = std::move(done)]() mutable {
+      rx.submit(xfer, std::move(done));
+    });
+  });
+}
+
+void ViaNetwork::send(int src, int dst, Bytes bytes, des::EventFn on_delivered) {
+  L2S_REQUIRE(src >= 0 && src < endpoints());
+  L2S_REQUIRE(dst >= 0 && dst < endpoints());
+  des::Resource& src_cpu = *endpoints_[static_cast<std::size_t>(src)].cpu;
+  des::Resource& dst_cpu = *endpoints_[static_cast<std::size_t>(dst)].cpu;
+  const SimTime cpu_time = params_.cpu_msg_time();
+  src_cpu.submit(cpu_time, [this, src, dst, bytes, &dst_cpu, cpu_time,
+                            done = std::move(on_delivered)]() mutable {
+    transmit(src, dst, bytes, [&dst_cpu, cpu_time, done = std::move(done)]() mutable {
+      dst_cpu.submit(cpu_time, std::move(done));
+    });
+  });
+}
+
+void ViaNetwork::broadcast(int src, Bytes bytes,
+                           const std::function<void(int dst)>& on_delivered) {
+  for (int dst = 0; dst < endpoints(); ++dst) {
+    if (dst == src) continue;
+    send(src, dst, bytes, [on_delivered, dst]() { on_delivered(dst); });
+  }
+}
+
+}  // namespace l2s::net

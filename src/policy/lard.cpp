@@ -1,0 +1,126 @@
+#include "l2sim/policy/lard.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace {
+constexpr int kDeadLoad = 1 << 28;
+}  // namespace
+
+namespace l2s::policy {
+
+LardPolicy::LardPolicy(LardParams params) : params_(params) {
+  L2S_REQUIRE(params_.t_low > 0 && params_.t_high > params_.t_low);
+  L2S_REQUIRE(params_.update_batch > 0);
+  shrink_ns_ = seconds_to_simtime(params_.set_shrink_seconds);
+}
+
+void LardPolicy::attach(const ClusterContext& ctx) {
+  ctx_ = ctx;
+  view_ = cluster::LoadView(ctx.node_count());
+  completions_since_update_.assign(static_cast<std::size_t>(ctx.node_count()), 0);
+}
+
+int LardPolicy::entry_node(std::uint64_t /*seq*/, const trace::Request& /*r*/) {
+  return front_end();
+}
+
+int LardPolicy::least_loaded_backend() const {
+  // A 1-node cluster degenerates to the front-end serving everything.
+  if (ctx_.node_count() == 1) return 0;
+  int best = 1;
+  for (int n = 2; n < ctx_.node_count(); ++n)
+    if (view_.get(n) < view_.get(best)) best = n;
+  return best;
+}
+
+void LardPolicy::on_node_failed(int node) {
+  if (node == front_end()) return;  // fatal: nothing the policy can do
+  // An unreachable back-end looks infinitely loaded, so neither the
+  // least-loaded choice nor existing server sets ever pick it again.
+  view_.set(node, kDeadLoad);
+}
+
+bool LardPolicy::any_backend_below(int threshold) const {
+  for (int n = 1; n < ctx_.node_count(); ++n)
+    if (view_.get(n) < threshold) return true;
+  return false;
+}
+
+int LardPolicy::select_service_node(int entry, const trace::Request& r) {
+  L2S_REQUIRE(entry == front_end());
+  return decide(r);
+}
+
+int LardPolicy::select_next_in_connection(int current, const trace::Request& r) {
+  const int chosen = decide(r);
+  // decide() counts a new assignment at the chosen node; if the connection
+  // stays where it is, no load moved.
+  if (chosen == current) view_.adjust(current, -1);
+  return chosen;
+}
+
+void LardPolicy::on_connection_migrated(int from, int /*to*/, const trace::Request& /*r*/) {
+  // The new node's view entry was bumped by decide(); the old node reports
+  // the connection's departure like a termination (batched updates).
+  record_termination(from);
+}
+
+int LardPolicy::decide(const trace::Request& r) {
+  if (ctx_.node_count() == 1) return 0;
+  const SimTime now = ctx_.sched->now();
+  const storage::FileId file = r.file;
+
+  int chosen;
+  const std::vector<int>& set = sets_.members(file);
+  if (set.empty()) {
+    chosen = least_loaded_backend();
+    sets_.add(file, chosen, now);
+    counters_.add("set_create");
+  } else {
+    chosen = view_.least_loaded_of(set);
+    const bool overloaded =
+        (view_.get(chosen) > params_.t_high && any_backend_below(params_.t_low)) ||
+        view_.get(chosen) >= 2 * params_.t_high;
+    if (overloaded) {
+      const int extra = least_loaded_backend();
+      if (!sets_.contains(file, extra)) {
+        sets_.add(file, extra, now);
+        counters_.add("set_grow");
+      }
+      chosen = extra;
+    } else if (set.size() > 1 && now - sets_.last_modified(file) > shrink_ns_) {
+      // Replication decayed: drop the most loaded member.
+      const int victim = view_.most_loaded_of(set);
+      if (victim != chosen) {
+        sets_.remove(file, victim, now);
+        counters_.add("set_shrink");
+      }
+    }
+  }
+
+  view_.adjust(chosen, +1);
+  return chosen;
+}
+
+SimTime LardPolicy::forward_cpu_time(int entry) const {
+  return ctx_.node(entry).handoff_initiate_time();
+}
+
+void LardPolicy::on_complete(int node, const trace::Request& /*r*/) {
+  record_termination(node);
+}
+
+void LardPolicy::record_termination(int node) {
+  if (ctx_.node_count() == 1) return;
+  auto& pending = completions_since_update_[static_cast<std::size_t>(node)];
+  if (++pending < params_.update_batch) return;
+  const int batch = pending;
+  pending = 0;
+  counters_.add("load_updates");
+  ctx_.via->send(node, front_end(), ctx_.control_msg_bytes,
+                 [this, node, batch]() { view_.adjust(node, -batch); });
+}
+
+int LardPolicy::front_end_view(int node) const { return view_.get(node); }
+
+}  // namespace l2s::policy

@@ -1,0 +1,26 @@
+#include "l2sim/policy/policy.hpp"
+
+namespace l2s::policy {
+
+SimTime Policy::forward_cpu_time(int /*entry*/) const { return 0; }
+
+void Policy::on_service_start(int /*node*/, const trace::Request& /*r*/) {}
+
+void Policy::on_complete(int /*node*/, const trace::Request& /*r*/) {}
+
+int Policy::select_next_in_connection(int current, const trace::Request& r) {
+  return select_service_node(current, r);
+}
+
+void Policy::on_connection_migrated(int /*from*/, int /*to*/, const trace::Request& /*r*/) {}
+
+void Policy::on_pass_start(int /*pass*/) {}
+
+void Policy::on_node_failed(int /*node*/) {}
+
+void Policy::select_service_node_async(int entry, const trace::Request& r,
+                                       std::function<void(int)> done) {
+  done(select_service_node(entry, r));
+}
+
+}  // namespace l2s::policy

@@ -1,0 +1,33 @@
+#include "l2sim/policy/round_robin.hpp"
+
+#include <algorithm>
+
+namespace l2s::policy {
+
+int RoundRobinPolicy::entry_node(std::uint64_t seq, const trace::Request& /*r*/) {
+  if (alive_.empty()) {
+    for (int n = 0; n < ctx_.node_count(); ++n) alive_.push_back(n);
+  }
+  const std::size_t pick =
+      static_cast<std::size_t>((seq + rotation_) % alive_.size());
+  return alive_[pick];
+}
+
+void RoundRobinPolicy::on_node_failed(int node) {
+  if (alive_.empty()) {
+    for (int n = 0; n < ctx_.node_count(); ++n) alive_.push_back(n);
+  }
+  alive_.erase(std::remove(alive_.begin(), alive_.end(), node), alive_.end());
+  if (alive_.empty()) alive_.push_back(node);  // nothing left: keep failing fast
+}
+
+void RoundRobinPolicy::on_pass_start(int pass) {
+  // A phase coprime to common cluster sizes decorrelates the passes.
+  rotation_ = static_cast<std::uint64_t>(pass) * 7919;
+}
+
+int RoundRobinPolicy::select_service_node(int entry, const trace::Request& /*r*/) {
+  return entry;
+}
+
+}  // namespace l2s::policy

@@ -1,0 +1,53 @@
+#include "l2sim/policy/server_set.hpp"
+
+#include <algorithm>
+
+namespace l2s::policy {
+
+const std::vector<int> ServerSetMap::kEmpty{};
+
+const std::vector<int>& ServerSetMap::members(storage::FileId file) const {
+  const auto it = sets_.find(file);
+  return it == sets_.end() ? kEmpty : it->second.nodes;
+}
+
+bool ServerSetMap::contains(storage::FileId file, int node) const {
+  const auto& m = members(file);
+  return std::find(m.begin(), m.end(), node) != m.end();
+}
+
+void ServerSetMap::add(storage::FileId file, int node, SimTime now) {
+  auto& entry = sets_[file];
+  if (std::find(entry.nodes.begin(), entry.nodes.end(), node) != entry.nodes.end()) return;
+  entry.nodes.push_back(node);
+  entry.modified = now;
+}
+
+void ServerSetMap::remove(storage::FileId file, int node, SimTime now) {
+  const auto it = sets_.find(file);
+  if (it == sets_.end()) return;
+  auto& nodes = it->second.nodes;
+  const auto pos = std::find(nodes.begin(), nodes.end(), node);
+  if (pos == nodes.end()) return;
+  nodes.erase(pos);
+  it->second.modified = now;
+}
+
+void ServerSetMap::replace(storage::FileId file, std::vector<int> nodes, SimTime now) {
+  auto& entry = sets_[file];
+  entry.nodes = std::move(nodes);
+  entry.modified = now;
+}
+
+SimTime ServerSetMap::last_modified(storage::FileId file) const {
+  const auto it = sets_.find(file);
+  return it == sets_.end() ? 0 : it->second.modified;
+}
+
+std::size_t ServerSetMap::total_members() const {
+  std::size_t total = 0;
+  for (const auto& [file, entry] : sets_) total += entry.nodes.size();
+  return total;
+}
+
+}  // namespace l2s::policy

@@ -1,0 +1,27 @@
+#include "l2sim/policy/traditional.hpp"
+
+namespace l2s::policy {
+
+int TraditionalPolicy::entry_node(std::uint64_t /*seq*/, const trace::Request& /*r*/) {
+  if (down_.size() != static_cast<std::size_t>(ctx_.node_count()))
+    down_.assign(static_cast<std::size_t>(ctx_.node_count()), false);
+  int best = -1;
+  for (int n = 0; n < ctx_.node_count(); ++n) {
+    if (down_[static_cast<std::size_t>(n)]) continue;
+    if (best < 0 || ctx_.node(n).open_connections() < ctx_.node(best).open_connections())
+      best = n;
+  }
+  return best < 0 ? 0 : best;  // all down: requests will fail at the node
+}
+
+void TraditionalPolicy::on_node_failed(int node) {
+  if (down_.size() != static_cast<std::size_t>(ctx_.node_count()))
+    down_.assign(static_cast<std::size_t>(ctx_.node_count()), false);
+  down_[static_cast<std::size_t>(node)] = true;
+}
+
+int TraditionalPolicy::select_service_node(int entry, const trace::Request& /*r*/) {
+  return entry;
+}
+
+}  // namespace l2s::policy

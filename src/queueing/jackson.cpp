@@ -1,0 +1,62 @@
+#include "l2sim/queueing/jackson.hpp"
+
+#include <limits>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::queueing {
+
+void JacksonNetwork::add_station(Station s) {
+  if (s.service_rate <= 0.0) throw_error("station " + s.name + ": service rate must be positive");
+  if (s.visit_ratio < 0.0) throw_error("station " + s.name + ": visit ratio must be nonnegative");
+  if (s.replicas < 1) throw_error("station " + s.name + ": replicas must be >= 1");
+  stations_.push_back(std::move(s));
+}
+
+double JacksonNetwork::max_throughput() const {
+  double best = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : stations_) {
+    if (s.visit_ratio <= 0.0) continue;
+    any = true;
+    best = std::min(best, s.service_rate / s.visit_ratio);
+  }
+  if (!any) throw_error("JacksonNetwork: no station with positive visit ratio");
+  return best;
+}
+
+const std::string& JacksonNetwork::bottleneck() const {
+  const Station* best = nullptr;
+  double best_cap = std::numeric_limits<double>::infinity();
+  for (const auto& s : stations_) {
+    if (s.visit_ratio <= 0.0) continue;
+    const double cap = s.service_rate / s.visit_ratio;
+    if (cap < best_cap) {
+      best_cap = cap;
+      best = &s;
+    }
+  }
+  if (best == nullptr) throw_error("JacksonNetwork: no station with positive visit ratio");
+  return best->name;
+}
+
+bool JacksonNetwork::stable_at(double lambda) const {
+  for (const auto& s : stations_)
+    if (!mm1_stable(lambda * s.visit_ratio, s.service_rate)) return false;
+  return true;
+}
+
+NetworkReport JacksonNetwork::solve(double lambda) const {
+  NetworkReport report{};
+  report.mean_response = 0.0;
+  for (const auto& s : stations_) {
+    if (s.visit_ratio <= 0.0) continue;
+    const auto m = mm1_metrics(lambda * s.visit_ratio, s.service_rate);
+    report.mean_response +=
+        static_cast<double>(s.replicas) * s.visit_ratio * m.mean_response;
+    report.stations.push_back({s.name, m});
+  }
+  return report;
+}
+
+}  // namespace l2s::queueing

@@ -1,0 +1,24 @@
+#include "l2sim/queueing/mg1.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::queueing {
+
+Mg1Metrics mg1_metrics(double lambda, double mu, double cs2) {
+  if (mu <= 0.0) throw_error("mg1_metrics: service rate must be positive");
+  if (lambda < 0.0) throw_error("mg1_metrics: arrival rate must be nonnegative");
+  if (cs2 < 0.0) throw_error("mg1_metrics: cs2 must be nonnegative");
+  if (lambda >= mu) throw_error("mg1_metrics: queue is unstable (lambda >= mu)");
+
+  const double rho = lambda / mu;
+  Mg1Metrics m{};
+  m.utilization = rho;
+  m.mean_waiting = (1.0 + cs2) / 2.0 * rho / (mu - lambda);
+  m.mean_response = m.mean_waiting + 1.0 / mu;
+  m.mean_customers = lambda * m.mean_response;
+  return m;
+}
+
+Mg1Metrics md1_metrics(double lambda, double mu) { return mg1_metrics(lambda, mu, 0.0); }
+
+}  // namespace l2s::queueing

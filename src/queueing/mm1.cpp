@@ -1,0 +1,22 @@
+#include "l2sim/queueing/mm1.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::queueing {
+
+bool mm1_stable(double lambda, double mu) { return lambda >= 0.0 && lambda < mu; }
+
+Mm1Metrics mm1_metrics(double lambda, double mu) {
+  if (mu <= 0.0) throw_error("mm1_metrics: service rate must be positive");
+  if (lambda < 0.0) throw_error("mm1_metrics: arrival rate must be nonnegative");
+  if (!mm1_stable(lambda, mu)) throw_error("mm1_metrics: queue is unstable (lambda >= mu)");
+  const double rho = lambda / mu;
+  Mm1Metrics m{};
+  m.utilization = rho;
+  m.mean_customers = rho / (1.0 - rho);
+  m.mean_response = 1.0 / (mu - lambda);
+  m.mean_waiting = rho / (mu - lambda);
+  return m;
+}
+
+}  // namespace l2s::queueing

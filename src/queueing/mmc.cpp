@@ -1,0 +1,45 @@
+#include "l2sim/queueing/mmc.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::queueing {
+
+bool mmc_stable(double lambda, double mu, int servers) {
+  return lambda >= 0.0 && lambda < static_cast<double>(servers) * mu;
+}
+
+double erlang_c(double offered_load, int servers) {
+  if (servers < 1) throw_error("erlang_c: servers must be >= 1");
+  if (offered_load < 0.0) throw_error("erlang_c: offered load must be nonnegative");
+  if (offered_load >= static_cast<double>(servers)) return 1.0;  // saturated
+  // Stable recurrence for the Erlang-B blocking probability:
+  //   B(0) = 1;  B(k) = a B(k-1) / (k + a B(k-1))
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  // Erlang C from Erlang B.
+  const double rho = offered_load / static_cast<double>(servers);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+MmcMetrics mmc_metrics(double lambda, double mu, int servers) {
+  if (mu <= 0.0) throw_error("mmc_metrics: service rate must be positive");
+  if (lambda < 0.0) throw_error("mmc_metrics: arrival rate must be nonnegative");
+  if (!mmc_stable(lambda, mu, servers))
+    throw_error("mmc_metrics: queue is unstable (lambda >= c*mu)");
+
+  const double a = lambda / mu;
+  const double c = static_cast<double>(servers);
+  const double rho = a / c;
+
+  MmcMetrics m{};
+  m.utilization = rho;
+  m.prob_wait = erlang_c(a, servers);
+  m.mean_waiting = lambda > 0.0 ? m.prob_wait / (c * mu - lambda) : 0.0;
+  m.mean_response = m.mean_waiting + 1.0 / mu;
+  m.mean_customers = lambda * m.mean_response;
+  return m;
+}
+
+}  // namespace l2s::queueing

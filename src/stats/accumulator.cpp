@@ -1,0 +1,66 @@
+#include "l2sim/stats/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::stats {
+
+void Accumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::mean() const {
+  L2S_REQUIRE(count_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  L2S_REQUIRE(count_ > 1);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  L2S_REQUIRE(count_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  L2S_REQUIRE(count_ > 0);
+  return max_;
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+}  // namespace l2s::stats

@@ -1,0 +1,25 @@
+#include "l2sim/stats/counter_set.hpp"
+
+#include <algorithm>
+
+namespace l2s::stats {
+
+void CounterSet::add(const std::string& name, std::uint64_t delta) {
+  for (auto& [key, value] : items_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  items_.emplace_back(name, delta);
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [&name](const auto& kv) { return kv.first == name; });
+  return it == items_.end() ? 0 : it->second;
+}
+
+void CounterSet::reset() { items_.clear(); }
+
+}  // namespace l2s::stats

@@ -1,0 +1,60 @@
+#include "l2sim/stats/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::stats {
+
+LogHistogram::LogHistogram(double base, double growth, std::size_t buckets)
+    : base_(base), growth_(growth) {
+  L2S_REQUIRE(base > 0.0 && growth > 1.0 && buckets >= 2);
+  counts_.assign(buckets, 0);
+}
+
+std::size_t LogHistogram::bucket_for(double value) const {
+  if (value < base_) return 0;
+  const auto idx =
+      static_cast<std::size_t>(std::log(value / base_) / std::log(growth_)) + 1;
+  return idx >= counts_.size() ? counts_.size() - 1 : idx;
+}
+
+void LogHistogram::add(double value) {
+  ++counts_[bucket_for(value)];
+  ++total_;
+}
+
+std::uint64_t LogHistogram::bucket_count(std::size_t i) const {
+  L2S_REQUIRE(i < counts_.size());
+  return counts_[i];
+}
+
+double LogHistogram::bucket_lower_bound(std::size_t i) const {
+  L2S_REQUIRE(i < counts_.size());
+  if (i == 0) return 0.0;
+  return base_ * std::pow(growth_, static_cast<double>(i - 1));
+}
+
+double LogHistogram::quantile(double q) const {
+  L2S_REQUIRE(q >= 0.0 && q <= 1.0);
+  L2S_REQUIRE(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += static_cast<double>(counts_[i]);
+    if (seen >= target) return bucket_lower_bound(i);
+  }
+  return bucket_lower_bound(counts_.size() - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << ">= " << bucket_lower_bound(i) << ": " << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace l2s::stats

@@ -1,0 +1,22 @@
+#include "l2sim/storage/disk.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::storage {
+
+Disk::Disk(des::Scheduler& sched, std::string name, DiskParams params)
+    : params_(params), res_(sched, std::move(name)) {
+  L2S_REQUIRE(params_.access_seconds >= 0.0 && params_.transfer_kb_per_s > 0.0);
+}
+
+SimTime Disk::read_time(Bytes bytes) const {
+  const double seconds =
+      params_.access_seconds + bytes_to_kib(bytes) / params_.transfer_kb_per_s;
+  return seconds_to_simtime(seconds);
+}
+
+void Disk::read(Bytes bytes, des::EventFn done) {
+  res_.submit(read_time(bytes), std::move(done));
+}
+
+}  // namespace l2s::storage

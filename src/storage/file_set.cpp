@@ -1,0 +1,24 @@
+#include "l2sim/storage/file_set.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::storage {
+
+FileId FileSet::add(Bytes size) {
+  L2S_REQUIRE(size > 0);
+  sizes_.push_back(size);
+  total_ += size;
+  return static_cast<FileId>(sizes_.size() - 1);
+}
+
+Bytes FileSet::size_of(FileId id) const {
+  L2S_REQUIRE(id < sizes_.size());
+  return sizes_[id];
+}
+
+double FileSet::avg_kb() const {
+  if (sizes_.empty()) return 0.0;
+  return bytes_to_kib(total_) / static_cast<double>(sizes_.size());
+}
+
+}  // namespace l2s::storage

@@ -1,0 +1,96 @@
+#include "l2sim/trace/clf_reader.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <unordered_map>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::trace {
+
+bool parse_clf_line(const std::string& line, std::string& method, std::string& path,
+                    int& status, std::uint64_t& bytes) {
+  // Locate the quoted request field.
+  const auto q1 = line.find('"');
+  if (q1 == std::string::npos) return false;
+  const auto q2 = line.find('"', q1 + 1);
+  if (q2 == std::string::npos) return false;
+  const std::string request = line.substr(q1 + 1, q2 - q1 - 1);
+
+  // request = METHOD SP path [SP protocol]
+  const auto sp1 = request.find(' ');
+  if (sp1 == std::string::npos) return false;
+  method = request.substr(0, sp1);
+  const auto sp2 = request.find(' ', sp1 + 1);
+  path = sp2 == std::string::npos ? request.substr(sp1 + 1)
+                                  : request.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (path.empty()) return false;
+  // Strip query strings: the paper studies static content.
+  if (const auto qm = path.find('?'); qm != std::string::npos) path.resize(qm);
+
+  // After the closing quote: SP status SP bytes.
+  std::size_t pos = q2 + 1;
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  char* end = nullptr;
+  status = static_cast<int>(std::strtol(line.c_str() + pos, &end, 10));
+  if (end == line.c_str() + pos) return false;
+  pos = static_cast<std::size_t>(end - line.c_str());
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size() || line[pos] == '-') {
+    bytes = 0;
+    return true;
+  }
+  bytes = std::strtoull(line.c_str() + pos, &end, 10);
+  return true;
+}
+
+Trace read_clf(std::istream& in, const std::string& name, ClfParseStats* stats) {
+  ClfParseStats local{};
+  std::unordered_map<std::string, FileId> path_ids;
+  std::vector<Bytes> max_size;          // per file id
+  std::vector<std::uint32_t> file_refs; // request sequence as file ids
+  std::vector<Bytes> req_bytes;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++local.lines;
+    std::string method;
+    std::string path;
+    int status = 0;
+    std::uint64_t bytes = 0;
+    if (!parse_clf_line(line, method, path, status, bytes)) {
+      ++local.rejected_malformed;
+      continue;
+    }
+    if (method != "GET") {
+      ++local.rejected_method;
+      continue;
+    }
+    if (status != 200 || bytes == 0) {
+      ++local.rejected_status;
+      continue;
+    }
+    auto [it, inserted] = path_ids.try_emplace(path, static_cast<FileId>(max_size.size()));
+    if (inserted) max_size.push_back(0);
+    const FileId id = it->second;
+    max_size[id] = std::max(max_size[id], bytes);
+    file_refs.push_back(id);
+    req_bytes.push_back(bytes);
+    ++local.accepted;
+  }
+
+  storage::FileSet files;
+  files.reserve(max_size.size());
+  for (const Bytes s : max_size) files.add(s);
+
+  std::vector<Request> requests;
+  requests.reserve(file_refs.size());
+  for (std::size_t i = 0; i < file_refs.size(); ++i)
+    requests.push_back(Request{file_refs[i], req_bytes[i]});
+
+  if (stats != nullptr) *stats = local;
+  return Trace(name, std::move(files), std::move(requests));
+}
+
+}  // namespace l2s::trace

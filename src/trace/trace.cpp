@@ -1,0 +1,35 @@
+#include "l2sim/trace/trace.hpp"
+
+#include <algorithm>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::trace {
+
+Trace::Trace(std::string name, storage::FileSet files, std::vector<Request> requests)
+    : name_(std::move(name)), files_(std::move(files)), requests_(std::move(requests)) {
+  for (const auto& r : requests_) {
+    L2S_REQUIRE(r.file < files_.count());
+    request_bytes_ += r.bytes;
+  }
+}
+
+double Trace::avg_request_kb() const {
+  if (requests_.empty()) return 0.0;
+  return bytes_to_kib(request_bytes_) / static_cast<double>(requests_.size());
+}
+
+Trace Trace::truncated(std::uint64_t n) const {
+  if (n >= requests_.size()) return *this;
+  std::vector<Request> head(requests_.begin(),
+                            requests_.begin() + static_cast<std::ptrdiff_t>(n));
+  Trace t;
+  t.name_ = name_;
+  t.files_ = files_;
+  t.requests_ = std::move(head);
+  t.request_bytes_ = 0;
+  for (const auto& r : t.requests_) t.request_bytes_ += r.bytes;
+  return t;
+}
+
+}  // namespace l2s::trace

@@ -1,0 +1,80 @@
+#include "l2sim/zipf/harmonic.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::zipf {
+namespace {
+
+// Exact summation is used up to this bound; beyond it the midpoint-rule
+// integral contributes error below 1e-10 relative for alpha in (0, 2].
+constexpr std::uint64_t kExactPrefix = 100000;
+
+// Cache of exact prefix sums keyed by alpha. Model sweeps evaluate H at
+// thousands of points for a handful of alphas, so memoizing the O(n) prefix
+// matters. Guarded for safe use from parallel sweeps.
+class PrefixCache {
+ public:
+  double prefix(double alpha) {
+    const std::scoped_lock lock(mu_);
+    auto [it, inserted] = sums_.try_emplace(alpha, 0.0);
+    if (inserted) {
+      double s = 0.0;
+      for (std::uint64_t i = 1; i <= kExactPrefix; ++i)
+        s += std::pow(static_cast<double>(i), -alpha);
+      it->second = s;
+    }
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<double, double> sums_;
+};
+
+PrefixCache& prefix_cache() {
+  static PrefixCache cache;
+  return cache;
+}
+
+// Integral of x^-alpha over [a, b] (a, b > 0).
+double power_integral(double a, double b, double alpha) {
+  if (b <= a) return 0.0;
+  if (std::abs(alpha - 1.0) < 1e-12) return std::log(b / a);
+  return (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) / (1.0 - alpha);
+}
+
+}  // namespace
+
+double harmonic_exact(std::uint64_t n, double alpha) {
+  L2S_REQUIRE(alpha > 0.0);
+  double s = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) s += std::pow(static_cast<double>(i), -alpha);
+  return s;
+}
+
+double harmonic(double x, double alpha) {
+  L2S_REQUIRE(alpha > 0.0);
+  if (x <= 0.0) return 0.0;
+  const double floor_x = std::floor(x);
+  double whole;
+  if (floor_x <= static_cast<double>(kExactPrefix)) {
+    // The cast is safe only under the bound above — the model routinely
+    // evaluates H at populations around 1e300, far beyond uint64_t.
+    whole = harmonic_exact(static_cast<std::uint64_t>(floor_x), alpha);
+  } else {
+    // Exact prefix plus midpoint-rule tail: sum_{i=p+1..n} i^-alpha
+    // ~= integral over [p+1/2, n+1/2] of t^-alpha dt.
+    whole = prefix_cache().prefix(alpha) +
+            power_integral(static_cast<double>(kExactPrefix) + 0.5, floor_x + 0.5, alpha);
+  }
+  const double frac = x - floor_x;
+  if (frac > 0.0) whole += frac * std::pow(floor_x + 1.0, -alpha);
+  return whole;
+}
+
+}  // namespace l2s::zipf

@@ -1,0 +1,36 @@
+#include "l2sim/zipf/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::zipf {
+
+ZipfSampler::ZipfSampler(std::uint64_t files, double alpha) : alpha_(alpha) {
+  L2S_REQUIRE(files > 0);
+  L2S_REQUIRE(alpha > 0.0);
+  cdf_.resize(files);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < files; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint64_t rank) const {
+  L2S_REQUIRE(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace l2s::zipf

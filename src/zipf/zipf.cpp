@@ -1,0 +1,45 @@
+#include "l2sim/zipf/zipf.hpp"
+
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/zipf/harmonic.hpp"
+
+namespace l2s::zipf {
+
+double z(double n, double files, double alpha) {
+  L2S_REQUIRE(files > 0.0);
+  if (n <= 0.0) return 0.0;
+  if (n >= files) return 1.0;
+  return harmonic(n, alpha) / harmonic(files, alpha);
+}
+
+double invert_population(double n, double target, double alpha) {
+  if (!(target > 0.0 && target <= 1.0))
+    throw_error("invert_population: target hit rate must be in (0, 1]");
+  L2S_REQUIRE(n > 0.0);
+  if (target >= 1.0) return n;
+
+  // z(n, f) decreases monotonically in f from 1 (f == n) toward 0, so
+  // bisection on log f converges unconditionally. The upper bracket grows
+  // until z drops below the target; it is capped to avoid infinite loops on
+  // targets that are unreachable in double precision.
+  double lo = std::log(n);
+  double hi = std::log(n) + 1.0;
+  constexpr double kMaxLog = 700.0;  // ~1e304
+  while (z(n, std::exp(hi), alpha) > target) {
+    hi += 4.0;
+    if (hi > kMaxLog)
+      throw_error("invert_population: target hit rate unreachable (too close to 0)");
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (z(n, std::exp(mid), alpha) > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return std::exp(0.5 * (lo + hi));
+}
+
+}  // namespace l2s::zipf

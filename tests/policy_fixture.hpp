@@ -1,0 +1,48 @@
+// Shared fixture for policy unit tests: a wired-up cluster context with N
+// nodes, a VIA network, and helpers to fabricate load and drain messages.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/via.hpp"
+#include "l2sim/policy/policy.hpp"
+
+namespace l2s::testing {
+
+struct PolicyFixture {
+  des::Scheduler sched;
+  net::NetParams params;
+  net::SwitchFabric fabric{sched, params.switch_latency()};
+  net::ViaNetwork via{sched, fabric, params};
+  std::vector<std::unique_ptr<cluster::Node>> nodes;
+  policy::ClusterContext ctx;
+
+  explicit PolicyFixture(int node_count) {
+    ctx.sched = &sched;
+    ctx.via = &via;
+    for (int i = 0; i < node_count; ++i) {
+      nodes.push_back(std::make_unique<cluster::Node>(sched, i, cluster::NodeParams{}));
+      via.add_endpoint({&nodes.back()->cpu(), &nodes.back()->nic()});
+      ctx.nodes.push_back(nodes.back().get());
+    }
+  }
+
+  /// Set a node's true open-connection count.
+  void set_load(int node, int load) {
+    cluster::Node& n = *nodes[static_cast<std::size_t>(node)];
+    while (n.open_connections() < load) n.connection_opened();
+    while (n.open_connections() > load) n.connection_closed();
+  }
+
+  /// Deliver all in-flight messages (broadcasts etc.).
+  void drain() { sched.run(); }
+
+  static trace::Request request_for(storage::FileId file) {
+    return trace::Request{file, 8 * kKiB};
+  }
+};
+
+}  // namespace l2s::testing

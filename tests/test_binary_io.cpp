@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/trace/binary_io.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::trace {
+namespace {
+
+Trace sample_trace() {
+  SyntheticSpec spec;
+  spec.name = "bin-test";
+  spec.files = 120;
+  spec.avg_file_kb = 8.0;
+  spec.requests = 2000;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 1.0;
+  spec.seed = 17;
+  return generate(spec);
+}
+
+TEST(BinaryIo, RoundTripsExactly) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_binary(original, buf);
+  const Trace copy = read_binary(buf);
+
+  EXPECT_EQ(copy.name(), original.name());
+  ASSERT_EQ(copy.files().count(), original.files().count());
+  for (FileId id = 0; id < original.files().count(); ++id)
+    EXPECT_EQ(copy.files().size_of(id), original.files().size_of(id));
+  ASSERT_EQ(copy.request_count(), original.request_count());
+  for (std::size_t i = 0; i < original.requests().size(); ++i) {
+    EXPECT_EQ(copy.requests()[i].file, original.requests()[i].file);
+    EXPECT_EQ(copy.requests()[i].bytes, original.requests()[i].bytes);
+  }
+  EXPECT_EQ(copy.total_request_bytes(), original.total_request_bytes());
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/l2sim_trace_test.l2st";
+  write_binary_file(original, path);
+  const Trace copy = read_binary_file(path);
+  EXPECT_EQ(copy.request_count(), original.request_count());
+  EXPECT_EQ(copy.files().total_bytes(), original.files().total_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOPE this is not a trace";
+  EXPECT_THROW((void)read_binary(buf), l2s::Error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_binary(original, buf);
+  const std::string full = buf.str();
+  // Chop at several points: header, file table, request table.
+  for (const std::size_t cut : {3ul, 10ul, 40ul, full.size() / 2, full.size() - 5}) {
+    std::stringstream cut_buf(full.substr(0, cut));
+    EXPECT_THROW((void)read_binary(cut_buf), l2s::Error) << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIo, RejectsDanglingFileReference) {
+  // Handcraft a v1 stream whose request references a file id out of range.
+  std::stringstream buf;
+  buf.write("L2ST", 4);
+  auto put32 = [&](std::uint32_t v) { buf.write(reinterpret_cast<char*>(&v), 4); };
+  auto put64 = [&](std::uint64_t v) { buf.write(reinterpret_cast<char*>(&v), 8); };
+  put32(kBinaryTraceVersion);
+  put32(1);
+  buf << "x";
+  put64(1);        // one file
+  put64(1024);     // of 1 KB
+  put64(1);        // one request
+  put32(7);        // referencing file 7 (invalid)
+  put64(1024);
+  EXPECT_THROW((void)read_binary(buf), l2s::Error);
+}
+
+TEST(BinaryIo, RejectsWrongVersion) {
+  std::stringstream buf;
+  buf.write("L2ST", 4);
+  const std::uint32_t bad_version = 999;
+  buf.write(reinterpret_cast<const char*>(&bad_version), 4);
+  EXPECT_THROW((void)read_binary(buf), l2s::Error);
+}
+
+}  // namespace
+}  // namespace l2s::trace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/trace/characterize.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::trace {
+namespace {
+
+TEST(Characterize, ReportsBasicStatistics) {
+  SyntheticSpec spec;
+  spec.files = 300;
+  spec.avg_file_kb = 25.0;
+  spec.requests = 30000;
+  spec.avg_request_kb = 15.0;
+  spec.alpha = 1.0;
+  const Trace t = generate(spec);
+  const auto c = characterize(t);
+  EXPECT_EQ(c.files, 300u);
+  EXPECT_EQ(c.requests, 30000u);
+  EXPECT_NEAR(c.avg_file_kb, 25.0, 0.3);
+  EXPECT_NEAR(c.avg_request_kb, 15.0, 1.2);
+  EXPECT_EQ(c.working_set_bytes, t.files().total_bytes());
+}
+
+TEST(Characterize, RecoversAlphaApproximately) {
+  for (const double alpha : {0.8, 1.0, 1.2}) {
+    SyntheticSpec spec;
+    spec.files = 2000;
+    spec.avg_file_kb = 10.0;
+    spec.requests = 200000;
+    spec.avg_request_kb = 10.0;
+    spec.alpha = alpha;
+    spec.seed = 7;
+    const auto c = characterize(generate(spec));
+    EXPECT_NEAR(c.alpha, alpha, 0.18) << "alpha=" << alpha;
+  }
+}
+
+TEST(Characterize, ToWorkloadStatsCopiesFields) {
+  TraceCharacteristics c;
+  c.files = 10;
+  c.avg_file_kb = 1.0;
+  c.avg_request_kb = 2.0;
+  c.alpha = 0.9;
+  const auto w = c.to_workload_stats();
+  EXPECT_EQ(w.files, 10u);
+  EXPECT_DOUBLE_EQ(w.avg_file_kb, 1.0);
+  EXPECT_DOUBLE_EQ(w.avg_request_kb, 2.0);
+  EXPECT_DOUBLE_EQ(w.alpha, 0.9);
+}
+
+TEST(FitZipfAlpha, ExactPowerLawRecovered) {
+  // freq(rank) = round(C / (rank+1)^alpha) with alpha = 1.
+  std::vector<std::uint64_t> freq;
+  for (int r = 1; r <= 500; ++r)
+    freq.push_back(static_cast<std::uint64_t>(100000.0 / r + 0.5));
+  EXPECT_NEAR(fit_zipf_alpha(freq), 1.0, 0.02);
+}
+
+TEST(FitZipfAlpha, IgnoresSingletonTail) {
+  std::vector<std::uint64_t> freq;
+  for (int r = 1; r <= 100; ++r)
+    freq.push_back(static_cast<std::uint64_t>(10000.0 / std::pow(r, 0.8) + 0.5));
+  for (int i = 0; i < 5000; ++i) freq.push_back(1);  // singleton files
+  EXPECT_NEAR(fit_zipf_alpha(freq), 0.8, 0.1);
+}
+
+TEST(FitZipfAlphaMle, RecoversGroundTruthBetterThanRegression) {
+  for (const double alpha : {0.78, 1.0, 1.2}) {
+    SyntheticSpec spec;
+    spec.files = 3000;
+    spec.avg_file_kb = 10.0;
+    spec.requests = 150000;
+    spec.avg_request_kb = 10.0;
+    spec.alpha = alpha;
+    spec.seed = 11;
+    const auto tr = generate(spec);
+    std::vector<std::uint64_t> freq(tr.files().count(), 0);
+    for (const auto& r : tr.requests()) ++freq[r.file];
+    const double mle = fit_zipf_alpha_mle(freq);
+    EXPECT_NEAR(mle, alpha, 0.05) << "alpha=" << alpha;
+  }
+}
+
+TEST(FitZipfAlphaMle, ExactPowerLaw) {
+  std::vector<std::uint64_t> freq;
+  for (int r = 1; r <= 800; ++r)
+    freq.push_back(static_cast<std::uint64_t>(200000.0 / std::pow(r, 0.9) + 0.5));
+  EXPECT_NEAR(fit_zipf_alpha_mle(freq), 0.9, 0.02);
+}
+
+TEST(FitZipfAlphaMle, TooFewPointsThrows) {
+  EXPECT_THROW((void)fit_zipf_alpha_mle({5, 3}), l2s::Error);
+}
+
+TEST(FitZipfAlpha, TooFewPointsThrows) {
+  EXPECT_THROW((void)fit_zipf_alpha({5, 1, 1, 1}), l2s::Error);
+  EXPECT_THROW((void)fit_zipf_alpha({}), l2s::Error);
+}
+
+}  // namespace
+}  // namespace l2s::trace

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "l2sim/trace/clf_reader.hpp"
+
+namespace l2s::trace {
+namespace {
+
+TEST(ClfLine, ParsesStandardLine) {
+  std::string method;
+  std::string path;
+  int status = 0;
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(parse_clf_line(
+      R"(host - - [01/Jul/1995:00:00:01 -0400] "GET /images/a.gif HTTP/1.0" 200 1839)",
+      method, path, status, bytes));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(path, "/images/a.gif");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(bytes, 1839u);
+}
+
+TEST(ClfLine, ParsesDashBytesAsZero) {
+  std::string m;
+  std::string p;
+  int st = 0;
+  std::uint64_t b = 9;
+  ASSERT_TRUE(parse_clf_line(R"(h - - [d] "GET /x HTTP/1.0" 304 -)", m, p, st, b));
+  EXPECT_EQ(st, 304);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(ClfLine, StripsQueryStrings) {
+  std::string m;
+  std::string p;
+  int st = 0;
+  std::uint64_t b = 0;
+  ASSERT_TRUE(parse_clf_line(R"(h - - [d] "GET /cgi/x?q=1 HTTP/1.0" 200 10)", m, p, st, b));
+  EXPECT_EQ(p, "/cgi/x");
+}
+
+TEST(ClfLine, HandlesRequestWithoutProtocol) {
+  std::string m;
+  std::string p;
+  int st = 0;
+  std::uint64_t b = 0;
+  ASSERT_TRUE(parse_clf_line(R"(h - - [d] "GET /old-style" 200 5)", m, p, st, b));
+  EXPECT_EQ(p, "/old-style");
+}
+
+TEST(ClfLine, RejectsMalformed) {
+  std::string m;
+  std::string p;
+  int st = 0;
+  std::uint64_t b = 0;
+  EXPECT_FALSE(parse_clf_line("no quotes here", m, p, st, b));
+  EXPECT_FALSE(parse_clf_line(R"(h - - [d] "GETONLY" 200 5)", m, p, st, b));
+  EXPECT_FALSE(parse_clf_line(R"(h - - [d] "GET /x HTTP/1.0" nostatus)", m, p, st, b));
+}
+
+TEST(ClfReader, BuildsTraceFromLog) {
+  std::istringstream in(
+      R"(h1 - - [d] "GET /a HTTP/1.0" 200 1000
+h2 - - [d] "GET /b HTTP/1.0" 200 2000
+h3 - - [d] "GET /a HTTP/1.0" 200 1000
+h4 - - [d] "POST /form HTTP/1.0" 200 50
+h5 - - [d] "GET /c HTTP/1.0" 404 100
+h6 - - [d] "GET /d HTTP/1.0" 304 -
+garbage line
+)");
+  ClfParseStats stats;
+  const Trace t = read_clf(in, "test", &stats);
+  EXPECT_EQ(stats.lines, 7u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected_method, 1u);
+  EXPECT_EQ(stats.rejected_status, 2u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+  EXPECT_EQ(t.request_count(), 3u);
+  EXPECT_EQ(t.files().count(), 2u);
+  // /a appears twice and maps to the same id with the max size seen.
+  EXPECT_EQ(t.requests()[0].file, t.requests()[2].file);
+}
+
+TEST(ClfReader, FileSizeIsMaxObserved) {
+  std::istringstream in(
+      R"(h - - [d] "GET /a HTTP/1.0" 200 500
+h - - [d] "GET /a HTTP/1.0" 200 1500
+h - - [d] "GET /a HTTP/1.0" 200 900
+)");
+  const Trace t = read_clf(in, "max");
+  EXPECT_EQ(t.files().size_of(0), 1500u);
+  // Per-request bytes keep their individual values.
+  EXPECT_EQ(t.requests()[0].bytes, 500u);
+  EXPECT_EQ(t.requests()[2].bytes, 900u);
+}
+
+TEST(ClfReader, EmptyInputYieldsEmptyTrace) {
+  std::istringstream in("");
+  const Trace t = read_clf(in, "empty");
+  EXPECT_EQ(t.request_count(), 0u);
+  EXPECT_EQ(t.files().count(), 0u);
+}
+
+}  // namespace
+}  // namespace l2s::trace

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/cli_args.hpp"
+
+namespace l2s {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  for (const char* t : tokens) argv.push_back(t);
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), 1);
+}
+
+TEST(CliArgs, SpaceSeparatedValues) {
+  const auto a = parse({"--nodes", "16", "--policy", "l2s"});
+  EXPECT_EQ(a.get_int("nodes", 0), 16);
+  EXPECT_EQ(a.get("policy"), "l2s");
+}
+
+TEST(CliArgs, EqualsSeparatedValues) {
+  const auto a = parse({"--scale=0.25", "--csv=/tmp/out"});
+  EXPECT_DOUBLE_EQ(a.get_double("scale", 0.0), 0.25);
+  EXPECT_EQ(a.get("csv"), "/tmp/out");
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const auto a = parse({"--gdsf", "--nodes", "4"});
+  EXPECT_TRUE(a.has("gdsf"));
+  EXPECT_EQ(a.get("gdsf"), "");
+  EXPECT_FALSE(a.has("absent"));
+}
+
+TEST(CliArgs, TrailingBooleanFlag) {
+  const auto a = parse({"--nodes", "4", "--conscious"});
+  EXPECT_TRUE(a.has("conscious"));
+  EXPECT_EQ(a.get_int("nodes", 0), 4);
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto a = parse({"point", "--hlo", "0.6", "extra"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "point");
+  EXPECT_EQ(a.positional()[1], "extra");
+  EXPECT_DOUBLE_EQ(a.get_double("hlo", 0.0), 0.6);
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean) {
+  const auto a = parse({"--verbose", "--nodes", "8"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("verbose"), "");
+  EXPECT_EQ(a.get_int("nodes", 0), 8);
+}
+
+TEST(CliArgs, Fallbacks) {
+  const auto a = parse({});
+  EXPECT_EQ(a.get("missing", "def"), "def");
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(CliArgs, NegativeNumbersAsValues) {
+  // "-1" does not start with "--", so it is consumed as the flag's value.
+  const auto a = parse({"--offset", "-1"});
+  EXPECT_EQ(a.get_int("offset", 0), -1);
+}
+
+TEST(CliArgs, LastOccurrenceWins) {
+  const auto a = parse({"--nodes", "4", "--nodes", "8"});
+  EXPECT_EQ(a.get_int("nodes", 0), 8);
+}
+
+}  // namespace
+}  // namespace l2s

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/cluster_model.hpp"
+#include "l2sim/zipf/zipf.hpp"
+
+#include <algorithm>
+
+namespace l2s::model {
+namespace {
+
+ClusterModel default_model() { return ClusterModel{ModelParams{}}; }
+
+TEST(ClusterModel, ConsciousHitRateExceedsOblivious) {
+  const auto m = default_model();
+  for (const double hlo : {0.2, 0.5, 0.8}) {
+    for (const double s : {4.0, 32.0, 128.0}) {
+      EXPECT_GE(m.conscious_hit_rate(hlo, s), hlo) << hlo << " " << s;
+    }
+  }
+}
+
+TEST(ClusterModel, ConsciousHitRateCapsAtOne) {
+  const auto m = default_model();
+  EXPECT_DOUBLE_EQ(m.conscious_hit_rate(0.99, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.conscious_hit_rate(1.0, 64.0), 1.0);
+}
+
+TEST(ClusterModel, ZeroHitRateStaysZero) {
+  const auto m = default_model();
+  EXPECT_DOUBLE_EQ(m.conscious_hit_rate(0.0, 32.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.replicated_hit_rate(0.0, 32.0), 0.0);
+}
+
+TEST(ClusterModel, NoReplicationMeansFullForwardingFraction) {
+  const auto m = default_model();  // R = 0
+  // Q = (N-1)/N = 15/16 when h = 0.
+  EXPECT_NEAR(m.forwarded_fraction(0.5, 32.0), 15.0 / 16.0, 1e-12);
+}
+
+TEST(ClusterModel, ReplicationReducesForwarding) {
+  ModelParams p;
+  p.replication = 0.15;
+  const ClusterModel m(p);
+  const double q = m.forwarded_fraction(0.6, 16.0);
+  EXPECT_LT(q, 15.0 / 16.0);
+  EXPECT_GT(q, 0.0);
+  // h <= Hlo always (the replicated slice is a subset of one cache).
+  EXPECT_LE(m.replicated_hit_rate(0.6, 16.0), 0.6 + 1e-12);
+}
+
+TEST(ClusterModel, VirtualPopulationRoundTrips) {
+  const auto m = default_model();
+  const double f = m.virtual_population(0.7, 32.0);
+  // z(Clo/S, f) must equal Hlo by construction.
+  const double n = 128.0 * 1024.0 / 32.0;
+  EXPECT_NEAR(zipf::z(n, f, 1.0), 0.7, 1e-6);
+}
+
+TEST(ClusterModel, ObliviousThroughputDiskBoundAtLowHitRates) {
+  const auto m = default_model();
+  const auto e = m.oblivious(0.2, 32.0);
+  EXPECT_EQ(e.bottleneck, "disk");
+  // N * mu_d / (1 - H): 16 / (0.8 * 0.0312).
+  EXPECT_NEAR(e.throughput, 16.0 / (0.8 * (0.028 + 32.0 / 10000.0)), 1.0);
+}
+
+TEST(ClusterModel, ObliviousThroughputCpuBoundAtFullHit) {
+  const auto m = default_model();
+  const auto e = m.oblivious(1.0, 32.0);
+  EXPECT_EQ(e.bottleneck, "cpu");
+  const double cpu_demand = 1.0 / 6300.0 + (0.0001 + 32.0 / 12000.0);
+  EXPECT_NEAR(e.throughput, 16.0 / cpu_demand, 1.0);
+}
+
+TEST(ClusterModel, ConsciousBeatsObliviousMidRange) {
+  const auto m = default_model();
+  const auto lo = m.oblivious(0.6, 16.0);
+  const auto lc = m.conscious(0.6, 16.0);
+  EXPECT_GT(lc.throughput, 1.5 * lo.throughput);
+}
+
+TEST(ClusterModel, ForwardingOverheadBitesAtHighHitRates) {
+  // Paper: for Hlo >= 0.95 and small files the increase dips below 1.
+  const auto m = default_model();
+  const auto lo = m.oblivious(1.0, 4.0);
+  const auto lc = m.conscious(1.0, 4.0);
+  EXPECT_LT(lc.throughput, lo.throughput);
+}
+
+TEST(ClusterModel, PeakIncreaseNearPaperSevenfold) {
+  // The paper reports "up to 7-fold" on its grid; on ours the peak lands
+  // between 6x and 9x (it is sensitive to the smallest sampled size).
+  const auto m = default_model();
+  double best = 0.0;
+  for (double hlo = 0.05; hlo <= 1.0; hlo += 0.05) {
+    for (double s = 4.0; s <= 128.0; s += 4.0) {
+      best = std::max(best, m.conscious(hlo, s).throughput / m.oblivious(hlo, s).throughput);
+    }
+  }
+  EXPECT_GT(best, 6.0);
+  EXPECT_LT(best, 9.0);
+}
+
+TEST(ClusterModel, RouterBindsForLargeTransfersManyNodes) {
+  ModelParams p;
+  p.nodes = 64;
+  const ClusterModel m(p);
+  const auto e = m.evaluate(1.0, 0.0, 64.0, 64.0);
+  EXPECT_EQ(e.bottleneck, "router");
+  EXPECT_NEAR(e.throughput, 500000.0 / 64.0, 1.0);
+}
+
+TEST(ClusterModel, EvaluateRejectsOutOfRange) {
+  const auto m = default_model();
+  EXPECT_THROW(m.evaluate(1.5, 0.0, 32.0, 32.0), Error);
+  EXPECT_THROW(m.evaluate(0.5, -0.1, 32.0, 32.0), Error);
+}
+
+TEST(ImbalanceFactor, PerfectBalanceForOneNode) {
+  EXPECT_DOUBLE_EQ(imbalance_factor(1000.0, 1.0, 1, 0.0), 1.0);
+}
+
+TEST(ImbalanceFactor, SkewCreatesImbalance) {
+  const double f = imbalance_factor(10000.0, 1.0, 16, 0.0);
+  EXPECT_GT(f, 1.2);  // node 0 holds the hottest file of every stripe
+}
+
+TEST(ImbalanceFactor, ReplicationRestoresBalance) {
+  const double without = imbalance_factor(10000.0, 1.0, 16, 0.0);
+  const double with = imbalance_factor(10000.0, 1.0, 16, 100.0);
+  EXPECT_LT(with, without);
+  EXPECT_NEAR(with, 1.0, 0.15);
+}
+
+TEST(ImbalanceFactor, HigherAlphaWorse) {
+  EXPECT_GT(imbalance_factor(10000.0, 1.2, 16, 0.0),
+            imbalance_factor(10000.0, 0.7, 16, 0.0));
+}
+
+}  // namespace
+}  // namespace l2s::model

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/policy/consistent_hash.hpp"
+#include "l2sim/trace/synthetic.hpp"
+#include "policy_fixture.hpp"
+
+namespace l2s::policy {
+namespace {
+
+using testing::PolicyFixture;
+
+TEST(ConsistentHash, DeterministicOwnership) {
+  PolicyFixture f(8);
+  ConsistentHashPolicy a;
+  ConsistentHashPolicy b;
+  a.attach(f.ctx);
+  b.attach(f.ctx);
+  for (storage::FileId id = 0; id < 500; ++id) EXPECT_EQ(a.owner_of(id), b.owner_of(id));
+}
+
+TEST(ConsistentHash, KeysSpreadOverAllNodes) {
+  PolicyFixture f(8);
+  ConsistentHashPolicy p(128);
+  p.attach(f.ctx);
+  std::map<int, int> counts;
+  const int keys = 20000;
+  for (storage::FileId id = 0; id < keys; ++id) ++counts[p.owner_of(id)];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, keys / 8 / 2) << node;   // within ~2x of fair share
+    EXPECT_LT(count, keys / 8 * 2) << node;
+  }
+}
+
+TEST(ConsistentHash, FailureRemapsOnlyTheDeadNodesKeys) {
+  PolicyFixture f(8);
+  ConsistentHashPolicy p(128);
+  p.attach(f.ctx);
+  const int keys = 20000;
+  std::vector<int> before(keys);
+  for (int id = 0; id < keys; ++id) before[static_cast<std::size_t>(id)] =
+      p.owner_of(static_cast<storage::FileId>(id));
+  p.on_node_failed(3);
+  int moved = 0;
+  for (int id = 0; id < keys; ++id) {
+    const int now = p.owner_of(static_cast<storage::FileId>(id));
+    EXPECT_NE(now, 3);
+    if (before[static_cast<std::size_t>(id)] != now) {
+      ++moved;
+      // Only keys that belonged to the dead node may move.
+      EXPECT_EQ(before[static_cast<std::size_t>(id)], 3);
+    }
+  }
+  // ~1/8 of the keys lived on node 3.
+  EXPECT_NEAR(static_cast<double>(moved) / keys, 1.0 / 8.0, 0.05);
+}
+
+TEST(ConsistentHash, ServiceNodeIsRingOwnerRegardlessOfEntry) {
+  PolicyFixture f(4);
+  ConsistentHashPolicy p;
+  p.attach(f.ctx);
+  const auto r = PolicyFixture::request_for(42);
+  const int owner = p.owner_of(42);
+  for (int entry = 0; entry < 4; ++entry)
+    EXPECT_EQ(p.select_service_node(entry, r), owner);
+}
+
+TEST(ConsistentHash, EndToEndPerfectLocality) {
+  trace::SyntheticSpec spec;
+  spec.name = "chash";
+  spec.files = 300;
+  spec.requests = 6000;
+  spec.avg_file_kb = 8.0;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 0.9;
+  const auto tr = trace::generate(spec);
+  core::SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = kMiB;
+  core::ClusterSimulation sim(cfg, tr, std::make_unique<ConsistentHashPolicy>());
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed, tr.request_count());
+  // Strict partitioning: the combined cache behaves like one big cache.
+  EXPECT_GT(r.hit_rate, 0.9);
+  // No load feedback: imbalance well above the traditional server's.
+  EXPECT_GT(r.load_cov, 0.3);
+}
+
+TEST(ConsistentHash, MoreVirtualNodesBalanceBetter) {
+  PolicyFixture f(8);
+  auto spread = [&](int vnodes) {
+    ConsistentHashPolicy p(vnodes);
+    p.attach(f.ctx);
+    std::map<int, int> counts;
+    for (storage::FileId id = 0; id < 20000; ++id) ++counts[p.owner_of(id)];
+    int max = 0;
+    for (const auto& [n, c] : counts) max = std::max(max, c);
+    return static_cast<double>(max) / (20000.0 / 8.0);
+  };
+  EXPECT_LT(spread(256), spread(4));
+}
+
+}  // namespace
+}  // namespace l2s::policy

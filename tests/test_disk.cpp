@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/storage/disk.hpp"
+
+namespace l2s::storage {
+namespace {
+
+TEST(Disk, ReadTimeMatchesPaperFormula) {
+  des::Scheduler s;
+  const Disk d(s, "d");
+  // 28 ms fixed + transfer at 10000 KB/s. A 10000-KB read: 28ms + 1s.
+  EXPECT_EQ(d.read_time(10000 * kKiB), seconds_to_simtime(0.028 + 1.0));
+  // Tiny read dominated by the access cost.
+  EXPECT_NEAR(static_cast<double>(d.read_time(1024)), 0.0281 * 1e9, 1e5);
+}
+
+TEST(Disk, ReadsQueueFifo) {
+  des::Scheduler s;
+  Disk d(s, "d");
+  SimTime first = 0;
+  SimTime second = 0;
+  d.read(10 * kKiB, [&] { first = s.now(); });
+  d.read(10 * kKiB, [&] { second = s.now(); });
+  s.run();
+  const SimTime one = seconds_to_simtime(0.028 + 10.0 / 10000.0);
+  EXPECT_EQ(first, one);
+  EXPECT_EQ(second, 2 * one);
+}
+
+TEST(Disk, CustomParameters) {
+  des::Scheduler s;
+  DiskParams p;
+  p.access_seconds = 0.0;
+  p.transfer_kb_per_s = 1000.0;
+  const Disk d(s, "fast", p);
+  EXPECT_EQ(d.read_time(1000 * kKiB), seconds_to_simtime(1.0));
+}
+
+TEST(Disk, RejectsBadParameters) {
+  des::Scheduler s;
+  DiskParams p;
+  p.transfer_kb_per_s = 0.0;
+  EXPECT_THROW(Disk(s, "bad", p), l2s::Error);
+}
+
+TEST(Disk, UtilizationVisibleThroughResource) {
+  des::Scheduler s;
+  Disk d(s, "d");
+  d.read(10000 * kKiB, [] {});  // 1.028 s busy
+  s.run();
+  EXPECT_EQ(d.resource().busy_time(), seconds_to_simtime(1.028));
+  EXPECT_EQ(d.resource().jobs_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace l2s::storage

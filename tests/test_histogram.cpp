@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/stats/counter_set.hpp"
+#include "l2sim/stats/histogram.hpp"
+
+namespace l2s::stats {
+namespace {
+
+TEST(LogHistogram, BucketBoundariesGrowGeometrically) {
+  const LogHistogram h(1.0, 2.0, 8);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(3), 4.0);
+}
+
+TEST(LogHistogram, ValuesLandInRightBuckets) {
+  LogHistogram h(1.0, 2.0, 6);
+  h.add(0.5);   // bucket 0
+  h.add(1.5);   // bucket 1 [1,2)
+  h.add(3.0);   // bucket 2 [2,4)
+  h.add(1e9);   // overflow -> last
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(LogHistogram, QuantileApproximation) {
+  LogHistogram h(1.0, 2.0, 12);
+  for (int i = 0; i < 90; ++i) h.add(1.5);
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // bucket [1,2)
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 64.0); // bucket [64,128)
+}
+
+TEST(LogHistogram, QuantileRequiresData) {
+  const LogHistogram h(1.0, 2.0, 4);
+  EXPECT_THROW(h.quantile(0.5), Error);
+}
+
+TEST(LogHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 2.0, 4), Error);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(LogHistogram(1.0, 2.0, 1), Error);
+}
+
+TEST(LogHistogram, ToStringSkipsEmptyBuckets) {
+  LogHistogram h(1.0, 10.0, 5);
+  h.add(5.0);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find(": 1"), std::string::npos);
+}
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.add("x");
+  c.add("x", 4);
+  c.add("y", 2);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 2u);
+}
+
+TEST(CounterSet, PreservesFirstTouchOrder) {
+  CounterSet c;
+  c.add("b");
+  c.add("a");
+  c.add("b");
+  ASSERT_EQ(c.items().size(), 2u);
+  EXPECT_EQ(c.items()[0].first, "b");
+  EXPECT_EQ(c.items()[1].first, "a");
+}
+
+TEST(CounterSet, ResetClears) {
+  CounterSet c;
+  c.add("x");
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+  EXPECT_TRUE(c.items().empty());
+}
+
+}  // namespace
+}  // namespace l2s::stats

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "l2sim/cluster/injector.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cluster {
+namespace {
+
+trace::Trace make_trace(std::uint64_t requests) {
+  storage::FileSet files;
+  files.add(kKiB);
+  std::vector<trace::Request> reqs(requests, trace::Request{0, kKiB});
+  return trace::Trace("inj", std::move(files), std::move(reqs));
+}
+
+TEST(Injector, FillsInitialWindow) {
+  const auto tr = make_trace(10);
+  Injector inj(tr, 4);
+  std::vector<std::uint64_t> seen;
+  inj.start([&](std::uint64_t seq, const trace::Request&) { seen.push_back(seq); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(inj.in_flight(), 4u);
+  EXPECT_FALSE(inj.exhausted());
+}
+
+TEST(Injector, CompletionAdmitsNext) {
+  const auto tr = make_trace(6);
+  Injector inj(tr, 2);
+  std::vector<std::uint64_t> seen;
+  inj.start([&](std::uint64_t seq, const trace::Request&) { seen.push_back(seq); });
+  inj.on_complete();
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.back(), 2u);
+  EXPECT_EQ(inj.in_flight(), 2u);
+}
+
+TEST(Injector, DrainsCompletely) {
+  const auto tr = make_trace(5);
+  Injector inj(tr, 3);
+  int injected = 0;
+  inj.start([&](std::uint64_t, const trace::Request&) { ++injected; });
+  while (inj.in_flight() > 0) inj.on_complete();
+  EXPECT_EQ(injected, 5);
+  EXPECT_TRUE(inj.exhausted());
+  EXPECT_EQ(inj.in_flight(), 0u);
+}
+
+TEST(Injector, WindowLargerThanTrace) {
+  const auto tr = make_trace(3);
+  Injector inj(tr, 100);
+  int injected = 0;
+  inj.start([&](std::uint64_t, const trace::Request&) { ++injected; });
+  EXPECT_EQ(injected, 3);
+  EXPECT_TRUE(inj.exhausted());
+  EXPECT_EQ(inj.in_flight(), 3u);
+}
+
+TEST(Injector, OnCompleteUnderflowRejected) {
+  const auto tr = make_trace(1);
+  Injector inj(tr, 1);
+  inj.start([](std::uint64_t, const trace::Request&) {});
+  inj.on_complete();
+  EXPECT_THROW(inj.on_complete(), l2s::Error);
+}
+
+TEST(Injector, ZeroWindowRejected) {
+  const auto tr = make_trace(1);
+  EXPECT_THROW(Injector(tr, 0), l2s::Error);
+}
+
+TEST(Injector, StartRequiresCallback) {
+  const auto tr = make_trace(1);
+  Injector inj(tr, 1);
+  EXPECT_THROW(inj.start(nullptr), l2s::Error);
+}
+
+}  // namespace
+}  // namespace l2s::cluster

@@ -1,0 +1,139 @@
+// Feature-interaction coverage: persistent connections, failures,
+// open-loop arrivals and DNS skew combined — regressions here would be
+// invisible to the single-feature suites.
+#include <gtest/gtest.h>
+
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/policy/consistent_hash.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/policy/round_robin.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::core {
+namespace {
+
+trace::Trace workload(std::uint64_t requests = 10000) {
+  trace::SyntheticSpec spec;
+  spec.name = "interact";
+  spec.files = 300;
+  spec.requests = requests;
+  spec.avg_file_kb = 8.0;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 0.9;
+  spec.seed = 77;
+  return trace::generate(spec);
+}
+
+TEST(Interactions, PersistentConnectionsSurviveNodeFailure) {
+  const auto tr = workload();
+  for (const auto mode :
+       {PersistentMode::kConnectionHandoff, PersistentMode::kBackendForwarding}) {
+    SimConfig cfg;
+    cfg.nodes = 6;
+    cfg.node.cache_bytes = 2 * kMiB;
+    cfg.mean_requests_per_connection = 5.0;
+    cfg.persistent_mode = mode;
+    cfg.failures.push_back({2, 0.1});
+    ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+    const auto r = sim.run();
+    EXPECT_EQ(r.completed + r.failed, tr.request_count());
+    EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
+              0.85);
+    for (int n = 0; n < 6; ++n) {
+      if (sim.node(n).alive()) {
+        EXPECT_EQ(sim.node(n).open_connections(), 0) << n;
+      }
+    }
+  }
+}
+
+TEST(Interactions, OpenLoopWithFailure) {
+  const auto tr = workload(8000);
+  SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 2 * kMiB;
+  cfg.open_loop_arrival_rate = 1500.0;
+  cfg.failures.push_back({1, 0.5});
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed + r.failed, tr.request_count());
+  EXPECT_GT(r.completed, 0u);
+}
+
+TEST(Interactions, SkewedDnsWithFailureOnTheHotNode) {
+  // Node 0 receives most skewed entries AND crashes: clients must
+  // eventually land elsewhere once DNS detection kicks in.
+  const auto tr = workload();
+  SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 2 * kMiB;
+  cfg.dns_entry_skew = 0.7;
+  cfg.failures.push_back({0, 0.2});
+  cfg.failure_detection_seconds = 0.1;
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::RoundRobinPolicy>());
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed + r.failed, tr.request_count());
+  EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
+            0.6);
+}
+
+TEST(Interactions, ConsistentHashSurvivesFailureWithRemap) {
+  const auto tr = workload(15000);
+  SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.node.cache_bytes = 2 * kMiB;
+  cfg.failures.push_back({3, 0.1});
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::ConsistentHashPolicy>());
+  const auto r = sim.run();
+  EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
+            0.9);
+}
+
+TEST(Interactions, PersistentPlusGdsf) {
+  const auto tr = workload();
+  SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = kMiB;
+  cfg.node.cache_policy = cluster::CachePolicy::kGdsf;
+  cfg.mean_requests_per_connection = 3.0;
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed, tr.request_count());
+  EXPECT_GT(r.hit_rate, 0.3);
+}
+
+TEST(Interactions, HeterogeneousWithFailureOfAFastNode) {
+  const auto tr = workload();
+  SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 2 * kMiB;
+  cfg.node_speed_factors = {2.0, 1.0, 1.0, 0.5};
+  cfg.failures.push_back({0, 0.2});  // lose the fastest node
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
+            0.9);
+}
+
+TEST(Interactions, DeterminismHoldsAcrossTheFeatureMatrix) {
+  const auto tr = workload(4000);
+  SimConfig cfg;
+  cfg.nodes = 5;
+  cfg.node.cache_bytes = kMiB;
+  cfg.mean_requests_per_connection = 3.0;
+  cfg.dns_entry_skew = 0.3;
+  cfg.failures.push_back({2, 0.3});
+  auto run_it = [&] {
+    ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+    return sim.run();
+  };
+  const auto a = run_it();
+  const auto b = run_it();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+}
+
+}  // namespace
+}  // namespace l2s::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/queueing/jackson.hpp"
+
+namespace l2s::queueing {
+namespace {
+
+JacksonNetwork two_station_net() {
+  JacksonNetwork net;
+  net.add_station({"cpu", 100.0, 1.0});
+  net.add_station({"disk", 50.0, 0.2});
+  return net;
+}
+
+TEST(Jackson, MaxThroughputIsBottleneckBound) {
+  const auto net = two_station_net();
+  // cpu caps at 100/1 = 100; disk caps at 50/0.2 = 250 -> cpu binds.
+  EXPECT_DOUBLE_EQ(net.max_throughput(), 100.0);
+  EXPECT_EQ(net.bottleneck(), "cpu");
+}
+
+TEST(Jackson, VisitRatioScalesBound) {
+  JacksonNetwork net;
+  net.add_station({"a", 10.0, 2.0});  // cap 5
+  net.add_station({"b", 100.0, 1.0});
+  EXPECT_DOUBLE_EQ(net.max_throughput(), 5.0);
+  EXPECT_EQ(net.bottleneck(), "a");
+}
+
+TEST(Jackson, ZeroVisitStationsNeverBind) {
+  JacksonNetwork net;
+  net.add_station({"unused", 0.001, 0.0});
+  net.add_station({"real", 10.0, 1.0});
+  EXPECT_DOUBLE_EQ(net.max_throughput(), 10.0);
+  EXPECT_EQ(net.bottleneck(), "real");
+}
+
+TEST(Jackson, EmptyOrAllZeroThrows) {
+  JacksonNetwork empty;
+  EXPECT_THROW((void)empty.max_throughput(), Error);
+  JacksonNetwork zeros;
+  zeros.add_station({"z", 1.0, 0.0});
+  EXPECT_THROW((void)zeros.max_throughput(), Error);
+}
+
+TEST(Jackson, StableAtRespectsAllStations) {
+  const auto net = two_station_net();
+  EXPECT_TRUE(net.stable_at(99.0));
+  EXPECT_FALSE(net.stable_at(100.0));
+  EXPECT_FALSE(net.stable_at(1000.0));
+}
+
+TEST(Jackson, SolveSumsResidenceTimes) {
+  const auto net = two_station_net();
+  const auto report = net.solve(50.0);
+  ASSERT_EQ(report.stations.size(), 2u);
+  // cpu: lambda 50, mu 100 -> W = 1/50. disk: lambda 10, mu 50 -> W = 1/40,
+  // weighted by visit ratio 0.2 -> 0.005. Total 0.025.
+  EXPECT_NEAR(report.mean_response, 1.0 / 50.0 + 0.2 / 40.0, 1e-12);
+}
+
+TEST(Jackson, SolveThrowsWhenUnstable) {
+  const auto net = two_station_net();
+  EXPECT_THROW(net.solve(150.0), Error);
+}
+
+TEST(Jackson, AddStationValidates) {
+  JacksonNetwork net;
+  EXPECT_THROW(net.add_station({"bad-mu", 0.0, 1.0}), Error);
+  EXPECT_THROW(net.add_station({"bad-visit", 1.0, -0.5}), Error);
+}
+
+}  // namespace
+}  // namespace l2s::queueing

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/latency.hpp"
+
+namespace l2s::model {
+namespace {
+
+ClusterModel default_model() { return ClusterModel{ModelParams{}}; }
+
+TEST(Latency, CurveIsMonotoneInLoad) {
+  const auto m = default_model();
+  const auto curve = latency_curve(m, /*conscious=*/false, 0.8, 16.0);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].arrival_rate, curve[i - 1].arrival_rate);
+    EXPECT_GE(curve[i].mean_response_s, curve[i - 1].mean_response_s);
+  }
+}
+
+TEST(Latency, ResponseBlowsUpNearSaturation) {
+  const auto m = default_model();
+  const auto curve = latency_curve(m, false, 0.8, 16.0, 32, 0.99);
+  EXPECT_GT(curve.back().mean_response_s, 5.0 * curve.front().mean_response_s);
+}
+
+TEST(Latency, LowLoadResponseApproachesServiceDemand) {
+  // At light load, queueing vanishes: the response is the sum of service
+  // times. For the fully cached case that is parse + reply + NI + router.
+  const auto m = default_model();
+  const auto curve = latency_curve(m, false, 1.0, 16.0, 100, 0.99);
+  const double service_only = curve.front().mean_response_s;
+  // parse ~159us + reply ~1433us dominate; expect low milliseconds.
+  EXPECT_GT(service_only, 0.001);
+  EXPECT_LT(service_only, 0.01);
+}
+
+TEST(Latency, ConsciousServerFasterWhenLocalityPays) {
+  // At the same absolute arrival rate the conscious server queues less;
+  // compare at mid-plane where its bound is much higher.
+  const auto m = default_model();
+  const auto lo = latency_curve(m, false, 0.6, 16.0, 8, 0.9);
+  const auto lc = latency_curve(m, true, 0.6, 16.0, 8, 0.9);
+  // Same utilization fraction maps to a much higher arrival rate for the
+  // conscious server.
+  EXPECT_GT(lc.back().arrival_rate, 1.5 * lo.back().arrival_rate);
+}
+
+TEST(Latency, LoadFractionAtLatencyFindsKnee) {
+  const auto m = default_model();
+  const double knee = load_fraction_at_latency(m, false, 0.8, 16.0, 0.05);
+  EXPECT_GT(knee, 0.0);
+  EXPECT_LE(knee, 1.0);
+  // A generous limit is never exceeded.
+  EXPECT_DOUBLE_EQ(load_fraction_at_latency(m, false, 0.8, 16.0, 1e6), 1.0);
+}
+
+TEST(Latency, ValidatesArguments) {
+  const auto m = default_model();
+  EXPECT_THROW((void)latency_curve(m, false, 0.5, 16.0, 0), Error);
+  EXPECT_THROW((void)latency_curve(m, false, 0.5, 16.0, 8, 1.5), Error);
+  EXPECT_THROW((void)load_fraction_at_latency(m, false, 0.5, 16.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace l2s::model

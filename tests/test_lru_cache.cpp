@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/cache/lru_cache.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cache {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache c(10 * kKiB);
+  EXPECT_FALSE(c.lookup(1));
+  c.insert(1, 4 * kKiB);
+  EXPECT_TRUE(c.lookup(1));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(10 * kKiB);
+  c.insert(1, 4 * kKiB);
+  c.insert(2, 4 * kKiB);
+  EXPECT_TRUE(c.lookup(1));         // 1 is now MRU
+  c.insert(3, 4 * kKiB);            // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(LruCache, ByteAccountingExact) {
+  LruCache c(100);
+  c.insert(1, 40);
+  c.insert(2, 30);
+  EXPECT_EQ(c.used(), 70u);
+  c.insert(3, 40);  // must evict 1 (LRU)
+  EXPECT_EQ(c.used(), 70u);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, OversizedFileNeverCached) {
+  LruCache c(100);
+  c.insert(1, 50);
+  c.insert(2, 101);  // larger than whole capacity
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));  // existing contents untouched
+  EXPECT_EQ(c.used(), 50u);
+}
+
+TEST(LruCache, FileExactlyCapacityFits) {
+  LruCache c(100);
+  c.insert(1, 60);
+  c.insert(2, 100);  // evicts everything else, fits exactly
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.used(), 100u);
+}
+
+TEST(LruCache, ReinsertRefreshesRecency) {
+  LruCache c(100);
+  c.insert(1, 40);
+  c.insert(2, 40);
+  c.insert(1, 40);  // 1 becomes MRU again
+  c.insert(3, 40);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, ReinsertWithNewSizeAdjustsBytes) {
+  LruCache c(100);
+  c.insert(1, 40);
+  c.insert(1, 60);
+  EXPECT_EQ(c.used(), 60u);
+  EXPECT_EQ(c.entries(), 1u);
+  // Insertions counter only counts new entries.
+  EXPECT_EQ(c.stats().insertions, 1u);
+}
+
+TEST(LruCache, EraseFreesSpace) {
+  LruCache c(100);
+  c.insert(1, 70);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.used(), 0u);
+  c.insert(2, 100);
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(LruCache, ContainsDoesNotTouchStatsOrRecency) {
+  LruCache c(100);
+  c.insert(1, 40);
+  c.insert(2, 40);
+  (void)c.contains(1);  // must NOT promote 1
+  c.insert(3, 40);      // evicts 1 (still LRU)
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(LruCache, ClearDropsContentsKeepsStats) {
+  LruCache c(100);
+  c.insert(1, 40);
+  (void)c.lookup(1);
+  c.clear();
+  EXPECT_EQ(c.entries(), 0u);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(LruCache, MultiEvictionForLargeInsert) {
+  LruCache c(100);
+  c.insert(1, 30);
+  c.insert(2, 30);
+  c.insert(3, 30);
+  c.insert(4, 90);  // must evict all three
+  EXPECT_EQ(c.entries(), 1u);
+  EXPECT_EQ(c.stats().evictions, 3u);
+  EXPECT_EQ(c.stats().bytes_evicted, 90u);
+}
+
+TEST(LruCache, ZeroCapacityRejected) {
+  EXPECT_THROW(LruCache(0), l2s::Error);
+}
+
+TEST(CacheStats, RatesAndMerge) {
+  CacheStats a;
+  a.hits = 3;
+  a.misses = 1;
+  EXPECT_DOUBLE_EQ(a.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(a.miss_rate(), 0.25);
+  CacheStats b;
+  b.hits = 1;
+  b.misses = 3;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.hit_rate(), 0.5);
+  const CacheStats empty;
+  EXPECT_DOUBLE_EQ(empty.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace l2s::cache

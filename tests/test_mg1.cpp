@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/queueing/mg1.hpp"
+#include "l2sim/queueing/mm1.hpp"
+
+namespace l2s::queueing {
+namespace {
+
+TEST(Mg1, Cs2OneRecoversMm1) {
+  const auto pk = mg1_metrics(0.7, 1.0, 1.0);
+  const auto mm = mm1_metrics(0.7, 1.0);
+  EXPECT_NEAR(pk.mean_waiting, mm.mean_waiting, 1e-12);
+  EXPECT_NEAR(pk.mean_response, mm.mean_response, 1e-12);
+  EXPECT_NEAR(pk.mean_customers, mm.mean_customers, 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWaiting) {
+  const auto md = md1_metrics(0.8, 1.0);
+  const auto mm = mm1_metrics(0.8, 1.0);
+  EXPECT_NEAR(md.mean_waiting, 0.5 * mm.mean_waiting, 1e-12);
+  // Response includes service: strictly between service and M/M/1.
+  EXPECT_GT(md.mean_response, 1.0);
+  EXPECT_LT(md.mean_response, mm.mean_response);
+}
+
+TEST(Mg1, WaitingGrowsWithVariability) {
+  double prev = 0.0;
+  for (const double cs2 : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const auto m = mg1_metrics(0.6, 1.0, cs2);
+    EXPECT_GT(m.mean_waiting, prev);
+    prev = m.mean_waiting;
+  }
+}
+
+TEST(Mg1, LittlesLaw) {
+  const auto m = mg1_metrics(3.0, 5.0, 0.25);
+  EXPECT_NEAR(m.mean_customers, 3.0 * m.mean_response, 1e-12);
+}
+
+TEST(Mg1, KnownMd1Value) {
+  // M/D/1 at rho = 0.5, mu = 1: Wq = 0.5 * 0.5 / 0.5 = 0.5.
+  EXPECT_NEAR(md1_metrics(0.5, 1.0).mean_waiting, 0.5, 1e-12);
+}
+
+TEST(Mg1, Validation) {
+  EXPECT_THROW((void)mg1_metrics(1.0, 1.0, 0.0), Error);
+  EXPECT_THROW((void)mg1_metrics(0.5, 0.0, 0.0), Error);
+  EXPECT_THROW((void)mg1_metrics(0.5, 1.0, -1.0), Error);
+  EXPECT_THROW((void)mg1_metrics(-0.5, 1.0, 0.0), Error);
+}
+
+TEST(Mg1, ZeroLoad) {
+  const auto m = md1_metrics(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_waiting, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_response, 0.25);
+}
+
+}  // namespace
+}  // namespace l2s::queueing

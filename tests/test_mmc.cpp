@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/queueing/mm1.hpp"
+#include "l2sim/queueing/mmc.hpp"
+
+namespace l2s::queueing {
+namespace {
+
+TEST(Mmc, SingleServerReducesToMm1) {
+  const auto m1 = mm1_metrics(0.7, 1.0);
+  const auto mc = mmc_metrics(0.7, 1.0, 1);
+  EXPECT_NEAR(mc.mean_response, m1.mean_response, 1e-12);
+  EXPECT_NEAR(mc.mean_waiting, m1.mean_waiting, 1e-12);
+  EXPECT_NEAR(mc.mean_customers, m1.mean_customers, 1e-12);
+  // For M/M/1 the probability of waiting equals the utilization.
+  EXPECT_NEAR(mc.prob_wait, 0.7, 1e-12);
+}
+
+TEST(Mmc, ErlangCKnownValues) {
+  // Classic call-center value: a = 8 Erlangs, c = 10 -> C ~ 0.4092.
+  EXPECT_NEAR(erlang_c(8.0, 10), 0.4092, 0.0005);
+  // a = 1, c = 2: C = 1/3.
+  EXPECT_NEAR(erlang_c(1.0, 2), 1.0 / 3.0, 1e-9);
+  // Zero load never waits.
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 4), 0.0);
+  // Saturated (a >= c) always waits.
+  EXPECT_DOUBLE_EQ(erlang_c(5.0, 4), 1.0);
+}
+
+TEST(Mmc, PoolingBeatsPartitioning) {
+  // Same total capacity, same total load: one M/M/16 queue responds faster
+  // than 16 independent M/M/1 queues (the resource-pooling advantage).
+  const double mu = 100.0;
+  const double total_lambda = 1280.0;  // 80% utilization
+  const auto pooled = mmc_metrics(total_lambda, mu, 16);
+  const auto partitioned = mm1_metrics(total_lambda / 16.0, mu);
+  EXPECT_LT(pooled.mean_response, partitioned.mean_response);
+  // At 80% load the gap is large (most M/M/16 arrivals do not wait at all).
+  EXPECT_LT(pooled.mean_response, 0.5 * partitioned.mean_response);
+}
+
+TEST(Mmc, LittlesLawHolds) {
+  const auto m = mmc_metrics(30.0, 10.0, 4);
+  EXPECT_NEAR(m.mean_customers, 30.0 * m.mean_response, 1e-9);
+}
+
+TEST(Mmc, StabilityBoundary) {
+  EXPECT_TRUE(mmc_stable(39.9, 10.0, 4));
+  EXPECT_FALSE(mmc_stable(40.0, 10.0, 4));
+  EXPECT_THROW((void)mmc_metrics(40.0, 10.0, 4), Error);
+  EXPECT_THROW((void)mmc_metrics(1.0, 0.0, 4), Error);
+  EXPECT_THROW((void)erlang_c(1.0, 0), Error);
+  EXPECT_THROW((void)erlang_c(-1.0, 2), Error);
+}
+
+TEST(Mmc, MoreServersLowerWait) {
+  const double lambda = 50.0;
+  const double mu = 10.0;
+  double prev = 1e9;
+  for (const int c : {6, 8, 12, 24}) {
+    const auto m = mmc_metrics(lambda, mu, c);
+    EXPECT_LT(m.mean_waiting, prev);
+    prev = m.mean_waiting;
+  }
+}
+
+TEST(Mmc, ZeroLoadResponseIsServiceTime) {
+  const auto m = mmc_metrics(0.0, 5.0, 3);
+  EXPECT_DOUBLE_EQ(m.mean_response, 0.2);
+  EXPECT_DOUBLE_EQ(m.prob_wait, 0.0);
+}
+
+}  // namespace
+}  // namespace l2s::queueing

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/parameters.hpp"
+
+namespace l2s::model {
+namespace {
+
+TEST(ModelParams, PaperDefaults) {
+  const ModelParams p;
+  EXPECT_EQ(p.nodes, 16);
+  EXPECT_DOUBLE_EQ(p.replication, 0.0);
+  EXPECT_DOUBLE_EQ(p.alpha, 1.0);
+  EXPECT_EQ(p.cache_bytes, 128 * kMiB);
+  EXPECT_DOUBLE_EQ(p.ni_request_rate, 140000.0);
+  EXPECT_DOUBLE_EQ(p.parse_rate, 6300.0);
+  EXPECT_DOUBLE_EQ(p.forward_rate, 10000.0);
+}
+
+TEST(ModelParams, RouterRateFormula) {
+  const ModelParams p;
+  // mu_r = 500000/size ops/s.
+  EXPECT_NEAR(p.router_rate(1.0), 500000.0, 1e-9);
+  EXPECT_NEAR(p.router_rate(47.0), 500000.0 / 47.0, 1e-9);
+}
+
+TEST(ModelParams, ReplyRateFormula) {
+  const ModelParams p;
+  // mu_m = 1/(0.0001 + S/12000).
+  EXPECT_NEAR(p.reply_rate(12.0), 1.0 / (0.0001 + 12.0 / 12000.0), 1e-9);
+  // Small files are dominated by the fixed term.
+  EXPECT_NEAR(p.reply_rate(0.0), 10000.0, 1e-6);
+}
+
+TEST(ModelParams, DiskRateFormula) {
+  const ModelParams p;
+  // mu_d = 1/(0.028 + S/10000): ~35.6/s at 1 KB, ~24.5/s at 128 KB.
+  EXPECT_NEAR(p.disk_rate(1.0), 1.0 / 0.0281, 1e-6);
+  EXPECT_NEAR(p.disk_rate(128.0), 1.0 / (0.028 + 0.0128), 1e-6);
+}
+
+TEST(ModelParams, NiReplyRateFormula) {
+  const ModelParams p;
+  EXPECT_NEAR(p.ni_reply_rate(128.0), 1.0 / (0.000003 + 0.001), 1e-6);
+}
+
+TEST(ModelParams, ConsciousCacheSpace) {
+  ModelParams p;
+  p.nodes = 16;
+  p.cache_bytes = 128 * kMiB;
+  // R = 0: N*C.
+  EXPECT_DOUBLE_EQ(p.conscious_cache_bytes(), 16.0 * 128 * kMiB);
+  // R = 1 degenerates to a single cache (the oblivious server).
+  p.replication = 1.0;
+  EXPECT_DOUBLE_EQ(p.conscious_cache_bytes(), static_cast<double>(128 * kMiB));
+  // R = 0.15: N*(1-R)*C + R*C.
+  p.replication = 0.15;
+  EXPECT_NEAR(p.conscious_cache_bytes(),
+              16.0 * 0.85 * static_cast<double>(128 * kMiB) +
+                  0.15 * static_cast<double>(128 * kMiB),
+              1.0);
+}
+
+TEST(ModelParams, ValidateCatchesNonsense) {
+  ModelParams p;
+  p.nodes = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = ModelParams{};
+  p.replication = 1.5;
+  EXPECT_THROW(p.validate(), Error);
+  p = ModelParams{};
+  p.alpha = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = ModelParams{};
+  p.cache_bytes = 0;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(ModelParams, DescribeMentionsEveryParameter) {
+  const std::string d = ModelParams{}.describe();
+  for (const char* needle : {"mu_r", "mu_i", "mu_p", "mu_f", "mu_m", "mu_d", "mu_o"}) {
+    EXPECT_NE(d.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace l2s::model

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/net/nic.hpp"
+#include "l2sim/net/params.hpp"
+#include "l2sim/net/router.hpp"
+#include "l2sim/net/switch_fabric.hpp"
+
+namespace l2s::net {
+namespace {
+
+TEST(NetParams, ViaMessageTimingMatchesPaper) {
+  const NetParams p;
+  // A 4-byte message: 3 us CPU + 6 us NIC (+32 ns wire) each side + 1 us
+  // switch = 19 us one way (the paper's M-VIA measurement).
+  const double one_way = 2.0 * simtime_to_seconds(p.cpu_msg_time()) +
+                         2.0 * simtime_to_seconds(p.nic_transfer_time(4)) +
+                         simtime_to_seconds(p.switch_latency());
+  EXPECT_NEAR(one_way, 19e-6, 0.1e-6);
+}
+
+TEST(NetParams, NiRequestRateIsMuI) {
+  const NetParams p;
+  EXPECT_EQ(p.ni_request_time(), seconds_to_simtime(1.0 / 140000.0));
+}
+
+TEST(NetParams, NiReplyTimeIsMuO) {
+  const NetParams p;
+  // mu_o = 1/(3us + S/128000 KB/s); 128 KB reply -> ~1.003 ms.
+  const SimTime t = p.ni_reply_time(128 * kKiB);
+  EXPECT_NEAR(simtime_to_seconds(t), 0.000003 + 128.0 * 1024.0 * 8.0 / 1e9, 1e-8);
+}
+
+TEST(NetParams, RouterTimeIsMuR) {
+  const NetParams p;
+  // 500000 KB/s: a 500-KB transfer takes 1 ms.
+  EXPECT_EQ(p.router_time(500 * kKiB), seconds_to_simtime(0.001));
+}
+
+TEST(Router, SharedQueueSerializes) {
+  des::Scheduler s;
+  const NetParams p;
+  Router r(s, p);
+  SimTime first = 0;
+  SimTime second = 0;
+  r.forward(500 * kKiB, [&] { first = s.now(); });
+  r.forward(500 * kKiB, [&] { second = s.now(); });
+  s.run();
+  EXPECT_EQ(first, seconds_to_simtime(0.001));
+  EXPECT_EQ(second, seconds_to_simtime(0.002));
+}
+
+TEST(SwitchFabric, PureLatencyNoQueueing) {
+  des::Scheduler s;
+  SwitchFabric f(s, 1000);
+  SimTime a = 0;
+  SimTime b = 0;
+  f.traverse([&] { a = s.now(); });
+  f.traverse([&] { b = s.now(); });
+  s.run();
+  // Both deliveries complete after exactly one latency (no serialization).
+  EXPECT_EQ(a, 1000);
+  EXPECT_EQ(b, 1000);
+  EXPECT_EQ(f.traversals(), 2u);
+}
+
+TEST(SwitchFabric, StatsReset) {
+  des::Scheduler s;
+  SwitchFabric f(s, 10);
+  f.traverse([] {});
+  s.run();
+  f.reset_stats();
+  EXPECT_EQ(f.traversals(), 0u);
+}
+
+TEST(Nic, IndependentRxTxQueues) {
+  des::Scheduler s;
+  Nic nic(s, "n");
+  SimTime rx_done = 0;
+  SimTime tx_done = 0;
+  nic.rx().submit(100, [&] { rx_done = s.now(); });
+  nic.tx().submit(100, [&] { tx_done = s.now(); });
+  s.run();
+  // rx and tx do not serialize against each other.
+  EXPECT_EQ(rx_done, 100);
+  EXPECT_EQ(tx_done, 100);
+}
+
+TEST(Nic, NamesIncludeNode) {
+  des::Scheduler s;
+  const Nic nic(s, "node3");
+  EXPECT_EQ(nic.rx().name(), "node3/nic-rx");
+  EXPECT_EQ(nic.tx().name(), "node3/nic-tx");
+}
+
+}  // namespace
+}  // namespace l2s::net

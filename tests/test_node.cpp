@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::cluster {
+namespace {
+
+TEST(Node, ServiceTimesMatchTable1) {
+  des::Scheduler s;
+  Node n(s, 0, NodeParams{});
+  EXPECT_EQ(n.parse_time(), seconds_to_simtime(1.0 / 6300.0));
+  EXPECT_EQ(n.forward_time(), seconds_to_simtime(1.0 / 10000.0));
+  // mu_m at 12 KB: 0.0001 + 12/12000 = 1.1 ms.
+  EXPECT_EQ(n.reply_time(12 * kKiB), seconds_to_simtime(0.0001 + 12.0 / 12000.0));
+}
+
+TEST(Node, HandoffInitiateCalibration) {
+  des::Scheduler s;
+  const Node n(s, 0, NodeParams{});
+  // 40 us: with parse (158.7 us) this saturates a LARD front-end near the
+  // paper's ~5000 req/s.
+  const double per_request =
+      simtime_to_seconds(n.parse_time() + n.handoff_initiate_time());
+  EXPECT_NEAR(1.0 / per_request, 5000.0, 100.0);
+}
+
+TEST(Node, ConnectionCounting) {
+  des::Scheduler s;
+  Node n(s, 2, NodeParams{});
+  EXPECT_EQ(n.open_connections(), 0);
+  n.connection_opened();
+  n.connection_opened();
+  EXPECT_EQ(n.open_connections(), 2);
+  n.connection_closed();
+  EXPECT_EQ(n.open_connections(), 1);
+  n.connection_closed();
+  EXPECT_THROW(n.connection_closed(), l2s::Error);
+}
+
+TEST(Node, OwnsCacheOfConfiguredSize) {
+  des::Scheduler s;
+  NodeParams p;
+  p.cache_bytes = 8 * kMiB;
+  Node n(s, 1, p);
+  EXPECT_EQ(n.file_cache().capacity(), 8 * kMiB);
+  EXPECT_EQ(n.name(), "node1");
+}
+
+TEST(Node, ResetStatsClearsAllComponents) {
+  des::Scheduler s;
+  Node n(s, 0, NodeParams{});
+  n.cpu().submit(100, [] {});
+  n.nic().tx().submit(100, [] {});
+  n.disk().read(kKiB, [] {});
+  (void)n.file_cache().lookup(0);
+  s.run();
+  n.reset_stats();
+  EXPECT_EQ(n.cpu().busy_time(), 0);
+  EXPECT_EQ(n.nic().tx().busy_time(), 0);
+  EXPECT_EQ(n.disk().resource().busy_time(), 0);
+  EXPECT_EQ(n.file_cache().stats().misses, 0u);
+}
+
+TEST(Node, CustomCpuParams) {
+  des::Scheduler s;
+  NodeParams p;
+  p.cpu.parse_rate = 1000.0;
+  p.cpu.reply_overhead_s = 0.001;
+  p.cpu.reply_kb_per_s = 1000.0;
+  const Node n(s, 0, p);
+  EXPECT_EQ(n.parse_time(), seconds_to_simtime(0.001));
+  EXPECT_EQ(n.reply_time(kKiB), seconds_to_simtime(0.002));
+}
+
+}  // namespace
+}  // namespace l2s::cluster

@@ -1,0 +1,117 @@
+// Open-loop (Poisson arrival) mode and its agreement with the analytic
+// latency model.
+#include <gtest/gtest.h>
+
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/model/latency.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/policy/traditional.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::core {
+namespace {
+
+trace::Trace cached_workload(std::uint64_t requests = 20000) {
+  // Everything fits in cache after warm-up: the latency path is pure
+  // CPU/NIC/router, matching the model's full-hit configuration.
+  trace::SyntheticSpec spec;
+  spec.name = "openloop";
+  spec.files = 50;
+  spec.avg_file_kb = 16.0;
+  spec.avg_request_kb = 16.0;
+  spec.size_sigma = 0.1;
+  spec.alpha = 0.9;
+  spec.requests = requests;
+  return trace::generate(spec);
+}
+
+SimConfig open_loop_config(double rate) {
+  SimConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.cache_bytes = 8 * kMiB;
+  cfg.open_loop_arrival_rate = rate;
+  cfg.buffer_slots_per_node = 1000;  // ample: we study latency, not loss
+  return cfg;
+}
+
+TEST(OpenLoop, CompletesEverythingBelowSaturation) {
+  const auto tr = cached_workload(5000);
+  // Single node, full hit: capacity ~ 1/(parse + reply(16KB)) ~ 600/s.
+  const auto r = run_once(tr, open_loop_config(200.0), PolicyKind::kTraditional);
+  EXPECT_EQ(r.completed, tr.request_count());
+  EXPECT_EQ(r.failed, 0u);
+  // Open loop at 200/s: measured throughput matches the arrival rate, not
+  // the capacity.
+  EXPECT_NEAR(r.throughput_rps, 200.0, 20.0);
+}
+
+TEST(OpenLoop, LatencyGrowsWithLoad) {
+  const auto tr = cached_workload(8000);
+  double prev = 0.0;
+  for (const double rate : {100.0, 300.0, 500.0}) {
+    const auto r = run_once(tr, open_loop_config(rate), PolicyKind::kTraditional);
+    EXPECT_GT(r.mean_response_ms, prev) << rate;
+    prev = r.mean_response_ms;
+  }
+}
+
+TEST(OpenLoop, LatencyBracketedByModel) {
+  // The model is M/M/1 (exponential service); the simulator's service
+  // times are deterministic, so queueing is milder (M/D/1-like): the
+  // simulated mean response must lie between the no-queueing service sum
+  // and the M/M/1 prediction at the same load.
+  const auto tr = cached_workload(30000);
+  const double rate = 400.0;  // ~65% of the single-node capacity
+  const auto r = run_once(tr, open_loop_config(rate), PolicyKind::kTraditional);
+
+  model::ModelParams mp;
+  mp.nodes = 1;
+  const model::ClusterModel m(mp);
+  const auto net = m.build_network(1.0, 0.0, 16.0, 16.0);
+  const double service_sum_ms = net.solve(1e-6).mean_response * 1e3;
+  const double mm1_ms = net.solve(rate).mean_response * 1e3;
+
+  EXPECT_GT(r.mean_response_ms, service_sum_ms);
+  EXPECT_LT(r.mean_response_ms, 1.2 * mm1_ms);
+}
+
+TEST(OpenLoop, OverloadDropsInsteadOfDiverging) {
+  const auto tr = cached_workload(8000);
+  SimConfig cfg = open_loop_config(5000.0);  // far beyond 1-node capacity
+  cfg.buffer_slots_per_node = 50;
+  const auto r = run_once(tr, cfg, PolicyKind::kTraditional);
+  EXPECT_GT(r.failed, 0u);
+  EXPECT_EQ(r.completed + r.failed, tr.request_count());
+  // Completed throughput sits near capacity, not near the offered load.
+  EXPECT_LT(r.throughput_rps, 1000.0);
+}
+
+TEST(OpenLoop, PercentilesOrdered) {
+  const auto tr = cached_workload(20000);
+  const auto r = run_once(tr, open_loop_config(450.0), PolicyKind::kTraditional);
+  EXPECT_GT(r.p50_response_ms, 0.0);
+  EXPECT_LE(r.p50_response_ms, r.p95_response_ms);
+  EXPECT_LE(r.p95_response_ms, r.p99_response_ms);
+  EXPECT_LE(r.p99_response_ms, r.max_response_ms + 1e-9);
+}
+
+TEST(OpenLoop, WorksWithL2sOnCluster) {
+  const auto tr = cached_workload(10000);
+  SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 8 * kMiB;
+  cfg.open_loop_arrival_rate = 800.0;
+  const auto r = run_once(tr, cfg, PolicyKind::kL2s);
+  EXPECT_EQ(r.completed + r.failed, tr.request_count());
+  EXPECT_NEAR(r.throughput_rps, 800.0, 120.0);
+}
+
+TEST(OpenLoop, ValidatesRate) {
+  const auto tr = cached_workload(100);
+  SimConfig cfg = open_loop_config(-1.0);
+  EXPECT_THROW(ClusterSimulation(cfg, tr, std::make_unique<policy::TraditionalPolicy>()),
+               Error);
+}
+
+}  // namespace
+}  // namespace l2s::core

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/core/parallel.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::core {
+namespace {
+
+trace::Trace workload() {
+  trace::SyntheticSpec spec;
+  spec.name = "par";
+  spec.files = 200;
+  spec.avg_file_kb = 10.0;
+  spec.requests = 3000;
+  spec.avg_request_kb = 8.0;
+  spec.alpha = 0.9;
+  spec.seed = 5;
+  return trace::generate(spec);
+}
+
+std::vector<SimJob> grid_jobs(const trace::Trace& tr) {
+  std::vector<SimJob> jobs;
+  for (const int nodes : {1, 2, 4}) {
+    for (const auto kind : all_policies()) {
+      SimJob job;
+      job.trace = &tr;
+      job.sim.nodes = nodes;
+      job.sim.node.cache_bytes = kMiB;
+      job.kind = kind;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+TEST(Parallel, MatchesSerialExactly) {
+  const auto tr = workload();
+  const auto jobs = grid_jobs(tr);
+  const auto serial = run_parallel(jobs, 1);
+  const auto parallel = run_parallel(jobs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].completed, parallel[i].completed) << i;
+    EXPECT_DOUBLE_EQ(serial[i].throughput_rps, parallel[i].throughput_rps) << i;
+    EXPECT_DOUBLE_EQ(serial[i].hit_rate, parallel[i].hit_rate) << i;
+    EXPECT_EQ(serial[i].forwarded, parallel[i].forwarded) << i;
+  }
+}
+
+TEST(Parallel, ResultsInJobOrder) {
+  const auto tr = workload();
+  const auto jobs = grid_jobs(tr);
+  const auto results = run_parallel(jobs, 3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].nodes, jobs[i].sim.nodes);
+    EXPECT_EQ(results[i].policy, make_policy(jobs[i].kind)->name());
+  }
+}
+
+TEST(Parallel, EmptyJobListIsFine) {
+  EXPECT_TRUE(run_parallel({}, 4).empty());
+}
+
+TEST(Parallel, NullTraceRejected) {
+  std::vector<SimJob> jobs(1);
+  EXPECT_THROW((void)run_parallel(jobs, 2), Error);
+}
+
+TEST(Parallel, JobErrorsPropagate) {
+  const auto tr = workload();
+  std::vector<SimJob> jobs = grid_jobs(tr);
+  jobs[2].sim.nodes = 0;  // invalid: construction throws inside the worker
+  EXPECT_THROW((void)run_parallel(jobs, 4), Error);
+}
+
+TEST(Parallel, FigureMatchesSerialRunner) {
+  const auto tr = workload();
+  ExperimentConfig cfg;
+  cfg.sim.node.cache_bytes = kMiB;
+  cfg.node_counts = {1, 2};
+  const auto serial = run_throughput_figure(tr, cfg);
+  const auto parallel = run_throughput_figure_parallel(tr, cfg, 4);
+  ASSERT_EQ(serial.node_counts, parallel.node_counts);
+  for (std::size_t i = 0; i < serial.node_counts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.l2s[i].throughput_rps, parallel.l2s[i].throughput_rps);
+    EXPECT_DOUBLE_EQ(serial.lard[i].throughput_rps, parallel.lard[i].throughput_rps);
+    EXPECT_DOUBLE_EQ(serial.traditional[i].throughput_rps,
+                     parallel.traditional[i].throughput_rps);
+    EXPECT_DOUBLE_EQ(serial.model_rps[i], parallel.model_rps[i]);
+  }
+}
+
+}  // namespace
+}  // namespace l2s::core

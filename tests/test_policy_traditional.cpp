@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/policy/traditional.hpp"
+#include "policy_fixture.hpp"
+
+namespace l2s::policy {
+namespace {
+
+using testing::PolicyFixture;
+
+TEST(TraditionalPolicy, EntryIsFewestConnections) {
+  PolicyFixture f(4);
+  TraditionalPolicy p;
+  p.attach(f.ctx);
+  f.set_load(0, 5);
+  f.set_load(1, 2);
+  f.set_load(2, 7);
+  f.set_load(3, 2);
+  // Node 1 and 3 tie at 2; lowest id wins.
+  EXPECT_EQ(p.entry_node(0, PolicyFixture::request_for(9)), 1);
+  f.set_load(1, 3);
+  EXPECT_EQ(p.entry_node(1, PolicyFixture::request_for(9)), 3);
+}
+
+TEST(TraditionalPolicy, NeverForwards) {
+  PolicyFixture f(4);
+  TraditionalPolicy p;
+  p.attach(f.ctx);
+  for (int entry = 0; entry < 4; ++entry) {
+    EXPECT_EQ(p.select_service_node(entry, PolicyFixture::request_for(1)), entry);
+  }
+  EXPECT_EQ(p.forward_cpu_time(0), 0);
+}
+
+TEST(TraditionalPolicy, TracksChangingLoads) {
+  PolicyFixture f(2);
+  TraditionalPolicy p;
+  p.attach(f.ctx);
+  f.set_load(0, 1);
+  EXPECT_EQ(p.entry_node(0, PolicyFixture::request_for(0)), 1);
+  f.set_load(1, 4);
+  EXPECT_EQ(p.entry_node(1, PolicyFixture::request_for(0)), 0);
+}
+
+TEST(TraditionalPolicy, SingleNodeCluster) {
+  PolicyFixture f(1);
+  TraditionalPolicy p;
+  p.attach(f.ctx);
+  EXPECT_EQ(p.entry_node(0, PolicyFixture::request_for(0)), 0);
+  EXPECT_EQ(p.select_service_node(0, PolicyFixture::request_for(0)), 0);
+}
+
+TEST(TraditionalPolicy, SendsNoMessages) {
+  PolicyFixture f(4);
+  TraditionalPolicy p;
+  p.attach(f.ctx);
+  (void)p.select_service_node(0, PolicyFixture::request_for(0));
+  p.on_complete(0, PolicyFixture::request_for(0));
+  f.drain();
+  EXPECT_EQ(f.via.messages_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace l2s::policy

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "l2sim/des/process.hpp"
+
+namespace l2s::des {
+namespace {
+
+TEST(StageChain, RunsStagesInOrder) {
+  Scheduler s;
+  Resource a(s, "a");
+  Resource b(s, "b");
+  std::vector<std::string> log;
+  StageChain(s)
+      .then([&] { log.push_back("start"); })
+      .use(a, 10)
+      .then([&] { log.push_back("after-a"); })
+      .use(b, 5)
+      .run([&] { log.push_back("done"); });
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"start", "after-a", "done"}));
+  EXPECT_EQ(s.now(), 15);
+}
+
+TEST(StageChain, DelayAddsLatencyWithoutQueueing) {
+  Scheduler s;
+  SimTime done_at = -1;
+  StageChain(s).delay(7).delay(3).run([&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 10);
+}
+
+TEST(StageChain, EmptyChainCompletesImmediately) {
+  Scheduler s;
+  bool done = false;
+  StageChain(s).run([&] { done = true; });
+  EXPECT_TRUE(done);  // no stages: completion is synchronous
+}
+
+TEST(StageChain, SharesResourceQueuesWithOtherChains) {
+  Scheduler s;
+  Resource r(s, "shared");
+  SimTime first = 0;
+  SimTime second = 0;
+  StageChain(s).use(r, 10).run([&] { first = s.now(); });
+  StageChain(s).use(r, 10).run([&] { second = s.now(); });
+  s.run();
+  EXPECT_EQ(first, 10);
+  EXPECT_EQ(second, 20);
+}
+
+TEST(StageChain, CompletionMayStartNewChain) {
+  Scheduler s;
+  Resource r(s, "r");
+  int rounds = 0;
+  std::function<void()> start = [&] {
+    StageChain(s).use(r, 5).run([&] {
+      if (++rounds < 3) start();
+    });
+  };
+  start();
+  s.run();
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(s.now(), 15);
+}
+
+TEST(StageChain, TemporaryChainObjectIsSafe) {
+  Scheduler s;
+  Resource r(s, "r");
+  bool done = false;
+  {
+    StageChain chain(s);
+    chain.use(r, 50);
+    chain.run([&] { done = true; });
+    // chain goes out of scope while the work is still pending
+  }
+  s.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(StageChain, ManyStages) {
+  Scheduler s;
+  Resource r(s, "r");
+  StageChain chain(s);
+  for (int i = 0; i < 100; ++i) chain.use(r, 1);
+  bool done = false;
+  chain.run([&] { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.now(), 100);
+}
+
+}  // namespace
+}  // namespace l2s::des

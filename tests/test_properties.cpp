@@ -1,0 +1,227 @@
+// Property-based suites (parameterized sweeps over the input space).
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+
+#include "l2sim/cache/lru_cache.hpp"
+#include "l2sim/common/error.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/model/cluster_model.hpp"
+#include "l2sim/trace/synthetic.hpp"
+#include "l2sim/zipf/zipf.hpp"
+
+namespace l2s {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Model properties over the (Hlo, S) plane.
+
+class ModelPointProperty : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ModelPointProperty, ConsciousDominatesUnlessForwardingBites) {
+  const auto [hlo, size_kb] = GetParam();
+  const model::ClusterModel m{model::ModelParams{}};
+  const double lo = m.oblivious(hlo, size_kb).throughput;
+  const double lc = m.conscious(hlo, size_kb).throughput;
+  // The conscious server may lose only to forwarding overhead, which is
+  // bounded: never worse than 20% below the oblivious server.
+  EXPECT_GT(lc, 0.8 * lo);
+}
+
+TEST_P(ModelPointProperty, DerivedQuantitiesInRange) {
+  const auto [hlo, size_kb] = GetParam();
+  const model::ClusterModel m{model::ModelParams{}};
+  const double hlc = m.conscious_hit_rate(hlo, size_kb);
+  EXPECT_GE(hlc, hlo - 1e-12);
+  EXPECT_LE(hlc, 1.0);
+  const double q = m.forwarded_fraction(hlo, size_kb);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 15.0 / 16.0 + 1e-12);
+}
+
+TEST_P(ModelPointProperty, ObliviousThroughputDecreasesWithSize) {
+  // Holds for the oblivious server (every station slows with size at a
+  // fixed hit rate). It does NOT hold universally for the conscious
+  // server: a larger S shrinks the per-node cache in files, which *raises*
+  // the derived Hlc/Hlo ratio and can outweigh the per-byte costs in
+  // disk-bound regions.
+  const auto [hlo, size_kb] = GetParam();
+  const model::ClusterModel m{model::ModelParams{}};
+  EXPECT_GE(m.oblivious(hlo, size_kb).throughput,
+            m.oblivious(hlo, size_kb * 1.5).throughput * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plane, ModelPointProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85, 0.95),
+                       ::testing::Values(4.0, 16.0, 48.0, 96.0, 128.0)));
+
+// ---------------------------------------------------------------------------
+// Zipf math properties across alphas.
+
+class ZipfAlphaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaProperty, ZIsAProbability) {
+  const double alpha = GetParam();
+  for (double n = 1.0; n <= 1e6; n *= 10.0) {
+    const double v = zipf::z(n, 1e6, alpha);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_P(ZipfAlphaProperty, InversionConsistency) {
+  const double alpha = GetParam();
+  for (const double target : {0.25, 0.5, 0.75, 0.95}) {
+    // For alpha > 1 the series converges, so very low targets may be
+    // unreachable (z has a positive infimum); that must surface as a
+    // clean Error, never a wrong answer.
+    try {
+      const double f = zipf::invert_population(200.0, target, alpha);
+      EXPECT_NEAR(zipf::z(200.0, f, alpha), target, 1e-5);
+    } catch (const Error&) {
+      EXPECT_GT(alpha, 1.0);
+      EXPECT_LT(target, 0.95);
+    }
+  }
+}
+
+TEST_P(ZipfAlphaProperty, MorePopulationLowersHitRate) {
+  const double alpha = GetParam();
+  EXPECT_GT(zipf::z(100.0, 1e4, alpha), zipf::z(100.0, 1e5, alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaProperty,
+                         ::testing::Values(0.5, 0.78, 0.91, 1.0, 1.08, 1.3));
+
+// ---------------------------------------------------------------------------
+// LRU cache vs a reference implementation under random workloads.
+
+class LruReferenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LruReferenceProperty, MatchesReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const Bytes capacity = 64 * kKiB;
+  cache::LruCache cache(capacity);
+
+  // Reference: ordered list of (id, size), front = MRU.
+  std::list<std::pair<cache::FileId, Bytes>> ref;
+  auto ref_find = [&](cache::FileId id) {
+    return std::find_if(ref.begin(), ref.end(),
+                        [id](const auto& kv) { return kv.first == id; });
+  };
+  auto ref_bytes = [&] {
+    Bytes total = 0;
+    for (const auto& [id, size] : ref) total += size;
+    return total;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto id = static_cast<cache::FileId>(rng.next_below(60));
+    const Bytes size = (1 + rng.next_below(16)) * kKiB;
+    const int op = static_cast<int>(rng.next_below(10));
+    if (op < 6) {  // lookup
+      const auto it = ref_find(id);
+      const bool expect_hit = it != ref.end();
+      EXPECT_EQ(cache.lookup(id), expect_hit) << "step " << step;
+      if (expect_hit) ref.splice(ref.begin(), ref, it);
+    } else if (op < 9) {  // insert
+      cache.insert(id, size);
+      if (size <= capacity) {
+        const auto it = ref_find(id);
+        if (it != ref.end()) ref.erase(it);
+        ref.emplace_front(id, size);
+        while (ref_bytes() > capacity) ref.pop_back();
+      }
+    } else {  // erase
+      const auto it = ref_find(id);
+      EXPECT_EQ(cache.erase(id), it != ref.end());
+      if (it != ref.end()) ref.erase(it);
+    }
+    EXPECT_EQ(cache.used(), ref_bytes()) << "step " << step;
+    EXPECT_EQ(cache.entries(), ref.size()) << "step " << step;
+    EXPECT_LE(cache.used(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruReferenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------------
+// Simulation invariants across the (nodes x policy) grid.
+
+class SimulationGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, core::PolicyKind>> {};
+
+TEST_P(SimulationGridProperty, InvariantsHold) {
+  const auto [nodes, kind] = GetParam();
+  trace::SyntheticSpec spec;
+  spec.name = "grid";
+  spec.files = 300;
+  spec.avg_file_kb = 10.0;
+  spec.requests = 3000;
+  spec.avg_request_kb = 8.0;
+  spec.alpha = 0.9;
+  spec.seed = 1234;
+  const auto tr = trace::generate(spec);
+
+  core::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node.cache_bytes = 1 * kMiB;
+  const auto r = core::run_once(tr, cfg, kind);
+
+  EXPECT_EQ(r.completed, tr.request_count());
+  EXPECT_GT(r.throughput_rps, 0.0);
+  EXPECT_NEAR(r.hit_rate + r.miss_rate, 1.0, 1e-12);
+  EXPECT_LE(r.forwarded, r.completed);
+  EXPECT_GE(r.cpu_idle_fraction, 0.0);
+  EXPECT_LE(r.cpu_idle_fraction, 1.0);
+  EXPECT_GT(r.mean_response_ms, 0.0);
+  if (kind == core::PolicyKind::kTraditional) {
+    EXPECT_EQ(r.forwarded, 0u);
+  }
+  if (kind == core::PolicyKind::kLard && nodes > 1) {
+    EXPECT_EQ(r.forwarded, r.completed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulationGridProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16),
+                       ::testing::Values(core::PolicyKind::kTraditional,
+                                         core::PolicyKind::kLard,
+                                         core::PolicyKind::kL2s)));
+
+// ---------------------------------------------------------------------------
+// Synthetic generator hits its calibration targets across specs.
+
+class SyntheticCalibrationProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SyntheticCalibrationProperty, MeansWithinTolerance) {
+  const auto [avg_file, avg_req, alpha] = GetParam();
+  trace::SyntheticSpec spec;
+  spec.name = "cal";
+  spec.files = 800;
+  spec.requests = 40000;
+  spec.avg_file_kb = avg_file;
+  spec.avg_request_kb = avg_req;
+  spec.alpha = alpha;
+  spec.seed = 99;
+  const auto tr = trace::generate(spec);
+  EXPECT_NEAR(tr.files().avg_kb(), avg_file, 0.02 * avg_file);
+  EXPECT_NEAR(tr.avg_request_kb(), avg_req, 0.10 * avg_req);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, SyntheticCalibrationProperty,
+    ::testing::Values(std::make_tuple(42.9, 19.7, 1.08), std::make_tuple(11.6, 11.9, 0.78),
+                      std::make_tuple(53.7, 47.0, 0.91), std::make_tuple(30.5, 26.2, 0.79),
+                      std::make_tuple(20.0, 10.0, 1.0)));
+
+}  // namespace
+}  // namespace l2s

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/common/rng.hpp"
+
+namespace l2s {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowIsBoundedAndRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.next_below(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, draws / 10 * 0.9);
+    EXPECT_LT(c, draws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, LognormalHasRequestedMean) {
+  Rng rng(13);
+  const double mu = 2.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_lognormal(mu, sigma);
+  const double expected = std::exp(mu + 0.5 * sigma * sigma);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_bounded_pareto(1.2, 1.0, 100.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  // The split stream must differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace l2s

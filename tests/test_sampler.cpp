@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/zipf/sampler.hpp"
+
+namespace l2s::zipf {
+namespace {
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  const ZipfSampler s(1000, 0.9);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < s.files(); ++r) sum += s.probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ProbabilitiesFollowPowerLaw) {
+  const ZipfSampler s(1000, 1.0);
+  // p(r) ~ 1/(r+1): p(0)/p(9) == 10.
+  EXPECT_NEAR(s.probability(0) / s.probability(9), 10.0, 1e-6);
+}
+
+TEST(ZipfSampler, SamplesMatchProbabilities) {
+  const ZipfSampler s(100, 0.8);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  const int draws = 300000;
+  for (int i = 0; i < draws; ++i) ++counts[s.sample(rng)];
+  for (const std::uint64_t r : {0ull, 1ull, 5ull, 20ull}) {
+    const double expected = s.probability(r) * draws;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 5.0) << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, AllRanksInRange) {
+  const ZipfSampler s(17, 1.1);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(s.sample(rng), 17u);
+}
+
+TEST(ZipfSampler, SingleFileAlwaysRankZero) {
+  const ZipfSampler s(1, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(s.probability(0), 1.0);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), l2s::Error);
+  EXPECT_THROW(ZipfSampler(10, 0.0), l2s::Error);
+}
+
+TEST(ZipfSampler, ProbabilityOutOfRangeThrows) {
+  const ZipfSampler s(10, 1.0);
+  EXPECT_THROW(s.probability(10), l2s::Error);
+}
+
+}  // namespace
+}  // namespace l2s::zipf

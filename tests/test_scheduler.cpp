@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/des/scheduler.hpp"
+
+namespace l2s::des {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakBySubmissionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, AfterIsRelativeToNow) {
+  Scheduler s;
+  SimTime observed = -1;
+  s.at(100, [&] {
+    s.after(50, [&] { observed = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 100) s.after(1, chain);
+  };
+  s.at(0, chain);
+  s.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWhenIdle) {
+  Scheduler s;
+  int fired = 0;
+  s.at(10, [&] { ++fired; });
+  s.at(100, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RejectsSchedulingInThePast) {
+  Scheduler s;
+  s.at(10, [] {});
+  s.run();
+  EXPECT_THROW(s.at(5, [] {}), l2s::Error);
+  EXPECT_THROW(s.after(-1, [] {}), l2s::Error);
+}
+
+TEST(Scheduler, CountsProcessedEvents) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(Scheduler, ResetRestoresPristineState) {
+  Scheduler s;
+  s.at(5, [] {});
+  s.run();
+  s.at(10, [] {});
+  s.reset();
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 0u);
+  // Scheduling at time 0 is legal again.
+  s.at(0, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Scheduler, ZeroDelaySelfScheduleRunsAtSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(5, [&] {
+    order.push_back(1);
+    s.after(0, [&] { order.push_back(2); });
+  });
+  s.at(5, [&] { order.push_back(3); });
+  s.run();
+  // The zero-delay event was submitted later, so it fires after event 3.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace l2s::des

@@ -1,0 +1,86 @@
+// SPECweb99-style class-mix workloads.
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/trace/characterize.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::trace {
+namespace {
+
+TEST(Specweb, ClassBoundsRespected) {
+  const auto spec = specweb99_spec(2000, 10000);
+  const Trace tr = generate(spec);
+  for (FileId id = 0; id < tr.files().count(); ++id) {
+    const double kb = bytes_to_kib(tr.files().size_of(id));
+    EXPECT_GE(kb, 0.099);
+    EXPECT_LE(kb, 1024.1);
+  }
+}
+
+TEST(Specweb, ClassMixRoughlyMatches) {
+  const auto spec = specweb99_spec(20000, 1000);
+  const Trace tr = generate(spec);
+  int tiny = 0;
+  int small = 0;
+  int medium = 0;
+  int large = 0;
+  for (FileId id = 0; id < tr.files().count(); ++id) {
+    const double kb = bytes_to_kib(tr.files().size_of(id));
+    if (kb <= 1.0)
+      ++tiny;
+    else if (kb <= 10.0)
+      ++small;
+    else if (kb <= 100.0)
+      ++medium;
+    else
+      ++large;
+  }
+  const double n = 20000.0;
+  EXPECT_NEAR(tiny / n, 0.35, 0.02);
+  EXPECT_NEAR(small / n, 0.50, 0.02);
+  EXPECT_NEAR(medium / n, 0.14, 0.02);
+  EXPECT_NEAR(large / n, 0.01, 0.01);
+}
+
+TEST(Specweb, AverageFileSizeEmergesNearSpecwebValue) {
+  // The SPECweb99 static mix averages roughly 15 KB per file (the 1% of
+  // 100 KB-1 MB files carry a lot of the bytes).
+  const auto spec = specweb99_spec(20000, 1000);
+  const Trace tr = generate(spec);
+  EXPECT_GT(tr.files().avg_kb(), 5.0);
+  EXPECT_LT(tr.files().avg_kb(), 30.0);
+}
+
+TEST(Specweb, RunsThroughSimulation) {
+  const auto spec = specweb99_spec(2000, 8000);
+  const Trace tr = generate(spec);
+  core::SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 4 * kMiB;
+  const auto r = core::run_once(tr, cfg, core::PolicyKind::kL2s);
+  EXPECT_EQ(r.completed, tr.request_count());
+  EXPECT_GT(r.hit_rate, 0.3);
+}
+
+TEST(Specweb, ValidationCatchesBadClasses) {
+  auto spec = specweb99_spec(100, 100);
+  spec.size_classes[0].weight = -1.0;
+  EXPECT_THROW(generate(spec), l2s::Error);
+  spec = specweb99_spec(100, 100);
+  spec.size_classes[0].max_kb = 0.01;  // below min
+  EXPECT_THROW(generate(spec), l2s::Error);
+}
+
+TEST(Specweb, DeterministicGivenSeed) {
+  const Trace a = generate(specweb99_spec(500, 2000, 7));
+  const Trace b = generate(specweb99_spec(500, 2000, 7));
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(a.requests()[i].file, b.requests()[i].file);
+  for (FileId id = 0; id < 500; ++id)
+    EXPECT_EQ(a.files().size_of(id), b.files().size_of(id));
+}
+
+}  // namespace
+}  // namespace l2s::trace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/cache/lru_cache.hpp"
+#include "l2sim/cache/stack_distance.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::cache {
+namespace {
+
+trace::Trace make_trace(const std::vector<std::uint32_t>& refs,
+                        const std::vector<Bytes>& sizes) {
+  storage::FileSet files;
+  for (const Bytes s : sizes) files.add(s);
+  std::vector<trace::Request> reqs;
+  for (const auto f : refs) reqs.push_back({f, sizes[f]});
+  return trace::Trace("sd", std::move(files), std::move(reqs));
+}
+
+TEST(StackDistance, HandComputedExample) {
+  // refs: A B C A B B, uniform 1 KB files.
+  // A@3: distance 2 (B, C between). B@4: distance 2 (C, A). B@5: distance 0.
+  const auto tr = make_trace({0, 1, 2, 0, 1, 1}, {kKiB, kKiB, kKiB});
+  const StackDistanceAnalyzer sd(tr);
+  EXPECT_EQ(sd.cold_misses(), 3u);
+  ASSERT_GE(sd.distance_histogram().size(), 3u);
+  EXPECT_EQ(sd.distance_histogram()[0], 1u);
+  EXPECT_EQ(sd.distance_histogram()[2], 2u);
+  // Capacity 1 file: only the distance-0 access hits -> 1/6.
+  EXPECT_NEAR(sd.hit_rate_at_files(1), 1.0 / 6.0, 1e-12);
+  // Capacity 3 files: all three reuses hit -> 3/6.
+  EXPECT_NEAR(sd.hit_rate_at_files(3), 0.5, 1e-12);
+}
+
+TEST(StackDistance, ColdMissesEqualDistinctFiles) {
+  trace::SyntheticSpec spec;
+  spec.name = "sd";
+  spec.files = 150;
+  spec.requests = 5000;
+  spec.avg_file_kb = 8.0;
+  spec.avg_request_kb = 8.0;
+  spec.alpha = 0.9;
+  const auto tr = trace::generate(spec);
+  const StackDistanceAnalyzer sd(tr);
+  std::vector<bool> seen(150, false);
+  std::uint64_t distinct = 0;
+  for (const auto& r : tr.requests())
+    if (!seen[r.file]) {
+      seen[r.file] = true;
+      ++distinct;
+    }
+  EXPECT_EQ(sd.cold_misses(), distinct);
+  EXPECT_EQ(sd.accesses(), tr.request_count());
+}
+
+TEST(StackDistance, ByteCurveMatchesActualLru) {
+  // The whole point: the one-pass curve must agree with brute-force LRU
+  // simulation at several capacities. Uniform sizes make byte distances
+  // exact (no fragmentation mismatch).
+  trace::SyntheticSpec spec;
+  spec.name = "sd2";
+  spec.files = 200;
+  spec.requests = 20000;
+  spec.avg_file_kb = 4.0;
+  spec.avg_request_kb = 4.0;
+  spec.size_sigma = 0.05;
+  spec.alpha = 0.9;
+  const auto tr = trace::generate(spec);
+  const StackDistanceAnalyzer sd(tr);
+  for (const Bytes cap : {64 * kKiB, 256 * kKiB, 512 * kKiB}) {
+    LruCache lru(cap);
+    for (const auto& r : tr.requests())
+      if (!lru.lookup(r.file)) lru.insert(r.file, tr.files().size_of(r.file));
+    EXPECT_NEAR(sd.hit_rate_at_bytes(cap), lru.stats().hit_rate(), 0.02)
+        << "capacity " << cap;
+  }
+}
+
+TEST(StackDistance, FileCurveMonotone) {
+  trace::SyntheticSpec spec;
+  spec.name = "sd3";
+  spec.files = 300;
+  spec.requests = 10000;
+  spec.avg_file_kb = 8.0;
+  spec.avg_request_kb = 8.0;
+  spec.alpha = 1.0;
+  const auto tr = trace::generate(spec);
+  const StackDistanceAnalyzer sd(tr);
+  double prev = -1.0;
+  for (const std::uint64_t cap : {1ull, 5ull, 20ull, 100ull, 300ull, 1000ull}) {
+    const double h = sd.hit_rate_at_files(cap);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+  // Infinite cache hits everything but the cold misses.
+  EXPECT_NEAR(sd.hit_rate_at_files(1000000),
+              1.0 - static_cast<double>(sd.cold_misses()) /
+                        static_cast<double>(sd.accesses()),
+              1e-12);
+}
+
+TEST(StackDistance, MissCurveBytesComplementsHits) {
+  const auto tr = make_trace({0, 1, 0, 1, 0, 1}, {kKiB, kKiB});
+  const StackDistanceAnalyzer sd(tr);
+  const auto curve = sd.miss_curve_bytes({kKiB, 2 * kKiB});
+  // 1 KB cache: every reuse has byte distance 2 KB -> all miss.
+  EXPECT_NEAR(curve[0], 1.0, 1e-12);
+  // 2 KB cache: all four reuses hit -> miss = 2 cold / 6.
+  EXPECT_NEAR(curve[1], 2.0 / 6.0, 1e-12);
+}
+
+TEST(StackDistance, EmptyAndSingleFile) {
+  const auto tr = make_trace({0, 0, 0}, {kKiB});
+  const StackDistanceAnalyzer sd(tr);
+  EXPECT_EQ(sd.cold_misses(), 1u);
+  EXPECT_NEAR(sd.hit_rate_at_files(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sd.hit_rate_at_bytes(kKiB), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sd.hit_rate_at_bytes(512), 0.0);  // file does not fit
+}
+
+}  // namespace
+}  // namespace l2s::cache

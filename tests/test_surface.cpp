@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/surface.hpp"
+
+namespace l2s::model {
+namespace {
+
+TEST(Surface, SweepEvaluatesEveryCell) {
+  const auto s = sweep({0.0, 0.5, 1.0}, {8.0, 16.0},
+                       [](double h, double kb) { return h * 100.0 + kb; });
+  ASSERT_EQ(s.values.size(), 3u);
+  ASSERT_EQ(s.values[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 66.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 0), 108.0);
+}
+
+TEST(Surface, MinMax) {
+  const auto s = sweep({0.0, 1.0}, {1.0, 2.0},
+                       [](double h, double kb) { return h * 10.0 - kb; });
+  EXPECT_DOUBLE_EQ(s.max_value(), 9.0);
+  EXPECT_DOUBLE_EQ(s.min_value(), -2.0);
+}
+
+TEST(Surface, SideViewEnvelopes) {
+  const auto s = sweep({0.0, 1.0}, {1.0, 2.0, 3.0},
+                       [](double h, double kb) { return h + kb; });
+  const auto side = s.side_view();
+  ASSERT_EQ(side.hit_rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(side.max_over_sizes[0], 3.0);
+  EXPECT_DOUBLE_EQ(side.min_over_sizes[0], 1.0);
+  EXPECT_DOUBLE_EQ(side.max_over_sizes[1], 4.0);
+  EXPECT_DOUBLE_EQ(side.min_over_sizes[1], 2.0);
+}
+
+TEST(Surface, DefaultGridsMatchPaperAxes) {
+  const auto hits = default_hit_grid();
+  const auto sizes = default_size_grid();
+  EXPECT_DOUBLE_EQ(hits.front(), 0.0);
+  EXPECT_DOUBLE_EQ(hits.back(), 1.0);
+  EXPECT_DOUBLE_EQ(sizes.back(), 128.0);
+  EXPECT_GT(sizes.front(), 0.0);
+  // Both grids are strictly ascending.
+  for (std::size_t i = 1; i < hits.size(); ++i) EXPECT_GT(hits[i], hits[i - 1]);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Surface, RatioDividesElementwise) {
+  const auto a = sweep({0.5}, {1.0, 2.0}, [](double, double kb) { return kb * 6.0; });
+  const auto b = sweep({0.5}, {1.0, 2.0}, [](double, double kb) { return kb * 2.0; });
+  const auto r = ratio_surface(a, b);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 3.0);
+}
+
+TEST(Surface, RatioRejectsMismatchedGrids) {
+  const auto a = sweep({0.5}, {1.0}, [](double, double) { return 1.0; });
+  const auto b = sweep({0.6}, {1.0}, [](double, double) { return 1.0; });
+  EXPECT_THROW(ratio_surface(a, b), Error);
+}
+
+TEST(Surface, ObliviousSurfaceMonotoneInHitRate) {
+  const ClusterModel m{ModelParams{}};
+  const auto s = oblivious_surface(m, {0.1, 0.5, 0.9}, {16.0});
+  EXPECT_LT(s.at(0, 0), s.at(1, 0));
+  EXPECT_LT(s.at(1, 0), s.at(2, 0));
+}
+
+TEST(Surface, ConsciousSurfaceDominatesObliviousMidPlane) {
+  const ClusterModel m{ModelParams{}};
+  const std::vector<double> hits = {0.4, 0.6, 0.8};
+  const std::vector<double> sizes = {8.0, 32.0};
+  const auto lc = conscious_surface(m, hits, sizes);
+  const auto lo = oblivious_surface(m, hits, sizes);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    for (std::size_t j = 0; j < sizes.size(); ++j)
+      EXPECT_GE(lc.at(i, j), lo.at(i, j)) << i << "," << j;
+}
+
+TEST(Surface, AtBoundsChecked) {
+  const auto s = sweep({0.5}, {1.0}, [](double, double) { return 1.0; });
+  EXPECT_THROW((void)s.at(1, 0), Error);
+  EXPECT_THROW((void)s.at(0, 1), Error);
+}
+
+}  // namespace
+}  // namespace l2s::model

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::trace {
+namespace {
+
+Trace small_trace() {
+  storage::FileSet files;
+  files.add(10 * kKiB);
+  files.add(20 * kKiB);
+  std::vector<Request> reqs = {{0, 10 * kKiB}, {1, 20 * kKiB}, {0, 10 * kKiB}};
+  return Trace("small", std::move(files), std::move(reqs));
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.name(), "small");
+  EXPECT_EQ(t.request_count(), 3u);
+  EXPECT_EQ(t.files().count(), 2u);
+  EXPECT_EQ(t.total_request_bytes(), 40 * kKiB);
+  EXPECT_NEAR(t.avg_request_kb(), 40.0 / 3.0, 1e-9);
+}
+
+TEST(Trace, RejectsOutOfRangeFileIds) {
+  storage::FileSet files;
+  files.add(kKiB);
+  std::vector<Request> reqs = {{5, kKiB}};
+  EXPECT_THROW(Trace("bad", std::move(files), std::move(reqs)), l2s::Error);
+}
+
+TEST(Trace, TruncatedKeepsPrefix) {
+  const Trace t = small_trace();
+  const Trace head = t.truncated(2);
+  EXPECT_EQ(head.request_count(), 2u);
+  EXPECT_EQ(head.requests()[0].file, 0u);
+  EXPECT_EQ(head.requests()[1].file, 1u);
+  EXPECT_EQ(head.total_request_bytes(), 30 * kKiB);
+  // Full file set is retained (ids must stay valid).
+  EXPECT_EQ(head.files().count(), 2u);
+}
+
+TEST(Trace, TruncateBeyondLengthIsIdentity) {
+  const Trace t = small_trace();
+  const Trace same = t.truncated(100);
+  EXPECT_EQ(same.request_count(), t.request_count());
+  EXPECT_EQ(same.total_request_bytes(), t.total_request_bytes());
+}
+
+TEST(Trace, EmptyTraceBehaves) {
+  const Trace t;
+  EXPECT_EQ(t.request_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.avg_request_kb(), 0.0);
+}
+
+}  // namespace
+}  // namespace l2s::trace

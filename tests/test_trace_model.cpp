@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/trace_model.hpp"
+
+namespace l2s::model {
+namespace {
+
+WorkloadStats calgary_stats() {
+  WorkloadStats s;
+  s.files = 8397;
+  s.avg_file_kb = 42.9;
+  s.avg_request_kb = 19.7;
+  s.alpha = 1.08;
+  return s;
+}
+
+ModelParams paper_sim_params(double replication = 0.15) {
+  ModelParams p;
+  p.cache_bytes = 32 * kMiB;  // the paper's simulated memories
+  p.replication = replication;
+  p.alpha = 1.08;
+  return p;
+}
+
+TEST(TraceModel, HitRatesGrowWithNodesUntilSaturation) {
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  double prev = 0.0;
+  for (const int n : {1, 2, 4, 8, 16}) {
+    const double h = tm.conscious_hit_rate(n);
+    EXPECT_GE(h, prev);
+    if (prev < 1.0) {
+      EXPECT_GT(h, prev);  // strictly growing until capped
+    }
+    EXPECT_LE(h, 1.0);
+    prev = h;
+  }
+}
+
+TEST(TraceModel, ObliviousHitRateIndependentOfNodes) {
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  const double h = tm.oblivious_hit_rate();
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);
+  // One 32 MB cache holding ~19.7 KB hot files: well below full hit.
+  EXPECT_LT(h, 0.95);
+}
+
+TEST(TraceModel, BoundScalesWithNodes) {
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  const double t1 = tm.bound(1).conscious.throughput;
+  const double t16 = tm.bound(16).conscious.throughput;
+  EXPECT_GT(t16, 5.0 * t1);
+}
+
+TEST(TraceModel, SixteenNodeCalgaryBoundNearPaperValue) {
+  // The paper's Figure 7 model line reaches roughly 8300 req/s at 16
+  // nodes. Our derivation should land in the same range.
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  const double t16 = tm.bound(16).conscious.throughput;
+  EXPECT_GT(t16, 7000.0);
+  EXPECT_LT(t16, 10000.0);
+}
+
+TEST(TraceModel, ConsciousBoundDominatesOblivious) {
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  for (const int n : {2, 8, 16}) {
+    const auto b = tm.bound(n);
+    EXPECT_GE(b.conscious.throughput, b.oblivious.throughput) << n;
+  }
+}
+
+TEST(TraceModel, ReplicationLowersConsciousHitRateSlightly) {
+  // Compare at 4 nodes, where the combined cache does not yet hold the
+  // whole file population (at 16 nodes both hit rates are capped at 1).
+  const TraceModel none(paper_sim_params(0.0), calgary_stats());
+  const TraceModel some(paper_sim_params(0.30), calgary_stats());
+  EXPECT_GT(none.conscious_hit_rate(4), some.conscious_hit_rate(4));
+}
+
+TEST(TraceModel, ReplicationReportsReplicatedHitRate) {
+  const TraceModel tm(paper_sim_params(0.15), calgary_stats());
+  const auto b = tm.bound(16);
+  EXPECT_GT(b.conscious.replicated_hit_rate, 0.0);
+  EXPECT_LT(b.conscious.replicated_hit_rate, 1.0);
+  // Q = (N-1)(1-h)/N.
+  EXPECT_NEAR(b.conscious.forwarded_fraction,
+              15.0 / 16.0 * (1.0 - b.conscious.replicated_hit_rate), 1e-9);
+}
+
+TEST(TraceModel, RejectsBadStats) {
+  WorkloadStats s = calgary_stats();
+  s.files = 0;
+  EXPECT_THROW(TraceModel(paper_sim_params(), s), Error);
+  s = calgary_stats();
+  s.avg_file_kb = 0.0;
+  EXPECT_THROW(TraceModel(paper_sim_params(), s), Error);
+  s = calgary_stats();
+  s.alpha = 0.0;
+  EXPECT_THROW(TraceModel(paper_sim_params(), s), Error);
+}
+
+TEST(TraceModel, BoundRejectsNonPositiveNodes) {
+  const TraceModel tm(paper_sim_params(), calgary_stats());
+  EXPECT_THROW((void)tm.bound(0), Error);
+}
+
+}  // namespace
+}  // namespace l2s::model

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "l2sim/common/units.hpp"
+
+namespace l2s {
+namespace {
+
+TEST(Units, SecondsToSimtimeRoundsToNearest) {
+  EXPECT_EQ(seconds_to_simtime(0.0), 0);
+  EXPECT_EQ(seconds_to_simtime(1.0), kNsPerSec);
+  EXPECT_EQ(seconds_to_simtime(1e-9), 1);
+  EXPECT_EQ(seconds_to_simtime(1.4e-9), 1);
+  EXPECT_EQ(seconds_to_simtime(1.6e-9), 2);
+}
+
+TEST(Units, SimtimeToSecondsInverts) {
+  for (const double s : {0.0, 1e-6, 0.25, 3.0, 12345.678}) {
+    EXPECT_NEAR(simtime_to_seconds(seconds_to_simtime(s)), s, 1e-9);
+  }
+}
+
+TEST(Units, ByteConversions) {
+  EXPECT_DOUBLE_EQ(bytes_to_kib(1024), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_to_kib(512), 0.5);
+  EXPECT_EQ(kib_to_bytes(1.0), 1024u);
+  EXPECT_EQ(kib_to_bytes(42.9), static_cast<Bytes>(42.9 * 1024 + 0.5));
+}
+
+TEST(Units, TransferSeconds) {
+  // 1 Gbit/s moves 125 MB/s: 125'000'000 bytes take exactly 1 s.
+  EXPECT_NEAR(transfer_seconds(125'000'000, 1e9), 1.0, 1e-12);
+  // A 4-byte VIA message is 32 bits: 32 ns on a gigabit link.
+  EXPECT_NEAR(transfer_seconds(4, 1e9), 32e-9, 1e-15);
+}
+
+TEST(Units, ConstantsAreConsistent) {
+  EXPECT_EQ(kMiB, 1024 * kKiB);
+  EXPECT_EQ(kGiB, 1024 * kMiB);
+  EXPECT_DOUBLE_EQ(simtime_ms(kNsPerSec), 1000.0);
+}
+
+}  // namespace
+}  // namespace l2s

@@ -1,0 +1,243 @@
+// l2sim — command-line front end to the library.
+//
+//   l2sim model point --hlo 0.6 --size 16 [--nodes 16] [--replication 0]
+//   l2sim model latency --hlo 0.8 --size 16 [--conscious]
+//   l2sim trace gen --out t.l2st [--paper calgary | --files N --avg-file KB
+//                    --requests N --avg-req KB --alpha A] [--scale S]
+//   l2sim trace info --in t.l2st            (or --clf access.log)
+//   l2sim trace convert --clf access.log --out t.l2st
+//   l2sim run --trace t.l2st|--paper calgary --policy l2s|lard|trad|rr
+//             [--nodes N] [--cache MB] [--scale S] [--rate R] [--rpc K]
+//             [--fail NODE@SECONDS] [--threads T for sweeps]
+//   l2sim figure --paper calgary [--scale S] [--csv DIR] [--threads T]
+//
+// Every command prints a human-readable table; figures can also emit CSV.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "l2sim/common/cli_args.hpp"
+#include "l2sim/l2sim.hpp"
+#include "l2sim/core/parallel.hpp"
+#include "l2sim/policy/round_robin.hpp"
+
+namespace {
+
+using namespace l2s;
+
+using Args = l2s::CliArgs;
+
+int usage() {
+  std::cerr <<
+      "usage: l2sim <command> [options]\n"
+      "  model point    --hlo H --size KB [--nodes N] [--replication R]\n"
+      "  model latency  --hlo H --size KB [--conscious] [--points P]\n"
+      "  trace gen      --out FILE (--paper NAME | --files N --avg-file KB\n"
+      "                 --requests N --avg-req KB --alpha A) [--scale S]\n"
+      "                 [--temporal P]\n"
+      "  trace info     (--in FILE | --clf LOG | --paper NAME [--scale S])\n"
+      "  trace convert  --clf LOG --out FILE\n"
+      "  run            (--trace FILE | --paper NAME [--scale S]) [--policy P]\n"
+      "                 [--nodes N] [--cache MB] [--rate R] [--rpc K]\n"
+      "                 [--gdsf] [--fail NODE@SEC] [--skew S] [--shrink SEC]\n"
+      "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n";
+  return 2;
+}
+
+trace::Trace load_trace(const Args& args) {
+  if (args.has("trace") || args.has("in")) {
+    return trace::read_binary_file(args.get("trace", args.get("in")));
+  }
+  if (args.has("clf")) {
+    std::ifstream in(args.get("clf"));
+    if (!in) throw Error("cannot open " + args.get("clf"));
+    return trace::read_clf(in, args.get("clf"));
+  }
+  if (args.has("paper")) {
+    auto spec = trace::paper_trace_spec(args.get("paper"));
+    const double scale = args.get_double("scale", 0.1);
+    spec.requests =
+        static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
+    if (args.has("temporal")) spec.temporal_locality = args.get_double("temporal", 0.0);
+    return trace::generate(spec);
+  }
+  throw Error("no trace source: pass --trace, --clf or --paper");
+}
+
+int cmd_model(const Args& args) {
+  model::ModelParams params;
+  params.nodes = args.get_int("nodes", 16);
+  params.replication = args.get_double("replication", 0.0);
+  if (args.has("cache")) params.cache_bytes = static_cast<Bytes>(
+      args.get_double("cache", 128.0) * static_cast<double>(kMiB));
+  const model::ClusterModel m(params);
+  const double hlo = args.get_double("hlo", 0.6);
+  const double size = args.get_double("size", 16.0);
+
+  const std::string sub = args.positional().empty() ? "point" : args.positional()[0];
+  if (sub == "latency") {
+    const bool conscious = args.has("conscious");
+    const auto curve = model::latency_curve(m, conscious, hlo, size,
+                                            args.get_int("points", 12), 0.95);
+    TextTable t({"load (%)", "req/s", "mean response (ms)"});
+    for (const auto& p : curve)
+      t.cell(p.utilization * 100.0, 0).cell(p.arrival_rate, 0)
+          .cell(p.mean_response_s * 1e3, 2).end_row();
+    t.print(std::cout);
+    return 0;
+  }
+  const auto lo = m.oblivious(hlo, size);
+  const auto lc = m.conscious(hlo, size);
+  TextTable t({"server", "hit rate", "Q (%)", "bound (req/s)", "bottleneck"});
+  t.cell("oblivious").cell(lo.hit_rate, 3).cell(0.0, 1).cell(lo.throughput, 0)
+      .cell(lo.bottleneck).end_row();
+  t.cell("conscious").cell(lc.hit_rate, 3).cell(lc.forwarded_fraction * 100.0, 1)
+      .cell(lc.throughput, 0).cell(lc.bottleneck).end_row();
+  t.print(std::cout);
+  std::cout << "increase due to locality: "
+            << format_double(lc.throughput / lo.throughput, 2) << "x\n";
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const std::string sub = args.positional().empty() ? "info" : args.positional()[0];
+  if (sub == "gen") {
+    trace::Trace tr = [&] {
+      if (args.has("paper")) return load_trace(args);
+      trace::SyntheticSpec spec;
+      spec.name = args.get("name", "custom");
+      spec.files = static_cast<std::uint64_t>(args.get_int("files", 1000));
+      spec.avg_file_kb = args.get_double("avg-file", 32.0);
+      spec.requests = static_cast<std::uint64_t>(args.get_int("requests", 100000));
+      spec.avg_request_kb = args.get_double("avg-req", 16.0);
+      spec.alpha = args.get_double("alpha", 1.0);
+      spec.temporal_locality = args.get_double("temporal", 0.0);
+      if (args.has("seed"))
+        spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      return trace::generate(spec);
+    }();
+    if (!args.has("out")) throw Error("trace gen: --out FILE required");
+    trace::write_binary_file(tr, args.get("out"));
+    std::cout << "wrote " << tr.request_count() << " requests / "
+              << tr.files().count() << " files to " << args.get("out") << '\n';
+    return 0;
+  }
+  if (sub == "convert") {
+    const auto tr = load_trace(args);
+    if (!args.has("out")) throw Error("trace convert: --out FILE required");
+    trace::write_binary_file(tr, args.get("out"));
+    std::cout << "converted: " << tr.request_count() << " requests -> "
+              << args.get("out") << '\n';
+    return 0;
+  }
+  // info
+  const auto tr = load_trace(args);
+  const auto ch = trace::characterize(tr);
+  TextTable t({"metric", "value"});
+  t.cell("name").cell(tr.name()).end_row();
+  t.cell("files").cell(static_cast<long long>(ch.files)).end_row();
+  t.cell("avg file (KB)").cell(ch.avg_file_kb, 2).end_row();
+  t.cell("requests").cell(static_cast<long long>(ch.requests)).end_row();
+  t.cell("avg request (KB)").cell(ch.avg_request_kb, 2).end_row();
+  t.cell("fitted alpha").cell(ch.alpha, 3).end_row();
+  t.cell("working set (MB)")
+      .cell(static_cast<double>(ch.working_set_bytes) / 1048576.0, 1)
+      .end_row();
+  t.print(std::cout);
+  return 0;
+}
+
+std::unique_ptr<policy::Policy> policy_by_name(const std::string& name, double shrink) {
+  if (name == "l2s") return core::make_policy(core::PolicyKind::kL2s, shrink);
+  if (name == "lard") return core::make_policy(core::PolicyKind::kLard, shrink);
+  if (name == "trad" || name == "traditional")
+    return core::make_policy(core::PolicyKind::kTraditional, shrink);
+  if (name == "rr" || name == "rr-dns") return std::make_unique<policy::RoundRobinPolicy>();
+  throw Error("unknown policy: " + name + " (expected l2s, lard, trad or rr)");
+}
+
+int cmd_run(const Args& args) {
+  const auto tr = load_trace(args);
+  core::SimConfig cfg;
+  cfg.nodes = args.get_int("nodes", 16);
+  cfg.node.cache_bytes = static_cast<Bytes>(
+      args.get_double("cache", 32.0) * static_cast<double>(kMiB));
+  if (args.has("gdsf")) cfg.node.cache_policy = cluster::CachePolicy::kGdsf;
+  cfg.open_loop_arrival_rate = args.get_double("rate", 0.0);
+  cfg.mean_requests_per_connection = args.get_double("rpc", 1.0);
+  cfg.dns_entry_skew = args.get_double("skew", 0.0);
+  if (args.has("timeline")) cfg.timeline_csv_path = args.get("timeline");
+  if (args.has("fail")) {
+    const std::string spec = args.get("fail");
+    const auto at = spec.find('@');
+    if (at == std::string::npos) throw Error("--fail expects NODE@SECONDS");
+    cfg.failures.push_back(
+        {std::atoi(spec.substr(0, at).c_str()), std::atof(spec.substr(at + 1).c_str())});
+  }
+  const double shrink = args.get_double("shrink", 20.0 * args.get_double("scale", 0.1));
+  core::ClusterSimulation sim(cfg, tr, policy_by_name(args.get("policy", "l2s"), shrink));
+  const auto r = sim.run();
+  std::cout << r.describe() << '\n';
+  TextTable t({"metric", "value"});
+  t.cell("throughput (req/s)").cell(r.throughput_rps, 1).end_row();
+  t.cell("completed / failed")
+      .cell(std::to_string(r.completed) + " / " + std::to_string(r.failed))
+      .end_row();
+  t.cell("hit rate (%)").cell(r.hit_rate * 100.0, 2).end_row();
+  t.cell("forwarded (%)").cell(r.forwarded_fraction * 100.0, 2).end_row();
+  t.cell("CPU idle (%)").cell(r.cpu_idle_fraction * 100.0, 2).end_row();
+  t.cell("load CoV").cell(r.load_cov, 3).end_row();
+  t.cell("response mean/p50/p95/p99 (ms)")
+      .cell(format_double(r.mean_response_ms, 2) + " / " +
+            format_double(r.p50_response_ms, 2) + " / " +
+            format_double(r.p95_response_ms, 2) + " / " +
+            format_double(r.p99_response_ms, 2))
+      .end_row();
+  t.cell("stage entry/forward/disk/reply (ms)")
+      .cell(format_double(r.stage_entry_ms, 2) + " / " +
+            format_double(r.stage_forward_ms, 2) + " / " +
+            format_double(r.stage_disk_ms, 2) + " / " +
+            format_double(r.stage_reply_ms, 2))
+      .end_row();
+  t.cell("VIA messages").cell(static_cast<long long>(r.via_messages)).end_row();
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_figure(const Args& args) {
+  if (!args.has("paper")) throw Error("figure: --paper NAME required");
+  const double scale = args.get_double("scale", 0.1);
+  auto spec = trace::paper_trace_spec(args.get("paper"));
+  spec.requests = static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
+  const auto tr = trace::generate(spec);
+
+  core::ExperimentConfig cfg;
+  cfg.sim.node.cache_bytes = 32 * kMiB;
+  cfg.set_shrink_seconds = 20.0 * scale;
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const auto fig = threads == 1 ? core::run_throughput_figure(tr, cfg)
+                                : core::run_throughput_figure_parallel(tr, cfg, threads);
+  core::print_throughput_figure(std::cout, fig);
+  if (args.has("csv")) core::write_throughput_csv(fig, args.get("csv"), "figure_" + spec.name);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "model") return cmd_model(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "figure") return cmd_figure(args);
+    return usage();
+  } catch (const l2s::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
