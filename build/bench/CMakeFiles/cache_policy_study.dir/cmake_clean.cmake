@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policy_study.dir/cache_policy_study.cpp.o"
+  "CMakeFiles/cache_policy_study.dir/cache_policy_study.cpp.o.d"
+  "cache_policy_study"
+  "cache_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

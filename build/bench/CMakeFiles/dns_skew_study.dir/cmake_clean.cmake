@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_skew_study.dir/dns_skew_study.cpp.o"
+  "CMakeFiles/dns_skew_study.dir/dns_skew_study.cpp.o.d"
+  "dns_skew_study"
+  "dns_skew_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_skew_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rutgers.dir/fig10_rutgers.cpp.o"
+  "CMakeFiles/fig10_rutgers.dir/fig10_rutgers.cpp.o.d"
+  "fig10_rutgers"
+  "fig10_rutgers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rutgers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

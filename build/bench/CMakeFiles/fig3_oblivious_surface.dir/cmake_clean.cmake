@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_oblivious_surface.dir/fig3_oblivious_surface.cpp.o"
+  "CMakeFiles/fig3_oblivious_surface.dir/fig3_oblivious_surface.cpp.o.d"
+  "fig3_oblivious_surface"
+  "fig3_oblivious_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_oblivious_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_oblivious_surface.
+# This may be replaced when dependencies are built.

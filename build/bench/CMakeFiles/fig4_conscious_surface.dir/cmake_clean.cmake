@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_conscious_surface.dir/fig4_conscious_surface.cpp.o"
+  "CMakeFiles/fig4_conscious_surface.dir/fig4_conscious_surface.cpp.o.d"
+  "fig4_conscious_surface"
+  "fig4_conscious_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_conscious_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_increase_surface.dir/fig5_increase_surface.cpp.o"
+  "CMakeFiles/fig5_increase_surface.dir/fig5_increase_surface.cpp.o.d"
+  "fig5_increase_surface"
+  "fig5_increase_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_increase_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

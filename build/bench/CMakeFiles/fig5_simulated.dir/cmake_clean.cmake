@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_simulated.dir/fig5_simulated.cpp.o"
+  "CMakeFiles/fig5_simulated.dir/fig5_simulated.cpp.o.d"
+  "fig5_simulated"
+  "fig5_simulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_simulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

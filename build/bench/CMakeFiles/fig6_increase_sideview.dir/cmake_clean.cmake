@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_increase_sideview.dir/fig6_increase_sideview.cpp.o"
+  "CMakeFiles/fig6_increase_sideview.dir/fig6_increase_sideview.cpp.o.d"
+  "fig6_increase_sideview"
+  "fig6_increase_sideview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_increase_sideview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_increase_sideview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_calgary.dir/fig7_calgary.cpp.o"
+  "CMakeFiles/fig7_calgary.dir/fig7_calgary.cpp.o.d"
+  "fig7_calgary"
+  "fig7_calgary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_calgary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_clarknet.dir/fig8_clarknet.cpp.o"
+  "CMakeFiles/fig8_clarknet.dir/fig8_clarknet.cpp.o.d"
+  "fig8_clarknet"
+  "fig8_clarknet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_clarknet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_nasa.dir/fig9_nasa.cpp.o"
+  "CMakeFiles/fig9_nasa.dir/fig9_nasa.cpp.o.d"
+  "fig9_nasa"
+  "fig9_nasa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_nasa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

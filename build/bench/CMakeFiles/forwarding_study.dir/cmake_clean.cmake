@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_study.dir/forwarding_study.cpp.o"
+  "CMakeFiles/forwarding_study.dir/forwarding_study.cpp.o.d"
+  "forwarding_study"
+  "forwarding_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_time_study.dir/idle_time_study.cpp.o"
+  "CMakeFiles/idle_time_study.dir/idle_time_study.cpp.o.d"
+  "idle_time_study"
+  "idle_time_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_time_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

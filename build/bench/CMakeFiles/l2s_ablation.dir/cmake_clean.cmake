@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2s_ablation.dir/l2s_ablation.cpp.o"
+  "CMakeFiles/l2s_ablation.dir/l2s_ablation.cpp.o.d"
+  "l2s_ablation"
+  "l2s_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2s_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

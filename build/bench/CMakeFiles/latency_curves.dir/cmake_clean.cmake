@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_curves.dir/latency_curves.cpp.o"
+  "CMakeFiles/latency_curves.dir/latency_curves.cpp.o.d"
+  "latency_curves"
+  "latency_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

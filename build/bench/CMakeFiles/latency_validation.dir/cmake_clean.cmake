@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_validation.dir/latency_validation.cpp.o"
+  "CMakeFiles/latency_validation.dir/latency_validation.cpp.o.d"
+  "latency_validation"
+  "latency_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

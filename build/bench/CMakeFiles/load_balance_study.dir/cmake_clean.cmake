@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_study.dir/load_balance_study.cpp.o"
+  "CMakeFiles/load_balance_study.dir/load_balance_study.cpp.o.d"
+  "load_balance_study"
+  "load_balance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

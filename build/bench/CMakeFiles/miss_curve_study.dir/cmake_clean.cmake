@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_curve_study.dir/miss_curve_study.cpp.o"
+  "CMakeFiles/miss_curve_study.dir/miss_curve_study.cpp.o.d"
+  "miss_curve_study"
+  "miss_curve_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_curve_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

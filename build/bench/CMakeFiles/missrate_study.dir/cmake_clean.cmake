@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missrate_study.dir/missrate_study.cpp.o"
+  "CMakeFiles/missrate_study.dir/missrate_study.cpp.o.d"
+  "missrate_study"
+  "missrate_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missrate_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

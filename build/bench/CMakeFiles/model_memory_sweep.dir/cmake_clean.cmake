@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_memory_sweep.dir/model_memory_sweep.cpp.o"
+  "CMakeFiles/model_memory_sweep.dir/model_memory_sweep.cpp.o.d"
+  "model_memory_sweep"
+  "model_memory_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_memory_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

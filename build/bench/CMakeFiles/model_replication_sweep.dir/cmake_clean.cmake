@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_replication_sweep.dir/model_replication_sweep.cpp.o"
+  "CMakeFiles/model_replication_sweep.dir/model_replication_sweep.cpp.o.d"
+  "model_replication_sweep"
+  "model_replication_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_replication_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_study.dir/persistent_study.cpp.o"
+  "CMakeFiles/persistent_study.dir/persistent_study.cpp.o.d"
+  "persistent_study"
+  "persistent_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_panorama.dir/policy_panorama.cpp.o"
+  "CMakeFiles/policy_panorama.dir/policy_panorama.cpp.o.d"
+  "policy_panorama"
+  "policy_panorama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_panorama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

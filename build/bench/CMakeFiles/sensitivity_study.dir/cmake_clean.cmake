@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_study.dir/sensitivity_study.cpp.o"
+  "CMakeFiles/sensitivity_study.dir/sensitivity_study.cpp.o.d"
+  "sensitivity_study"
+  "sensitivity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_memory_sweep.dir/sim_memory_sweep.cpp.o"
+  "CMakeFiles/sim_memory_sweep.dir/sim_memory_sweep.cpp.o.d"
+  "sim_memory_sweep"
+  "sim_memory_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_memory_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_locality_study.dir/temporal_locality_study.cpp.o"
+  "CMakeFiles/temporal_locality_study.dir/temporal_locality_study.cpp.o.d"
+  "temporal_locality_study"
+  "temporal_locality_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_locality_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

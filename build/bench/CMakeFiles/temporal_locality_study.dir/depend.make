@@ -1,0 +1,2 @@
+# Empty dependencies file for temporal_locality_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_trace_tool.dir/synthetic_trace_tool.cpp.o"
+  "CMakeFiles/synthetic_trace_tool.dir/synthetic_trace_tool.cpp.o.d"
+  "synthetic_trace_tool"
+  "synthetic_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_stats.cpp" "src/CMakeFiles/l2sim.dir/cache/cache_stats.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cache/cache_stats.cpp.o.d"
+  "/root/repo/src/cache/gdsf_cache.cpp" "src/CMakeFiles/l2sim.dir/cache/gdsf_cache.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cache/gdsf_cache.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/CMakeFiles/l2sim.dir/cache/lru_cache.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cache/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/stack_distance.cpp" "src/CMakeFiles/l2sim.dir/cache/stack_distance.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cache/stack_distance.cpp.o.d"
+  "/root/repo/src/cluster/connection.cpp" "src/CMakeFiles/l2sim.dir/cluster/connection.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cluster/connection.cpp.o.d"
+  "/root/repo/src/cluster/injector.cpp" "src/CMakeFiles/l2sim.dir/cluster/injector.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cluster/injector.cpp.o.d"
+  "/root/repo/src/cluster/load_tracker.cpp" "src/CMakeFiles/l2sim.dir/cluster/load_tracker.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cluster/load_tracker.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/l2sim.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/common/cli_args.cpp" "src/CMakeFiles/l2sim.dir/common/cli_args.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/cli_args.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/l2sim.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/CMakeFiles/l2sim.dir/common/env.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/env.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/l2sim.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/l2sim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/l2sim.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/l2sim.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/common/units.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/l2sim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/l2sim.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/l2sim.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/l2sim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/l2sim.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/des/process.cpp" "src/CMakeFiles/l2sim.dir/des/process.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/des/process.cpp.o.d"
+  "/root/repo/src/des/resource.cpp" "src/CMakeFiles/l2sim.dir/des/resource.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/des/resource.cpp.o.d"
+  "/root/repo/src/des/scheduler.cpp" "src/CMakeFiles/l2sim.dir/des/scheduler.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/des/scheduler.cpp.o.d"
+  "/root/repo/src/model/cluster_model.cpp" "src/CMakeFiles/l2sim.dir/model/cluster_model.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/model/cluster_model.cpp.o.d"
+  "/root/repo/src/model/latency.cpp" "src/CMakeFiles/l2sim.dir/model/latency.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/model/latency.cpp.o.d"
+  "/root/repo/src/model/parameters.cpp" "src/CMakeFiles/l2sim.dir/model/parameters.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/model/parameters.cpp.o.d"
+  "/root/repo/src/model/surface.cpp" "src/CMakeFiles/l2sim.dir/model/surface.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/model/surface.cpp.o.d"
+  "/root/repo/src/model/trace_model.cpp" "src/CMakeFiles/l2sim.dir/model/trace_model.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/model/trace_model.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/l2sim.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/net/nic.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/l2sim.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/switch_fabric.cpp" "src/CMakeFiles/l2sim.dir/net/switch_fabric.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/net/switch_fabric.cpp.o.d"
+  "/root/repo/src/net/via.cpp" "src/CMakeFiles/l2sim.dir/net/via.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/net/via.cpp.o.d"
+  "/root/repo/src/policy/consistent_hash.cpp" "src/CMakeFiles/l2sim.dir/policy/consistent_hash.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/consistent_hash.cpp.o.d"
+  "/root/repo/src/policy/l2s.cpp" "src/CMakeFiles/l2sim.dir/policy/l2s.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/l2s.cpp.o.d"
+  "/root/repo/src/policy/lard.cpp" "src/CMakeFiles/l2sim.dir/policy/lard.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/lard.cpp.o.d"
+  "/root/repo/src/policy/lard_dispatcher.cpp" "src/CMakeFiles/l2sim.dir/policy/lard_dispatcher.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/lard_dispatcher.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/l2sim.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/policy/round_robin.cpp" "src/CMakeFiles/l2sim.dir/policy/round_robin.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/round_robin.cpp.o.d"
+  "/root/repo/src/policy/server_set.cpp" "src/CMakeFiles/l2sim.dir/policy/server_set.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/server_set.cpp.o.d"
+  "/root/repo/src/policy/traditional.cpp" "src/CMakeFiles/l2sim.dir/policy/traditional.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/policy/traditional.cpp.o.d"
+  "/root/repo/src/queueing/jackson.cpp" "src/CMakeFiles/l2sim.dir/queueing/jackson.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/queueing/jackson.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/CMakeFiles/l2sim.dir/queueing/mg1.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/queueing/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mm1.cpp" "src/CMakeFiles/l2sim.dir/queueing/mm1.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/queueing/mm1.cpp.o.d"
+  "/root/repo/src/queueing/mmc.cpp" "src/CMakeFiles/l2sim.dir/queueing/mmc.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/queueing/mmc.cpp.o.d"
+  "/root/repo/src/stats/accumulator.cpp" "src/CMakeFiles/l2sim.dir/stats/accumulator.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/stats/accumulator.cpp.o.d"
+  "/root/repo/src/stats/counter_set.cpp" "src/CMakeFiles/l2sim.dir/stats/counter_set.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/stats/counter_set.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/l2sim.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/CMakeFiles/l2sim.dir/storage/disk.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/storage/disk.cpp.o.d"
+  "/root/repo/src/storage/file_set.cpp" "src/CMakeFiles/l2sim.dir/storage/file_set.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/storage/file_set.cpp.o.d"
+  "/root/repo/src/trace/binary_io.cpp" "src/CMakeFiles/l2sim.dir/trace/binary_io.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/trace/binary_io.cpp.o.d"
+  "/root/repo/src/trace/characterize.cpp" "src/CMakeFiles/l2sim.dir/trace/characterize.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/trace/characterize.cpp.o.d"
+  "/root/repo/src/trace/clf_reader.cpp" "src/CMakeFiles/l2sim.dir/trace/clf_reader.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/trace/clf_reader.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/l2sim.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/l2sim.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/zipf/harmonic.cpp" "src/CMakeFiles/l2sim.dir/zipf/harmonic.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/zipf/harmonic.cpp.o.d"
+  "/root/repo/src/zipf/sampler.cpp" "src/CMakeFiles/l2sim.dir/zipf/sampler.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/zipf/sampler.cpp.o.d"
+  "/root/repo/src/zipf/zipf.cpp" "src/CMakeFiles/l2sim.dir/zipf/zipf.cpp.o" "gcc" "src/CMakeFiles/l2sim.dir/zipf/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libl2sim.a"
+)

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accumulator.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_accumulator.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_accumulator.cpp.o.d"
+  "/root/repo/tests/test_binary_io.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_binary_io.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_binary_io.cpp.o.d"
+  "/root/repo/tests/test_breakdown.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_breakdown.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_breakdown.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_clf_reader.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_clf_reader.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_clf_reader.cpp.o.d"
+  "/root/repo/tests/test_cli_args.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_cli_args.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_cli_args.cpp.o.d"
+  "/root/repo/tests/test_cluster_model.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_cluster_model.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_cluster_model.cpp.o.d"
+  "/root/repo/tests/test_consistent_hash.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_consistent_hash.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_consistent_hash.cpp.o.d"
+  "/root/repo/tests/test_disk.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_disk.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_disk.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_file_set.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_file_set.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_file_set.cpp.o.d"
+  "/root/repo/tests/test_gdsf_cache.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_gdsf_cache.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_gdsf_cache.cpp.o.d"
+  "/root/repo/tests/test_harmonic.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_harmonic.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_harmonic.cpp.o.d"
+  "/root/repo/tests/test_heterogeneity.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_injector.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_injector.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_injector.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interactions.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_interactions.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_interactions.cpp.o.d"
+  "/root/repo/tests/test_jackson.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_jackson.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_jackson.cpp.o.d"
+  "/root/repo/tests/test_lard_dispatcher.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_lard_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_lard_dispatcher.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_load_tracker.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_load_tracker.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_load_tracker.cpp.o.d"
+  "/root/repo/tests/test_lru_cache.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_lru_cache.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_lru_cache.cpp.o.d"
+  "/root/repo/tests/test_mg1.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_mg1.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_mg1.cpp.o.d"
+  "/root/repo/tests/test_mm1.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_mm1.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_mm1.cpp.o.d"
+  "/root/repo/tests/test_mmc.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_mmc.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_mmc.cpp.o.d"
+  "/root/repo/tests/test_model_params.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_model_params.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_model_params.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_open_loop.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_open_loop.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_open_loop.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_persistent.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_persistent.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_persistent.cpp.o.d"
+  "/root/repo/tests/test_policy_l2s.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_policy_l2s.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_policy_l2s.cpp.o.d"
+  "/root/repo/tests/test_policy_lard.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_policy_lard.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_policy_lard.cpp.o.d"
+  "/root/repo/tests/test_policy_traditional.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_policy_traditional.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_policy_traditional.cpp.o.d"
+  "/root/repo/tests/test_process.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_process.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_process.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_resource.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_resource.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_resource.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_round_robin.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_round_robin.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_round_robin.cpp.o.d"
+  "/root/repo/tests/test_sampler.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_server_set.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_server_set.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_server_set.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_specweb.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_specweb.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_specweb.cpp.o.d"
+  "/root/repo/tests/test_stack_distance.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_stack_distance.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_stack_distance.cpp.o.d"
+  "/root/repo/tests/test_surface.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_surface.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_surface.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_model.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_trace_model.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_trace_model.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_via.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_via.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_via.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/l2sim_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/l2sim_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/l2sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2sim_cli.dir/l2sim_cli.cpp.o"
+  "CMakeFiles/l2sim_cli.dir/l2sim_cli.cpp.o.d"
+  "l2sim"
+  "l2sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
