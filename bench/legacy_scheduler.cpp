@@ -1,0 +1,34 @@
+#include "legacy_scheduler.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::bench {
+
+void LegacyScheduler::at(SimTime t, EventFn fn) {
+  L2S_REQUIRE(t >= now_);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void LegacyScheduler::after(SimTime delay, EventFn fn) {
+  L2S_REQUIRE(delay >= 0);
+  at(now_ + delay, std::move(fn));
+}
+
+bool LegacyScheduler::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is safe because
+  // the entry is popped immediately after and never observed again.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++processed_;
+  entry.fn();
+  return true;
+}
+
+void LegacyScheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace l2s::bench

@@ -1,0 +1,49 @@
+// The DES kernel this repository shipped before the allocation-free
+// rewrite, preserved verbatim as the benchmark baseline: type-erased
+// copyable std::function events held inside std::priority_queue's binary
+// heap, 48-byte (time, seq, fn) entries moved wholesale on every sift,
+// and the UB-adjacent const_cast move out of top(). Kept in its own
+// translation unit, exactly as the original lived in src/des/, so the
+// comparison does not flatter either side with extra inlining.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+
+namespace l2s::bench {
+
+class LegacyScheduler {
+ public:
+  using EventFn = std::function<void()>;
+
+  void at(SimTime t, EventFn fn);
+  void after(SimTime delay, EventFn fn);
+  [[nodiscard]] SimTime now() const { return now_; }
+  bool step();
+  void run();
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace l2s::bench

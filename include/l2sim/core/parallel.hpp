@@ -19,9 +19,11 @@ struct SimJob {
 };
 
 /// Run all jobs and return their results in job order. `threads == 0`
-/// uses the hardware concurrency; `threads == 1` runs inline. Exceptions
-/// from any job are rethrown (the first one encountered, after all
-/// threads join).
+/// uses the hardware concurrency; `threads == 1` runs inline. If any job
+/// throws, the first failure (after all threads join) is rethrown nested
+/// inside an Error naming the job: "run_parallel: job i (trace=...,
+/// nodes=..., policy=...) failed". Catch as l2s::Error and use
+/// std::rethrow_if_nested to reach the original exception.
 [[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs,
                                                   unsigned threads = 0);
 

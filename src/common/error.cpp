@@ -6,8 +6,7 @@ namespace l2s {
 
 void throw_error(const std::string& message) { throw Error(message); }
 
-void require(bool condition, const char* expr, const char* file, int line) {
-  if (condition) return;
+void require_fail(const char* expr, const char* file, int line) {
   std::ostringstream os;
   os << "l2sim invariant violated: " << expr << " at " << file << ":" << line;
   throw Error(os.str());

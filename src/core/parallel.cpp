@@ -1,8 +1,9 @@
 #include "l2sim/core/parallel.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <exception>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "l2sim/common/error.hpp"
@@ -22,6 +23,7 @@ std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned th
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
   std::mutex error_mutex;
 
   auto worker = [&]() {
@@ -35,7 +37,10 @@ std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned th
         results[i] = sim.run();
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
         failed.store(true);
         return;
       }
@@ -50,7 +55,21 @@ std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned th
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Rethrow with the failing job identified: a sweep can hold dozens of
+    // (trace, nodes, policy) combinations, and "bad parameter" alone does
+    // not say which one to re-run.
+    const SimJob& job = jobs[first_error_index];
+    std::ostringstream context;
+    context << "run_parallel: job " << first_error_index << " (trace="
+            << job.trace->name() << ", nodes=" << job.sim.nodes
+            << ", policy=" << policy_kind_name(job.kind) << ") failed";
+    try {
+      std::rethrow_exception(first_error);
+    } catch (...) {
+      std::throw_with_nested(Error(context.str()));
+    }
+  }
   return results;
 }
 

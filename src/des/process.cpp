@@ -18,8 +18,12 @@ StageChain& StageChain::delay(SimTime d) {
 }
 
 StageChain& StageChain::then(EventFn action) {
-  stages_.push_back([action = std::move(action)](EventFn next) {
-    action();
+  // Stages live in a copyable std::function, but EventFn is move-only;
+  // park the action behind a shared_ptr (StageChain is setup-time code,
+  // not the event hot path).
+  auto shared = std::make_shared<EventFn>(std::move(action));
+  stages_.push_back([shared](EventFn next) {
+    (*shared)();
     next();
   });
   return *this;

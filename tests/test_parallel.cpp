@@ -74,6 +74,32 @@ TEST(Parallel, JobErrorsPropagate) {
   EXPECT_THROW((void)run_parallel(jobs, 4), Error);
 }
 
+TEST(Parallel, JobErrorsCarryJobContext) {
+  const auto tr = workload();
+  std::vector<SimJob> jobs = grid_jobs(tr);
+  jobs[2].sim.nodes = 0;  // third job (index 2) fails
+  try {
+    (void)run_parallel(jobs, 1);  // serial: job 2 is deterministically first
+    FAIL() << "expected run_parallel to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run_parallel: job 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace=par"), std::string::npos) << what;
+    EXPECT_NE(what.find("nodes=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("policy="), std::string::npos) << what;
+    // The original failure is nested inside and still reachable.
+    bool found_cause = false;
+    try {
+      std::rethrow_if_nested(e);
+    } catch (const Error& cause) {
+      found_cause = true;
+      EXPECT_EQ(what.find(cause.what()), std::string::npos)
+          << "cause should not be duplicated into the context message";
+    }
+    EXPECT_TRUE(found_cause);
+  }
+}
+
 TEST(Parallel, FigureMatchesSerialRunner) {
   const auto tr = workload();
   ExperimentConfig cfg;

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include "l2sim/common/error.hpp"
@@ -99,6 +103,99 @@ TEST(Scheduler, ResetRestoresPristineState) {
   s.at(0, [] {});
   s.run();
   EXPECT_EQ(s.events_processed(), 1u);
+}
+
+// Regression: the previous kernel stored events as std::function inside a
+// std::priority_queue and had to move them out of top() through a
+// const_cast, which both skirted UB and ruled out move-only callables.
+// The indexed-heap kernel owns its slots outright, so step() must work
+// with events that can only be moved.
+TEST(Scheduler, MoveOnlyCallables) {
+  Scheduler s;
+  int observed = 0;
+  auto payload = std::make_unique<int>(41);
+  s.at(1, [&observed, p = std::move(payload)] { observed = *p + 1; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(observed, 42);
+
+  // Same through after(), and while another event is pending.
+  auto second = std::make_unique<int>(7);
+  s.after(5, [&observed, p = std::move(second)] { observed += *p; });
+  s.run();
+  EXPECT_EQ(observed, 49);
+}
+
+// Captures larger than the inline buffer spill to the event arena and must
+// still fire exactly once with their state intact.
+TEST(Scheduler, OversizedCapturesSpillAndFire) {
+  Scheduler s;
+  struct Big {
+    std::uint64_t a[12];  // 96 bytes: over InlineEvent::kInlineSize
+  };
+  Big big{};
+  for (int i = 0; i < 12; ++i) big.a[i] = static_cast<std::uint64_t>(i + 1);
+  std::uint64_t sum = 0;
+  s.at(1, [big, &sum] {
+    for (const auto v : big.a) sum += v;
+  });
+  s.run();
+  EXPECT_EQ(sum, 78u);
+
+  // Steady state: repeated spills recycle arena blocks instead of growing.
+  const auto before = EventArena::stats();
+  for (int round = 0; round < 100; ++round) {
+    s.after(1, [big, &sum] { sum += big.a[0]; });
+    s.run();
+  }
+  const auto after = EventArena::stats();
+  EXPECT_EQ(after.outstanding, before.outstanding);
+  EXPECT_GE(after.reused_blocks, before.reused_blocks + 99);
+}
+
+// Property test: a random interleaving of at/after/run_until must fire
+// every event exactly once, in (time, submission order) — the same order a
+// sorted stable reference produces.
+TEST(Scheduler, RandomScheduleMatchesSortedReference) {
+  std::mt19937 gen(20000607);  // HPDC 2000 vintage
+  for (int trial = 0; trial < 25; ++trial) {
+    Scheduler s;
+    // (time, submission index) of every scheduled event, in submission order.
+    std::vector<std::pair<SimTime, int>> scheduled;
+    std::vector<int> fired;
+    int next_id = 0;
+
+    auto schedule_one = [&] {
+      const int id = next_id++;
+      // Small time range on purpose: collisions exercise the FIFO tie-break.
+      const auto t = static_cast<SimTime>(gen() % 50);
+      if ((gen() & 1u) != 0u) {
+        s.at(s.now() + t, [id, &fired] { fired.push_back(id); });
+        scheduled.emplace_back(s.now() + t, id);
+      } else {
+        s.after(t, [id, &fired] { fired.push_back(id); });
+        scheduled.emplace_back(s.now() + t, id);
+      }
+    };
+
+    const int ops = 200 + static_cast<int>(gen() % 200);
+    for (int op = 0; op < ops; ++op) {
+      if ((gen() % 4u) != 0u) {
+        schedule_one();
+      } else {
+        s.run_until(s.now() + static_cast<SimTime>(gen() % 30));
+      }
+    }
+    s.run();
+
+    // Stable sort by time reproduces the contract: time-sorted, ties FIFO.
+    auto expected = scheduled;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(fired.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(fired[i], expected[i].second) << "trial " << trial << " pos " << i;
+    EXPECT_EQ(s.events_processed(), expected.size());
+  }
 }
 
 TEST(Scheduler, ZeroDelaySelfScheduleRunsAtSameTime) {

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. tier-1: Release build + entire test suite
+#   2. DES kernel bench (gates: >=2x open-loop speedup, zero steady-state
+#      heap allocations in the inline kernel)
+#   3. ThreadSanitizer build, running the scheduler/event-kernel and
+#      run_parallel tests (the only concurrent code path)
+#
+# Usage: tools/check.sh [--skip-tsan] [--skip-bench]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+skip_tsan=0
+skip_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=1 ;;
+    --skip-bench) skip_bench=1 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-bench]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: Release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$skip_bench" -eq 0 ]]; then
+  echo "== DES kernel bench (speedup + zero-allocation gates) =="
+  ./build/bench/des_kernel_bench --out build/BENCH_des_kernel.json
+fi
+
+if [[ "$skip_tsan" -eq 0 ]]; then
+  echo "== ThreadSanitizer: scheduler + parallel tests =="
+  cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target l2sim_tests
+  ctest --test-dir build-tsan --output-on-failure -j \
+    -R 'Scheduler|Parallel|Determinism'
+fi
+
+echo "check.sh: all green"
