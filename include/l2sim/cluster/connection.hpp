@@ -39,6 +39,20 @@ struct Connection {
   /// failure aborts release the count exactly once.
   bool counted_in_service = false;
 
+  /// Node epoch observed when counted_in_service was set: a count taken
+  /// before a crash must not be released against the recovered node's
+  /// zeroed counter.
+  int service_epoch = 0;
+
+  /// Client-side robustness: current attempt number (0 = first try) and
+  /// retries consumed. Lifecycle callbacks capture the attempt they belong
+  /// to and bail if a retry has superseded them. `first_arrival` anchors
+  /// the per-request deadline across retries.
+  std::uint32_t attempt = 0;
+  std::uint32_t retries_used = 0;
+  SimTime first_arrival = 0;
+  SimTime deadline_at = 0;  ///< 0 = no deadline armed
+
   /// Stage timestamps of the current request, for latency breakdowns:
   /// arrival -> decided (entry processing incl. queueing) -> service
   /// start (hand-off, zero when local) -> disk done (zero on hits) ->

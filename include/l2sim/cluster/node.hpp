@@ -67,6 +67,20 @@ class Node {
   /// Mark the node crashed: its in-flight work is lost (connections abort
   /// when the lifecycle next touches the node) and it serves nothing more.
   void fail() { alive_ = false; }
+  /// Restart after a crash: alive again with a cold cache and zeroed load
+  /// state. Bumps the incarnation epoch so connections counted against the
+  /// previous life cannot decrement the fresh open-connection count.
+  void recover();
+  /// Incremented on every recover(); connection bookkeeping records the
+  /// epoch it was counted under and only releases into the same epoch.
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  // --- fail-slow injection -----------------------------------------------
+  /// Multiply CPU service times (parse/forward/hand-off/reply) by `factor`.
+  void set_cpu_slow(double factor);
+  [[nodiscard]] double cpu_slow() const { return cpu_slow_; }
+  /// Multiply disk read times by `factor` (forwards to the disk).
+  void set_disk_slow(double factor) { disk_.set_slow_factor(factor); }
 
   // --- service times -----------------------------------------------------
   [[nodiscard]] SimTime parse_time() const;
@@ -87,6 +101,8 @@ class Node {
   std::unique_ptr<cache::FileCache> cache_;
   int open_connections_ = 0;
   bool alive_ = true;
+  int epoch_ = 0;
+  double cpu_slow_ = 1.0;
 };
 
 }  // namespace l2s::cluster

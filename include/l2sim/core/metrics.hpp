@@ -29,8 +29,33 @@ struct SimResult {
   std::uint64_t migrations = 0;      ///< connection hand-offs between nodes
   std::uint64_t remote_fetches = 0;  ///< back-end request forwardings
 
-  /// Requests lost to injected node crashes (availability studies).
+  /// Requests the cluster failed to serve (availability studies). The
+  /// total always equals the sum of the three buckets below.
   std::uint64_t failed = 0;
+  std::uint64_t failed_deadline = 0;   ///< client deadline expired
+  std::uint64_t failed_retries_exhausted = 0;  ///< every attempt died
+  std::uint64_t failed_rejected = 0;   ///< open-loop arrival found buffers full
+
+  /// Client-side retry accounting (all zero unless SimConfig::retry is on).
+  std::uint64_t completed_after_retry = 0;  ///< completions needing >= 1 retry
+  std::uint64_t retry_attempts = 0;         ///< re-submissions performed
+  /// Mean attempts per request: 1.0 = no retries anywhere.
+  double retry_amplification = 0.0;
+
+  /// Fault-layer message accounting (VIA).
+  std::uint64_t via_dropped = 0;
+  std::uint64_t via_duplicated = 0;
+  std::uint64_t via_delayed = 0;
+  std::uint64_t heartbeats = 0;  ///< heartbeat broadcasts sent by the detector
+
+  /// Availability timings (0 when no crash/recovery was observed).
+  double detection_latency_ms = 0.0;  ///< crash -> policies told, mean
+  double time_to_recover_ms = 0.0;    ///< restart -> readmitted, mean
+
+  /// Per-interval goodput timeline of the measured pass (empty unless
+  /// SimConfig::goodput_interval_seconds > 0).
+  std::vector<double> goodput_rps;
+  double goodput_interval_seconds = 0.0;
 
   /// Mean over nodes of (1 - CPU utilization) during the measured pass.
   double cpu_idle_fraction = 0.0;

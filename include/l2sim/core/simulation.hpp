@@ -27,11 +27,15 @@
 #include "l2sim/cluster/node.hpp"
 #include "l2sim/core/metrics.hpp"
 #include "l2sim/des/scheduler.hpp"
+#include "l2sim/fault/detector.hpp"
+#include "l2sim/fault/plan.hpp"
+#include "l2sim/fault/runtime.hpp"
 #include "l2sim/net/router.hpp"
 #include "l2sim/net/switch_fabric.hpp"
 #include "l2sim/net/via.hpp"
 #include "l2sim/policy/policy.hpp"
 #include "l2sim/stats/accumulator.hpp"
+#include "l2sim/stats/availability.hpp"
 #include "l2sim/stats/histogram.hpp"
 #include "l2sim/trace/trace.hpp"
 
@@ -93,13 +97,49 @@ struct SimConfig {
   /// Node crashes injected during the measured pass (availability study:
   /// the paper's L2S has no single point of failure, while LARD's
   /// front-end is one). Times are seconds after measurement starts.
+  ///
+  /// DEPRECATED: this is the pre-FaultPlan interface, kept as a shim —
+  /// every entry is folded into `fault_plan` as a Crash when the run is
+  /// armed. New code should populate `fault_plan` directly, which also
+  /// expresses recoveries, fail-slow windows and message faults.
   struct NodeFailure {
     int node = 0;
     double at_seconds = 0.0;
   };
   std::vector<NodeFailure> failures;
   /// Delay until the survivors (policies, DNS) stop using a crashed node.
+  /// Only used by the legacy fixed-delay detection path (when
+  /// `detection.heartbeats` is false); it also paces readmission after a
+  /// recovery on that path.
   double failure_detection_seconds = 0.5;
+
+  /// Declarative fault schedule for the measured pass (crashes,
+  /// recoveries, fail-slow windows, VIA message faults). Replaces — and is
+  /// merged with — the legacy `failures` vector.
+  fault::FaultPlan fault_plan;
+
+  /// Heartbeat failure detection (off = legacy fixed-delay detection).
+  fault::DetectionParams detection;
+
+  /// Client-side robustness. Defaults keep everything off, reproducing
+  /// the fail-fast client of the original model.
+  struct RetryParams {
+    int max_retries = 0;  ///< extra attempts after the first (0 = fail fast)
+    double initial_backoff_seconds = 0.025;
+    double backoff_multiplier = 2.0;
+    double max_backoff_seconds = 0.2;
+    /// Per-request deadline measured from first arrival; the client gives
+    /// up (request fails) when it expires. 0 = none.
+    double deadline_seconds = 0.0;
+    /// Per-attempt timeout: an attempt that has not completed by then is
+    /// abandoned and retried (or failed). Required (or a deadline) for
+    /// liveness whenever the fault plan can drop messages. 0 = none.
+    double attempt_timeout_seconds = 0.0;
+  };
+  RetryParams retry;
+
+  /// Goodput timeline bucket width for SimResult::goodput_rps (0 = off).
+  double goodput_interval_seconds = 0.0;
   /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
   /// assumption). When set, the vector length must equal `nodes`.
   std::vector<double> node_speed_factors;
@@ -153,10 +193,31 @@ class ClusterSimulation {
   void remote_fetch(const ConnPtr& conn, int owner);
   [[nodiscard]] std::uint32_t sample_connection_length();
   [[nodiscard]] bool node_alive(int id) const;
-  /// Abort a connection whose node crashed: the client sees a failure and
-  /// the admission slot frees. Idempotent.
+  /// Abort a connection whose node crashed: retried if the client has
+  /// retry budget left, otherwise the client sees a failure and the
+  /// admission slot frees (after the client timeout). Idempotent.
   void abort_connection(const ConnPtr& conn);
-  void schedule_failures(SimTime measure_start);
+  /// Launch the connection's current attempt: entry selection, router,
+  /// entry NIC, parse. Called at injection and again on every retry.
+  void start_attempt(const ConnPtr& conn);
+  /// Consume retry budget and schedule the next attempt after backoff.
+  void schedule_retry(const ConnPtr& conn);
+  /// A callback belongs to a superseded attempt (or a finished request).
+  [[nodiscard]] static bool attempt_stale(const ConnPtr& conn, std::uint32_t att) {
+    return conn->stage == cluster::ConnectionStage::kDone || conn->attempt != att;
+  }
+  /// Release the service node's open-connection count if this connection
+  /// still holds one against the node's current incarnation.
+  void release_service_count(const ConnPtr& conn);
+  /// The connection's service node is alive and still the incarnation the
+  /// connection was counted against (always true without crashes).
+  [[nodiscard]] bool service_current(const ConnPtr& conn) const;
+  /// Final failure: count it under `bucket`, free the admission slot after
+  /// `slot_hold` (0 = immediately).
+  void fail_connection(const ConnPtr& conn, std::uint64_t& bucket, SimTime slot_hold);
+  void arm_deadline(const ConnPtr& conn);
+  /// Interpret the fault plan (+ legacy failures) and start detection.
+  void arm_faults(SimTime measure_start);
   void sample_loads();
   void reset_statistics();
   [[nodiscard]] SimResult collect(SimTime measure_start) const;
@@ -170,6 +231,8 @@ class ClusterSimulation {
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::unique_ptr<policy::Policy> policy_;
   std::unique_ptr<cluster::Injector> injector_;
+  std::unique_ptr<fault::FaultRuntime> fault_runtime_;
+  std::unique_ptr<fault::FailureDetector> detector_;
 
   // Measured-pass statistics.
   std::uint64_t completed_ = 0;
@@ -178,6 +241,12 @@ class ClusterSimulation {
   std::uint64_t migrations_ = 0;
   std::uint64_t remote_fetches_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t failed_deadline_ = 0;
+  std::uint64_t failed_retries_ = 0;
+  std::uint64_t failed_rejected_ = 0;
+  std::uint64_t completed_after_retry_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  stats::AvailabilityTracker availability_;
   stats::Accumulator response_times_;
   stats::LogHistogram response_hist_{0.01, 1.3, 64};  ///< ms buckets
   stats::Accumulator stage_entry_;

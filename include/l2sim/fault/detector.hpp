@@ -1,0 +1,68 @@
+// Heartbeat failure detection over the (possibly lossy) VIA layer.
+//
+// Every alive node broadcasts a small heartbeat each period; receivers
+// stamp the sender's last-heard time. A monitor sweep, also once per
+// period, suspects a node once nothing has been heard from it for K
+// consecutive periods, and readmits a suspected node as soon as a fresh
+// heartbeat lands (a recovered node resumes broadcasting by itself).
+//
+// Simplification (documented in DESIGN.md §7): the last-heard table is a
+// shared membership view — any receiver hearing node n refreshes n for the
+// whole cluster. Per-observer views would multiply state N-fold without
+// changing the policies' behaviour, because every policy reacts to the
+// same suspected/readmitted notification anyway. Message loss still
+// matters: a heartbeat round survives as long as at least one of its N-1
+// point-to-point copies arrives.
+//
+// Everything runs through the deterministic scheduler; heartbeats consume
+// real CPU/NIC/switch resources, so detection is not free — the paper's
+// control-overhead accounting extends to the failure detector.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/fault/plan.hpp"
+#include "l2sim/net/via.hpp"
+
+namespace l2s::fault {
+
+class FailureDetector {
+ public:
+  using NotifyFn = std::function<void(int node, SimTime at)>;
+
+  FailureDetector(des::Scheduler& sched, net::ViaNetwork& via,
+                  std::vector<cluster::Node*> nodes, DetectionParams params,
+                  Bytes heartbeat_bytes);
+
+  /// Begin heartbeating and monitoring. `active` gates rescheduling (the
+  /// detector stops when the run drains, like the load sampler).
+  /// `on_suspect` fires when a node is declared suspected, `on_readmit`
+  /// when a suspected node is heard from again.
+  void start(std::function<bool()> active, NotifyFn on_suspect, NotifyFn on_readmit);
+
+  [[nodiscard]] bool suspected(int node) const {
+    return suspected_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_; }
+
+ private:
+  void heartbeat_round(int node);
+  void monitor_round();
+
+  des::Scheduler& sched_;
+  net::ViaNetwork& via_;
+  std::vector<cluster::Node*> nodes_;
+  DetectionParams params_;
+  Bytes heartbeat_bytes_;
+  std::function<bool()> active_;
+  NotifyFn on_suspect_;
+  NotifyFn on_readmit_;
+  std::vector<SimTime> last_heard_;
+  std::vector<bool> suspected_;
+  std::uint64_t heartbeats_ = 0;
+};
+
+}  // namespace l2s::fault

@@ -1,0 +1,102 @@
+// Declarative, seed-deterministic fault schedules.
+//
+// A FaultPlan describes everything that goes wrong during a measured pass:
+// fail-stop node crashes and their recoveries (a recovered node restarts
+// with a cold cache and zeroed load state), fail-slow windows that
+// multiply a node's disk or CPU service times, and per-link VIA message
+// faults (loss, extra delay, duplication). All times are seconds relative
+// to the start of the measured pass, matching the legacy
+// SimConfig::failures vector the plan replaces.
+//
+// Plans are plain data: copyable, comparable by value, and interpreted at
+// run time by fault::FaultRuntime, whose only randomness is an Rng stream
+// split from the simulation seed — so any run, serial or under
+// core::run_parallel, replays bit-identically.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+
+namespace l2s::fault {
+
+/// Which of a node's service stations a FailSlow window degrades.
+enum class Resource { kDisk, kCpu };
+
+/// Fail-stop: the node loses its in-flight work and serves nothing more
+/// until (and unless) a matching Recover event revives it.
+struct Crash {
+  int node = 0;
+  double at_seconds = 0.0;
+};
+
+/// The node restarts: alive again, cache cold, open-connection count zero.
+struct Recover {
+  int node = 0;
+  double at_seconds = 0.0;
+};
+
+/// Between `from_seconds` and `until_seconds` the node's disk or CPU
+/// service times are multiplied by `factor` (> 1 = slower). Models the
+/// fail-slow faults real clusters exhibit far more often than clean stops.
+struct FailSlow {
+  int node = 0;
+  Resource resource = Resource::kDisk;
+  double factor = 1.0;
+  double from_seconds = 0.0;
+  double until_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Lossy/laggy VIA messaging on matching links while the window is open.
+/// `src`/`dst` of -1 match any sender/receiver. Duplicates are suppressed
+/// at the receiver (the copy burns NIC time but the handler fires once),
+/// and a dropped message still charges the sender's NIC: the bytes left
+/// the host, they just never arrived.
+struct MessageFault {
+  double loss_prob = 0.0;
+  double extra_delay_seconds = 0.0;
+  double duplicate_prob = 0.0;
+  double from_seconds = 0.0;
+  double until_seconds = std::numeric_limits<double>::infinity();
+  int src = -1;
+  int dst = -1;
+};
+
+struct FaultPlan {
+  std::vector<Crash> crashes;
+  std::vector<Recover> recoveries;
+  std::vector<FailSlow> slowdowns;
+  std::vector<MessageFault> message_faults;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && recoveries.empty() && slowdowns.empty() &&
+           message_faults.empty();
+  }
+
+  /// True when any fault can make a message vanish: such plans require a
+  /// client-side deadline or attempt timeout for liveness (a lost hand-off
+  /// would otherwise strand its admission slot forever).
+  [[nodiscard]] bool lossy() const;
+
+  /// Throws l2s::Error on out-of-range nodes, bad probabilities/factors,
+  /// negative times or inverted windows.
+  void validate(int nodes) const;
+};
+
+/// Heartbeat failure detection built on the (possibly lossy) VIA layer.
+/// When `heartbeats` is false the simulator falls back to the legacy
+/// fixed-delay detection (SimConfig::failure_detection_seconds).
+struct DetectionParams {
+  bool heartbeats = false;
+  double period_seconds = 0.05;  ///< heartbeat broadcast period
+  int suspect_after_missed = 3;  ///< K missed periods before suspicion
+
+  [[nodiscard]] SimTime suspicion_window() const {
+    return seconds_to_simtime(period_seconds * suspect_after_missed);
+  }
+
+  void validate() const;
+};
+
+}  // namespace l2s::fault

@@ -1,0 +1,58 @@
+// FaultRuntime interprets a FaultPlan against a live cluster: it schedules
+// the crash/recover/fail-slow events on the DES scheduler and serves as
+// the VIA layer's per-message LinkFaultModel. Its only randomness is an
+// Rng handed in by the owner (a stream split from the simulation seed), so
+// fault behaviour replays bit-identically run over run and across
+// core::run_parallel.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/fault/plan.hpp"
+#include "l2sim/net/via.hpp"
+
+namespace l2s::fault {
+
+class FaultRuntime final : public net::LinkFaultModel {
+ public:
+  /// Owner-supplied reactions; the runtime itself flips node state
+  /// (fail/recover/slow factors) before invoking them.
+  struct Hooks {
+    std::function<void(int node, SimTime at)> on_crash;
+    std::function<void(int node, SimTime at)> on_recover;
+  };
+
+  FaultRuntime(des::Scheduler& sched, std::vector<cluster::Node*> nodes,
+               FaultPlan plan, Rng rng);
+
+  /// Schedule every plan event relative to `measure_start` and remember it
+  /// as the time base for message-fault windows. Call once, at the start
+  /// of the measured pass. Does not install the link-fault model — the
+  /// owner does that via ViaNetwork::set_fault_model(this) so the hookup
+  /// is explicit.
+  void arm(SimTime measure_start, Hooks hooks);
+
+  /// net::LinkFaultModel: consulted by ViaNetwork for every message.
+  [[nodiscard]] net::LinkFault on_message(int src, int dst) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] cluster::Node& node(int i) {
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
+
+  des::Scheduler& sched_;
+  std::vector<cluster::Node*> nodes_;
+  FaultPlan plan_;
+  Rng rng_;
+  SimTime base_ = 0;
+  bool armed_ = false;
+  Hooks hooks_;
+};
+
+}  // namespace l2s::fault

@@ -11,6 +11,7 @@
 //   * l2s::zipf      — Zipf-like popularity math
 //   * l2s::queueing  — M/M/1 and open Jackson networks
 //   * l2s::des       — discrete-event simulation kernel
+//   * l2s::fault     — deterministic fault injection & failure detection
 //   * l2s::net, l2s::storage, l2s::cache, l2s::cluster — substrates
 #pragma once
 
@@ -28,6 +29,10 @@
 #include "l2sim/core/parallel.hpp"
 #include "l2sim/core/report.hpp"
 #include "l2sim/core/simulation.hpp"
+#include "l2sim/fault/detector.hpp"
+#include "l2sim/fault/plan.hpp"
+#include "l2sim/fault/runtime.hpp"
+#include "l2sim/stats/availability.hpp"
 #include "l2sim/model/cluster_model.hpp"
 #include "l2sim/model/latency.hpp"
 #include "l2sim/model/parameters.hpp"

@@ -18,6 +18,24 @@
 
 namespace l2s::net {
 
+/// What the (optional) fault model decided for one message. Defaults are a
+/// healthy link. Duplicates are suppressed at the receiver: the copy burns
+/// NIC service time, the delivery handler still fires exactly once.
+struct LinkFault {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime extra_delay = 0;
+};
+
+/// Per-message fault oracle, installed by the fault layer. The interface
+/// lives here (not in l2sim/fault) so net/ has no dependency on the fault
+/// subsystem; fault::FaultRuntime implements it.
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+  [[nodiscard]] virtual LinkFault on_message(int src, int dst) = 0;
+};
+
 class ViaNetwork {
  public:
   struct Endpoint {
@@ -41,16 +59,36 @@ class ViaNetwork {
   /// N-1 point-to-point sends; `on_delivered(dst)` fires per destination.
   void broadcast(int src, Bytes bytes, const std::function<void(int dst)>& on_delivered);
 
+  /// Install (or clear, with nullptr) the per-message fault oracle. The
+  /// model must outlive the network or be cleared before it dies.
+  void set_fault_model(LinkFaultModel* model) { fault_model_ = model; }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t messages_delayed() const { return delayed_; }
   [[nodiscard]] int endpoints() const { return static_cast<int>(endpoints_.size()); }
-  void reset_stats() { messages_ = 0; }
+
+  /// Zero every counter, including the fault-layer ones. (This used to
+  /// clear only messages_, which made warm-up drops bleed into measured
+  /// statistics once the fault layer landed.)
+  void reset_stats() {
+    messages_ = 0;
+    dropped_ = 0;
+    duplicated_ = 0;
+    delayed_ = 0;
+  }
 
  private:
   des::Scheduler& sched_;
   SwitchFabric& fabric_;
   const NetParams& params_;
   std::vector<Endpoint> endpoints_;
+  LinkFaultModel* fault_model_ = nullptr;
   std::uint64_t messages_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace l2s::net

@@ -66,6 +66,11 @@ class L2sPolicy final : public Policy {
   /// because an "overloaded" dead member triggers replication elsewhere.
   void on_node_failed(int node) override;
 
+  /// The restarted node rejoins with blank replicated state (cold cache,
+  /// empty server sets, current membership only); survivors zero their
+  /// view of it and DNS resumes routing clients there.
+  void on_node_recovered(int node) override;
+
   /// Node `owner`'s view of node `target`'s load (for tests).
   [[nodiscard]] int view_of(int owner, int target) const;
   /// Node `owner`'s replica of the file's server set (for tests).

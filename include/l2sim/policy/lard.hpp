@@ -30,6 +30,12 @@ struct LardParams {
   int t_high = 65;
   double set_shrink_seconds = 20.0;  ///< K
   int update_batch = 4;              ///< completions per load update message
+
+  /// Warm-spare front-end failover: when the front-end is declared failed,
+  /// promote the least-loaded live back-end to front-end duty. Off by
+  /// default — the paper's LARD keeps its single point of failure; turning
+  /// this on converts the SPOF into a time-to-recover window.
+  bool front_end_failover = false;
 };
 
 class LardPolicy final : public Policy {
@@ -52,11 +58,20 @@ class LardPolicy final : public Policy {
   void on_connection_migrated(int from, int to, const trace::Request& r) override;
 
   /// A dead back-end leaves the candidate pool (its server-set entries are
-  /// sidestepped via an infinite load view). A dead front-end is fatal —
-  /// the single point of failure the paper criticizes.
+  /// sidestepped via an infinite load view). A dead front-end is fatal
+  /// unless `front_end_failover` is on, in which case a back-end is
+  /// promoted — the single point of failure the paper criticizes becomes a
+  /// detection-plus-promotion window.
   void on_node_failed(int node) override;
 
+  /// A recovered node rejoins as a (cold) back-end, even if it used to be
+  /// the front-end: the promoted replacement keeps the role.
+  void on_node_recovered(int node) override;
+
+  /// Initial front-end (node 0). The role can migrate under failover; see
+  /// current_front_end().
   [[nodiscard]] static constexpr int front_end() { return 0; }
+  [[nodiscard]] int current_front_end() const { return front_end_; }
 
   /// Front-end's current view of a back-end's load (for tests).
   [[nodiscard]] int front_end_view(int node) const;
@@ -74,6 +89,7 @@ class LardPolicy final : public Policy {
   ServerSetMap sets_;
   std::vector<int> completions_since_update_;
   SimTime shrink_ns_ = 0;
+  int front_end_ = 0;
 };
 
 }  // namespace l2s::policy

@@ -91,6 +91,16 @@ class Policy {
   /// delay). Policies must stop selecting it. Default: no-op.
   virtual void on_node_failed(int node);
 
+  /// A failure detector *suspects* `node` (it may be dead, slow, or merely
+  /// unlucky with heartbeats). Default: treat like a confirmed failure —
+  /// conservative policies can override to react differently.
+  virtual void on_node_suspected(int node);
+
+  /// A previously failed/suspected node is serving again (restarted, cold
+  /// cache, or a suspicion proved false). Policies should resume selecting
+  /// it. Default: no-op.
+  virtual void on_node_recovered(int node);
+
   /// Policy-level counters (broadcasts sent, set changes, ...).
   [[nodiscard]] const stats::CounterSet& counters() const { return counters_; }
   void reset_counters() { counters_.reset(); }

@@ -28,6 +28,9 @@ class RoundRobinPolicy final : public Policy {
   /// DNS eventually stops handing out the dead node's address.
   void on_node_failed(int node) override;
 
+  /// DNS resumes handing out the recovered node's address.
+  void on_node_recovered(int node) override;
+
  private:
   ClusterContext ctx_;
   std::uint64_t rotation_ = 0;

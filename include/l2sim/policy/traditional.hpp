@@ -22,6 +22,10 @@ class TraditionalPolicy final : public Policy {
   /// node drops out of the fewest-connections choice.
   void on_node_failed(int node) override;
 
+  /// A recovered node rejoins the pool (its zero connection count makes it
+  /// the fewest-connections favourite until it warms up).
+  void on_node_recovered(int node) override;
+
  private:
   ClusterContext ctx_;
   std::vector<bool> down_;

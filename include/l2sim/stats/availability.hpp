@@ -1,0 +1,58 @@
+// Degradation observability for fault experiments: per-interval goodput,
+// failure-detection latency, time-to-readmission after repair, and retry
+// amplification. Fed by the simulation lifecycle and the fault runtime,
+// summarized into SimResult at collection time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/stats/accumulator.hpp"
+
+namespace l2s::stats {
+
+class AvailabilityTracker {
+ public:
+  /// Arm the tracker at the start of the measured pass. `interval` > 0
+  /// enables the goodput timeline; 0 keeps only the scalar statistics.
+  void begin(SimTime start, SimTime interval, int nodes);
+
+  // --- request outcomes --------------------------------------------------
+  void record_completion(SimTime t);
+  void record_failure(SimTime t);
+  void record_retry() { ++retries_; }
+
+  // --- fault lifecycle ---------------------------------------------------
+  void record_crash(int node, SimTime t);
+  /// The cluster noticed the crash (policy told to stop using the node).
+  void record_detection(int node, SimTime t);
+  /// The node restarted (cold); readmission is still pending.
+  void record_repair(int node, SimTime t);
+  /// The policy readmitted the repaired node.
+  void record_readmission(int node, SimTime t);
+
+  // --- results -----------------------------------------------------------
+  [[nodiscard]] const Accumulator& detection_latency_ms() const { return detect_ms_; }
+  [[nodiscard]] const Accumulator& readmission_ms() const { return readmit_ms_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+  /// Completions per second, per interval, covering [start, end).
+  [[nodiscard]] std::vector<double> goodput_rps(SimTime end) const;
+  [[nodiscard]] SimTime interval() const { return interval_; }
+
+ private:
+  void bump(std::vector<std::uint64_t>& buckets, SimTime t);
+
+  SimTime start_ = 0;
+  SimTime interval_ = 0;
+  std::vector<std::uint64_t> completions_;
+  std::vector<std::uint64_t> failures_;
+  std::uint64_t retries_ = 0;
+  std::vector<SimTime> crash_at_;   ///< per node, -1 = none pending
+  std::vector<SimTime> repair_at_;  ///< per node, -1 = none pending
+  Accumulator detect_ms_;
+  Accumulator readmit_ms_;
+};
+
+}  // namespace l2s::stats

@@ -26,8 +26,14 @@ class Disk {
   [[nodiscard]] const des::Resource& resource() const { return res_; }
   [[nodiscard]] des::Resource& resource() { return res_; }
 
+  /// Fail-slow injection: multiply subsequent read times by `factor`
+  /// (1.0 = healthy). Reads already queued keep their original times.
+  void set_slow_factor(double factor);
+  [[nodiscard]] double slow_factor() const { return slow_factor_; }
+
  private:
   DiskParams params_;
+  double slow_factor_ = 1.0;
   des::Resource res_;
 };
 

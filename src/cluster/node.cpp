@@ -37,20 +37,34 @@ void Node::connection_closed() {
   --open_connections_;
 }
 
+void Node::recover() {
+  L2S_REQUIRE(!alive_);
+  alive_ = true;
+  ++epoch_;
+  open_connections_ = 0;  // the crash orphaned whatever was counted
+  cache_->clear();        // main memory does not survive a restart
+}
+
+void Node::set_cpu_slow(double factor) {
+  L2S_REQUIRE(factor > 0.0);
+  cpu_slow_ = factor;
+}
+
 SimTime Node::parse_time() const {
-  return seconds_to_simtime(1.0 / cpu_params_.parse_rate / cpu_speed_);
+  return seconds_to_simtime(cpu_slow_ / cpu_params_.parse_rate / cpu_speed_);
 }
 
 SimTime Node::forward_time() const {
-  return seconds_to_simtime(1.0 / cpu_params_.forward_rate / cpu_speed_);
+  return seconds_to_simtime(cpu_slow_ / cpu_params_.forward_rate / cpu_speed_);
 }
 
 SimTime Node::handoff_initiate_time() const {
-  return seconds_to_simtime(cpu_params_.handoff_initiate_s / cpu_speed_);
+  return seconds_to_simtime(cpu_slow_ * cpu_params_.handoff_initiate_s / cpu_speed_);
 }
 
 SimTime Node::reply_time(Bytes bytes) const {
-  return seconds_to_simtime((cpu_params_.reply_overhead_s +
+  return seconds_to_simtime(cpu_slow_ *
+                            (cpu_params_.reply_overhead_s +
                              bytes_to_kib(bytes) / cpu_params_.reply_kb_per_s) /
                             cpu_speed_);
 }

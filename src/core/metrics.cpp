@@ -15,7 +15,18 @@ std::string SimResult::describe() const {
      << format_double(forwarded_fraction * 100.0, 1) << "%, CPU idle "
      << format_double(cpu_idle_fraction * 100.0, 1) << "%, mean response "
      << format_double(mean_response_ms, 2) << " ms";
-  if (failed > 0) os << ", FAILED " << failed << " requests";
+  if (failed > 0) {
+    os << ", FAILED " << failed << " requests (" << failed_deadline << " deadline, "
+       << failed_retries_exhausted << " retries exhausted, " << failed_rejected
+       << " rejected)";
+  }
+  if (retry_attempts > 0)
+    os << ", " << retry_attempts << " retries (" << completed_after_retry
+       << " requests completed after retry)";
+  if (detection_latency_ms > 0.0)
+    os << ", detection latency " << format_double(detection_latency_ms, 1) << " ms";
+  if (time_to_recover_ms > 0.0)
+    os << ", time to readmission " << format_double(time_to_recover_ms, 1) << " ms";
   return os.str();
 }
 

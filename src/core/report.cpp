@@ -40,6 +40,10 @@ double metric_value(const SimResult& r, const std::string& metric) {
   if (metric == "response") return r.mean_response_ms;
   if (metric == "throughput") return r.throughput_rps;
   if (metric == "loadcov") return r.load_cov;
+  if (metric == "failed") return static_cast<double>(r.failed);
+  if (metric == "retry_amp") return r.retry_amplification;
+  if (metric == "detection_ms") return r.detection_latency_ms;
+  if (metric == "recover_ms") return r.time_to_recover_ms;
   throw_error("unknown metric: " + metric);
 }
 

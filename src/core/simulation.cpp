@@ -22,6 +22,22 @@ void SimConfig::validate() const {
     throw_error("SimConfig: failure_detection_seconds must be nonnegative");
   if (failure_client_timeout_seconds < 0.0)
     throw_error("SimConfig: failure_client_timeout_seconds must be nonnegative");
+  fault_plan.validate(nodes);
+  detection.validate();
+  if (retry.max_retries < 0) throw_error("SimConfig: retry.max_retries must be >= 0");
+  if (retry.initial_backoff_seconds < 0.0 || retry.max_backoff_seconds < 0.0 ||
+      retry.deadline_seconds < 0.0 || retry.attempt_timeout_seconds < 0.0)
+    throw_error("SimConfig: retry times must be nonnegative");
+  if (retry.backoff_multiplier < 1.0)
+    throw_error("SimConfig: retry.backoff_multiplier must be >= 1");
+  if (goodput_interval_seconds < 0.0)
+    throw_error("SimConfig: goodput_interval_seconds must be nonnegative");
+  if (fault_plan.lossy() && retry.deadline_seconds <= 0.0 &&
+      retry.attempt_timeout_seconds <= 0.0)
+    throw_error(
+        "SimConfig: a lossy fault plan requires retry.deadline_seconds or "
+        "retry.attempt_timeout_seconds (a lost hand-off would otherwise hold "
+        "its admission slot forever)");
   if (open_loop_arrival_rate < 0.0)
     throw_error("SimConfig: open_loop_arrival_rate must be nonnegative");
   if (!node_speed_factors.empty()) {
@@ -74,7 +90,7 @@ SimResult ClusterSimulation::run() {
   }
   const SimTime measure_start = sched_.now();
   policy_->on_pass_start(pass);
-  schedule_failures(measure_start);
+  arm_faults(measure_start);
   if (!config_.timeline_csv_path.empty()) {
     timeline_ = std::make_unique<std::ofstream>(config_.timeline_csv_path);
     if (!*timeline_) throw_error("cannot open timeline CSV: " + config_.timeline_csv_path);
@@ -90,35 +106,138 @@ bool ClusterSimulation::node_alive(int id) const {
   return nodes_[static_cast<std::size_t>(id)]->alive();
 }
 
-void ClusterSimulation::schedule_failures(SimTime measure_start) {
-  for (const auto& f : config_.failures) {
-    const SimTime when = measure_start + seconds_to_simtime(f.at_seconds);
-    sched_.at(when, [this, f]() {
-      nodes_[static_cast<std::size_t>(f.node)]->fail();
-    });
-    sched_.at(when + seconds_to_simtime(config_.failure_detection_seconds),
-              [this, f]() { policy_->on_node_failed(f.node); });
+void ClusterSimulation::arm_faults(SimTime measure_start) {
+  availability_.begin(measure_start,
+                      seconds_to_simtime(config_.goodput_interval_seconds),
+                      config_.nodes);
+
+  // Legacy shim: SimConfig::failures entries become plan crashes.
+  fault::FaultPlan plan = config_.fault_plan;
+  for (const auto& f : config_.failures)
+    plan.crashes.push_back({f.node, f.at_seconds});
+
+  const SimTime detect_delay = seconds_to_simtime(config_.failure_detection_seconds);
+  const bool heartbeats = config_.detection.heartbeats;
+
+  if (!plan.empty()) {
+    fault::FaultRuntime::Hooks hooks;
+    hooks.on_crash = [this, detect_delay, heartbeats](int node, SimTime at) {
+      availability_.record_crash(node, at);
+      if (heartbeats) return;  // the heartbeat detector notices by itself
+      sched_.after(detect_delay, [this, node]() {
+        policy_->on_node_failed(node);
+        availability_.record_detection(node, sched_.now());
+      });
+    };
+    hooks.on_recover = [this, detect_delay, heartbeats](int node, SimTime at) {
+      availability_.record_repair(node, at);
+      if (heartbeats) return;
+      sched_.after(detect_delay, [this, node]() {
+        policy_->on_node_recovered(node);
+        availability_.record_readmission(node, sched_.now());
+      });
+    };
+    std::vector<cluster::Node*> ptrs;
+    for (const auto& n : nodes_) ptrs.push_back(n.get());
+    // The fault Rng is derived from the seed without touching rng_, so
+    // adding message faults never perturbs the trace-side random streams.
+    fault_runtime_ = std::make_unique<fault::FaultRuntime>(
+        sched_, std::move(ptrs), std::move(plan),
+        Rng(config_.seed ^ 0xFA17'5EED'0000'0001ULL));
+    via_.set_fault_model(fault_runtime_.get());
+    fault_runtime_->arm(measure_start, std::move(hooks));
+  }
+
+  if (heartbeats) {
+    std::vector<cluster::Node*> ptrs;
+    for (const auto& n : nodes_) ptrs.push_back(n.get());
+    detector_ = std::make_unique<fault::FailureDetector>(
+        sched_, via_, std::move(ptrs), config_.detection, config_.control_msg_bytes);
+    detector_->start(
+        [this]() {
+          return injector_ && !(injector_->exhausted() && injector_->in_flight() == 0);
+        },
+        [this](int node, SimTime at) {
+          policy_->on_node_suspected(node);
+          availability_.record_detection(node, at);
+        },
+        [this](int node, SimTime at) {
+          policy_->on_node_recovered(node);
+          availability_.record_readmission(node, at);
+        });
+  }
+}
+
+void ClusterSimulation::release_service_count(const ConnPtr& conn) {
+  if (!conn->counted_in_service) return;
+  conn->counted_in_service = false;
+  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+  // A dead node's bookkeeping died with it; a recovered node restarted
+  // with a zeroed count, so a pre-crash epoch must not decrement it.
+  if (n.alive() && n.epoch() == conn->service_epoch) n.connection_closed();
+}
+
+bool ClusterSimulation::service_current(const ConnPtr& conn) const {
+  const cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
+  if (!n.alive()) return false;
+  return !conn->counted_in_service || n.epoch() == conn->service_epoch;
+}
+
+void ClusterSimulation::fail_connection(const ConnPtr& conn, std::uint64_t& bucket,
+                                        SimTime slot_hold) {
+  if (conn->stage == cluster::ConnectionStage::kDone) return;
+  release_service_count(conn);
+  conn->stage = cluster::ConnectionStage::kDone;
+  ++failed_;
+  ++bucket;
+  availability_.record_failure(sched_.now());
+  if (slot_hold > 0) {
+    sched_.after(slot_hold, [this]() { injector_->on_complete(); });
+  } else {
+    injector_->on_complete();
   }
 }
 
 void ClusterSimulation::abort_connection(const ConnPtr& conn) {
   if (conn->stage == cluster::ConnectionStage::kDone) return;
-  conn->stage = cluster::ConnectionStage::kDone;
-  ++failed_;
-  if (conn->counted_in_service) {
-    conn->counted_in_service = false;
-    cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    // A dead node's bookkeeping died with it.
-    if (n.alive()) n.connection_closed();
+  if (conn->retries_used < static_cast<std::uint32_t>(config_.retry.max_retries)) {
+    release_service_count(conn);
+    schedule_retry(conn);
+    return;
   }
   // The client holds the connection until its timeout expires; only then
   // does the admission slot free up for the next request.
-  const SimTime timeout = seconds_to_simtime(config_.failure_client_timeout_seconds);
-  if (timeout > 0) {
-    sched_.after(timeout, [this]() { injector_->on_complete(); });
-  } else {
-    injector_->on_complete();
-  }
+  fail_connection(conn, failed_retries_,
+                  seconds_to_simtime(config_.failure_client_timeout_seconds));
+}
+
+void ClusterSimulation::schedule_retry(const ConnPtr& conn) {
+  ++conn->retries_used;
+  ++conn->attempt;
+  ++retry_attempts_;
+  availability_.record_retry();
+  conn->stage = cluster::ConnectionStage::kArriving;
+  const auto& rp = config_.retry;
+  double backoff = rp.initial_backoff_seconds;
+  for (std::uint32_t i = 1; i < conn->retries_used; ++i) backoff *= rp.backoff_multiplier;
+  backoff = std::min(backoff, rp.max_backoff_seconds);
+  const auto att = conn->attempt;
+  sched_.after(seconds_to_simtime(backoff), [this, conn, att]() {
+    if (attempt_stale(conn, att)) return;  // the deadline fired during backoff
+    start_attempt(conn);
+  });
+}
+
+void ClusterSimulation::arm_deadline(const ConnPtr& conn) {
+  const double ddl = config_.retry.deadline_seconds;
+  if (ddl <= 0.0) return;
+  conn->deadline_at = sched_.now() + seconds_to_simtime(ddl);
+  const SimTime target = conn->deadline_at;
+  sched_.after(seconds_to_simtime(ddl), [this, conn, target]() {
+    if (conn->stage == cluster::ConnectionStage::kDone) return;
+    if (conn->deadline_at != target) return;  // a later request re-armed it
+    fail_connection(conn, failed_deadline_, 0);
+  });
 }
 
 void ClusterSimulation::replay_trace() {
@@ -148,7 +267,11 @@ void ClusterSimulation::open_loop_arrival() {
     // The admission buffers are full: the arrival is refused and the
     // request it would have carried is counted as failed (finite-buffer
     // semantics above saturation).
-    if (injector_->try_take(seq, r)) ++failed_;
+    if (injector_->try_take(seq, r)) {
+      ++failed_;
+      ++failed_rejected_;
+      availability_.record_failure(sched_.now());
+    }
   }
   if (!injector_->exhausted()) {
     const SimTime gap =
@@ -200,36 +323,74 @@ void ClusterSimulation::inject(std::uint64_t seq, const trace::Request& r) {
   auto conn = std::make_shared<cluster::Connection>();
   conn->id = seq;
   conn->request = r;
-  conn->arrival = sched_.now();
-  conn->entry_node = policy_->entry_node(seq, r);
-  if (config_.dns_entry_skew > 0.0 && policy_->entry_is_dns() &&
-      rng_.next_double() < config_.dns_entry_skew) {
-    // A cached DNS translation: the client population behind some name
-    // server reuses an old answer. Popular resolvers concentrate on a few
-    // nodes (Zipf over node ids).
-    const auto n = static_cast<double>(config_.nodes);
-    const double u = rng_.next_double();
-    const double h = std::exp(u * std::log(n + 1.0));  // Zipf(1)-ish via inverse
-    conn->entry_node = std::min(config_.nodes - 1, static_cast<int>(h) - 1);
-  }
-  conn->stage = cluster::ConnectionStage::kArriving;
+  conn->first_arrival = sched_.now();
+  start_attempt(conn);
   conn->remaining_requests = sample_connection_length() - 1;
+  arm_deadline(conn);
+}
+
+void ClusterSimulation::start_attempt(const ConnPtr& conn) {
+  conn->arrival = sched_.now();
+  conn->stage = cluster::ConnectionStage::kArriving;
+  conn->service_node = -1;
+  conn->cache_hit = false;
+  if (conn->attempt == 0) {
+    conn->entry_node = policy_->entry_node(conn->id, conn->request);
+    if (config_.dns_entry_skew > 0.0 && policy_->entry_is_dns() &&
+        rng_.next_double() < config_.dns_entry_skew) {
+      // A cached DNS translation: the client population behind some name
+      // server reuses an old answer. Popular resolvers concentrate on a few
+      // nodes (Zipf over node ids).
+      const auto n = static_cast<double>(config_.nodes);
+      const double u = rng_.next_double();
+      const double h = std::exp(u * std::log(n + 1.0));  // Zipf(1)-ish via inverse
+      conn->entry_node = std::min(config_.nodes - 1, static_cast<int>(h) - 1);
+    }
+  } else {
+    // A retrying client re-resolves: perturbing the sequence steers DNS
+    // rotation or switch selection toward a different node, and the
+    // cached-translation skew does not reapply (that answer just failed).
+    const std::uint64_t sel = conn->id ^ (0x9E3779B97F4A7C15ULL * conn->attempt);
+    conn->entry_node = policy_->entry_node(sel, conn->request);
+  }
+
+  const auto att = conn->attempt;
+  if (config_.retry.attempt_timeout_seconds > 0.0) {
+    sched_.after(seconds_to_simtime(config_.retry.attempt_timeout_seconds),
+                 [this, conn, att]() {
+                   if (attempt_stale(conn, att)) return;
+                   // The attempt hangs (lost hand-off, dead node, glacial
+                   // queue): abandon it and retry or give up.
+                   release_service_count(conn);
+                   if (conn->retries_used <
+                       static_cast<std::uint32_t>(config_.retry.max_retries)) {
+                     schedule_retry(conn);
+                   } else {
+                     fail_connection(conn, failed_retries_, 0);
+                   }
+                 });
+  }
 
   // Client request: router, then the entry node's NI-in, then parse.
-  router_.forward(config_.request_msg_bytes, [this, conn]() {
+  router_.forward(config_.request_msg_bytes, [this, conn, att]() {
+    if (attempt_stale(conn, att)) return;
     if (!node_alive(conn->entry_node)) {
       abort_connection(conn);  // connection refused: the entry node is down
       return;
     }
     cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
-    entry.nic().rx().submit(config_.net.ni_request_time(), [this, conn]() {
+    entry.nic().rx().submit(config_.net.ni_request_time(), [this, conn, att]() {
+      if (attempt_stale(conn, att)) return;
       if (!node_alive(conn->entry_node)) {
         abort_connection(conn);
         return;
       }
       cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->entry_node)];
       conn->stage = cluster::ConnectionStage::kParsing;
-      n.cpu().submit(n.parse_time(), [this, conn]() { distribute(conn); });
+      n.cpu().submit(n.parse_time(), [this, conn, att]() {
+        if (attempt_stale(conn, att)) return;
+        distribute(conn);
+      });
     });
   });
 }
@@ -241,9 +402,12 @@ void ClusterSimulation::distribute(const ConnPtr& conn) {
     return;
   }
   if (policy_->decides_asynchronously()) {
-    policy_->select_service_node_async(
-        conn->entry_node, conn->request,
-        [this, conn](int target) { dispatch_to(conn, target); });
+    const auto att = conn->attempt;
+    policy_->select_service_node_async(conn->entry_node, conn->request,
+                                       [this, conn, att](int target) {
+                                         if (attempt_stale(conn, att)) return;
+                                         dispatch_to(conn, target);
+                                       });
     return;
   }
   dispatch_to(conn, policy_->select_service_node(conn->entry_node, conn->request));
@@ -268,24 +432,30 @@ void ClusterSimulation::dispatch_to(const ConnPtr& conn, int target) {
 
   ++forwarded_;
   conn->stage = cluster::ConnectionStage::kForwarding;
+  const auto att = conn->attempt;
   cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
   // Hand-off: policy-specific CPU cost at the entry node, the wire
-  // transfer, and the VIA receive overhead at the target.
-  entry.cpu().submit(policy_->forward_cpu_time(conn->entry_node), [this, conn]() {
+  // transfer, and the VIA receive overhead at the target. A dropped
+  // hand-off message leaves the attempt hanging until its timeout.
+  entry.cpu().submit(policy_->forward_cpu_time(conn->entry_node), [this, conn, att]() {
+    if (attempt_stale(conn, att)) return;
     via_.transmit(conn->entry_node, conn->service_node, config_.request_msg_bytes,
-                  [this, conn]() {
+                  [this, conn, att]() {
+                    if (attempt_stale(conn, att)) return;
                     cluster::Node& target_node =
                         *nodes_[static_cast<std::size_t>(conn->service_node)];
-                    target_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn]() {
-                      begin_service(conn, /*opening=*/true);
-                    });
+                    target_node.cpu().submit(config_.net.cpu_msg_time(),
+                                             [this, conn, att]() {
+                                               if (attempt_stale(conn, att)) return;
+                                               begin_service(conn, /*opening=*/true);
+                                             });
                   });
   });
 }
 
 void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
   if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!node_alive(conn->service_node)) {
+  if (!service_current(conn)) {
     abort_connection(conn);
     return;
   }
@@ -295,6 +465,7 @@ void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
   if (opening) {
     n.connection_opened();
     conn->counted_in_service = true;
+    conn->service_epoch = n.epoch();
     policy_->on_service_start(conn->service_node, conn->request);
   }
 
@@ -305,10 +476,11 @@ void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
     return;
   }
   // Miss: read the whole file from disk, make it resident, then reply.
+  const auto att = conn->attempt;
   const Bytes file_bytes = trace_.files().size_of(conn->request.file);
-  n.disk().read(file_bytes, [this, conn, file_bytes]() {
-    if (conn->stage == cluster::ConnectionStage::kDone) return;
-    if (!node_alive(conn->service_node)) {
+  n.disk().read(file_bytes, [this, conn, file_bytes, att]() {
+    if (attempt_stale(conn, att)) return;
+    if (!service_current(conn)) {
       abort_connection(conn);
       return;
     }
@@ -321,16 +493,22 @@ void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
 
 void ClusterSimulation::reply_path(const ConnPtr& conn) {
   if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!node_alive(conn->service_node)) {
+  if (!service_current(conn)) {
     abort_connection(conn);
     return;
   }
+  const auto att = conn->attempt;
   cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
   const Bytes bytes = conn->request.bytes;
-  n.cpu().submit(n.reply_time(bytes), [this, conn, bytes]() {
+  n.cpu().submit(n.reply_time(bytes), [this, conn, bytes, att]() {
+    if (attempt_stale(conn, att)) return;
     cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    node.nic().tx().submit(config_.net.ni_reply_time(bytes), [this, conn, bytes]() {
-      router_.forward(bytes, [this, conn]() { request_finished(conn); });
+    node.nic().tx().submit(config_.net.ni_reply_time(bytes), [this, conn, bytes, att]() {
+      if (attempt_stale(conn, att)) return;
+      router_.forward(bytes, [this, conn, att]() {
+        if (attempt_stale(conn, att)) return;
+        request_finished(conn);
+      });
     });
   });
 }
@@ -339,8 +517,12 @@ void ClusterSimulation::request_finished(const ConnPtr& conn) {
   if (conn->stage == cluster::ConnectionStage::kDone) return;
   conn->completion = sched_.now();
   ++completed_;
+  if (conn->retries_used > 0) ++completed_after_retry_;
+  availability_.record_completion(conn->completion);
   ++conn->requests_served;
-  const double response_ms = simtime_to_seconds(conn->response_time()) * 1e3;
+  // Client-perceived latency spans every attempt, from the first arrival.
+  const double response_ms =
+      simtime_to_seconds(conn->completion - conn->first_arrival) * 1e3;
   response_times_.add(response_ms);
   response_hist_.add(response_ms);
   stage_entry_.add(simtime_ms(conn->t_decided - conn->arrival));
@@ -355,6 +537,11 @@ void ClusterSimulation::request_finished(const ConnPtr& conn) {
       --conn->remaining_requests;
       conn->id = seq;
       conn->request = next;
+      // A fresh request on the same connection: new attempt id (stale
+      // timers from the previous request must not touch it) and a fresh
+      // retry budget.
+      ++conn->attempt;
+      conn->retries_used = 0;
       continue_connection(conn);
       return;
     }
@@ -365,10 +552,13 @@ void ClusterSimulation::request_finished(const ConnPtr& conn) {
 void ClusterSimulation::close_connection(const ConnPtr& conn) {
   conn->stage = cluster::ConnectionStage::kDone;
   cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  n.connection_closed();
+  // A completion that limps in across its node's crash+restart must not
+  // touch the fresh incarnation's count (or feed the policy a stale event).
+  const bool same_epoch = n.epoch() == conn->service_epoch;
+  if (same_epoch) n.connection_closed();
   conn->counted_in_service = false;
   ++connections_;
-  policy_->on_complete(conn->service_node, conn->request);
+  if (same_epoch) policy_->on_complete(conn->service_node, conn->request);
   injector_->on_complete();
 }
 
@@ -376,30 +566,36 @@ void ClusterSimulation::continue_connection(const ConnPtr& conn) {
   // The client pipelines its next request over the open connection: it
   // passes the router and the current node's NI-in, is parsed, and then
   // redistributed without the connection-establishment work.
-  router_.forward(config_.request_msg_bytes, [this, conn]() {
-    if (conn->stage == cluster::ConnectionStage::kDone) return;
-    if (!node_alive(conn->service_node)) {
+  const auto att = conn->attempt;
+  router_.forward(config_.request_msg_bytes, [this, conn, att]() {
+    if (attempt_stale(conn, att)) return;
+    if (!service_current(conn)) {
       abort_connection(conn);
       return;
     }
     cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    n.nic().rx().submit(config_.net.ni_request_time(), [this, conn]() {
-      if (conn->stage == cluster::ConnectionStage::kDone) return;
-      if (!node_alive(conn->service_node)) {
+    n.nic().rx().submit(config_.net.ni_request_time(), [this, conn, att]() {
+      if (attempt_stale(conn, att)) return;
+      if (!service_current(conn)) {
         abort_connection(conn);
         return;
       }
       cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
       conn->arrival = sched_.now();
+      conn->first_arrival = conn->arrival;
+      arm_deadline(conn);
       conn->stage = cluster::ConnectionStage::kParsing;
-      node.cpu().submit(node.parse_time(), [this, conn]() { persistent_distribute(conn); });
+      node.cpu().submit(node.parse_time(), [this, conn, att]() {
+        if (attempt_stale(conn, att)) return;
+        persistent_distribute(conn);
+      });
     });
   });
 }
 
 void ClusterSimulation::persistent_distribute(const ConnPtr& conn) {
   if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!node_alive(conn->service_node)) {
+  if (!service_current(conn)) {
     abort_connection(conn);
     return;
   }
@@ -422,19 +618,24 @@ void ClusterSimulation::migrate_connection(const ConnPtr& conn, int target) {
   ++forwarded_;
   conn->stage = cluster::ConnectionStage::kForwarding;
   const int from = conn->service_node;
+  const auto att = conn->attempt;
   cluster::Node& old_node = *nodes_[static_cast<std::size_t>(from)];
-  old_node.cpu().submit(policy_->forward_cpu_time(from), [this, conn, from, target]() {
-    via_.transmit(from, target, config_.request_msg_bytes, [this, conn, from, target]() {
+  old_node.cpu().submit(policy_->forward_cpu_time(from), [this, conn, from, target, att]() {
+    if (attempt_stale(conn, att)) return;
+    via_.transmit(from, target, config_.request_msg_bytes, [this, conn, from, target, att]() {
+      if (attempt_stale(conn, att)) return;
       cluster::Node& new_node = *nodes_[static_cast<std::size_t>(target)];
-      new_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn, from, target]() {
-        if (conn->stage == cluster::ConnectionStage::kDone) return;
+      new_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn, from, target, att]() {
+        if (attempt_stale(conn, att)) return;
         if (!node_alive(target)) {
           abort_connection(conn);
           return;
         }
-        if (node_alive(from)) nodes_[static_cast<std::size_t>(from)]->connection_closed();
+        release_service_count(conn);  // `from` loses the connection (if it is still that incarnation)
         nodes_[static_cast<std::size_t>(target)]->connection_opened();
+        conn->counted_in_service = true;
         conn->service_node = target;
+        conn->service_epoch = nodes_[static_cast<std::size_t>(target)]->epoch();
         policy_->on_connection_migrated(from, target, conn->request);
         begin_service(conn, /*opening=*/false);
       });
@@ -450,35 +651,45 @@ void ClusterSimulation::remote_fetch(const ConnPtr& conn, int owner) {
   // node replies to the client. The fetched file is *not* inserted into
   // the local cache (proxy semantics).
   const int current = conn->service_node;
+  const auto att = conn->attempt;
   cluster::Node& cur = *nodes_[static_cast<std::size_t>(current)];
-  cur.cpu().submit(policy_->forward_cpu_time(current), [this, conn, current, owner]() {
-    via_.transmit(current, owner, config_.request_msg_bytes, [this, conn, current, owner]() {
+  cur.cpu().submit(policy_->forward_cpu_time(current), [this, conn, current, owner, att]() {
+    if (attempt_stale(conn, att)) return;
+    via_.transmit(current, owner, config_.request_msg_bytes, [this, conn, current, owner,
+                                                             att]() {
+      if (attempt_stale(conn, att)) return;
       cluster::Node& own = *nodes_[static_cast<std::size_t>(owner)];
-      own.cpu().submit(config_.net.cpu_msg_time(), [this, conn, current, owner]() {
-        if (conn->stage == cluster::ConnectionStage::kDone) return;
+      own.cpu().submit(config_.net.cpu_msg_time(), [this, conn, current, owner, att]() {
+        if (attempt_stale(conn, att)) return;
         if (!node_alive(owner) || !node_alive(current)) {
           abort_connection(conn);
           return;
         }
         cluster::Node& o = *nodes_[static_cast<std::size_t>(owner)];
         const Bytes file_bytes = trace_.files().size_of(conn->request.file);
-        auto send_back = [this, conn, current, owner, file_bytes]() {
+        auto send_back = [this, conn, current, owner, file_bytes, att]() {
           cluster::Node& src = *nodes_[static_cast<std::size_t>(owner)];
           // Memory-to-NIC copy at the owner, bulk transfer, then the
           // normal reply path at the connection's node.
           src.cpu().submit(src.reply_time(conn->request.bytes), [this, conn, current,
-                                                                 owner]() {
-            via_.transmit(owner, current, conn->request.bytes, [this, conn, current]() {
+                                                                 owner, att]() {
+            if (attempt_stale(conn, att)) return;
+            via_.transmit(owner, current, conn->request.bytes, [this, conn, current,
+                                                                att]() {
+              if (attempt_stale(conn, att)) return;
               cluster::Node& c = *nodes_[static_cast<std::size_t>(current)];
-              c.cpu().submit(config_.net.cpu_msg_time(),
-                             [this, conn]() { reply_path(conn); });
+              c.cpu().submit(config_.net.cpu_msg_time(), [this, conn, att]() {
+                if (attempt_stale(conn, att)) return;
+                reply_path(conn);
+              });
             });
           });
         };
         if (o.file_cache().lookup(conn->request.file)) {
           send_back();
         } else {
-          o.disk().read(file_bytes, [this, owner, conn, file_bytes, send_back]() {
+          o.disk().read(file_bytes, [this, owner, conn, file_bytes, send_back, att]() {
+            if (attempt_stale(conn, att)) return;
             nodes_[static_cast<std::size_t>(owner)]->file_cache().insert(conn->request.file,
                                                                          file_bytes);
             send_back();
@@ -501,6 +712,11 @@ void ClusterSimulation::reset_statistics() {
   migrations_ = 0;
   remote_fetches_ = 0;
   failed_ = 0;
+  failed_deadline_ = 0;
+  failed_retries_ = 0;
+  failed_rejected_ = 0;
+  completed_after_retry_ = 0;
+  retry_attempts_ = 0;
   response_times_.reset();
   response_hist_ = stats::LogHistogram(0.01, 1.3, 64);
   stage_entry_.reset();
@@ -542,6 +758,26 @@ SimResult ClusterSimulation::collect(SimTime measure_start) const {
   r.migrations = migrations_;
   r.remote_fetches = remote_fetches_;
   r.failed = failed_;
+  r.failed_deadline = failed_deadline_;
+  r.failed_retries_exhausted = failed_retries_;
+  r.failed_rejected = failed_rejected_;
+  r.completed_after_retry = completed_after_retry_;
+  r.retry_attempts = retry_attempts_;
+  const std::uint64_t requests = completed_ + failed_;
+  r.retry_amplification =
+      requests > 0
+          ? static_cast<double>(requests + retry_attempts_) / static_cast<double>(requests)
+          : 0.0;
+  r.via_dropped = via_.messages_dropped();
+  r.via_duplicated = via_.messages_duplicated();
+  r.via_delayed = via_.messages_delayed();
+  r.heartbeats = detector_ ? detector_->heartbeats_sent() : 0;
+  if (availability_.detection_latency_ms().count() > 0)
+    r.detection_latency_ms = availability_.detection_latency_ms().mean();
+  if (availability_.readmission_ms().count() > 0)
+    r.time_to_recover_ms = availability_.readmission_ms().mean();
+  r.goodput_interval_seconds = config_.goodput_interval_seconds;
+  r.goodput_rps = availability_.goodput_rps(sched_.now());
 
   if (response_times_.count() > 0) {
     r.mean_response_ms = response_times_.mean();

@@ -1,0 +1,68 @@
+#include "l2sim/fault/detector.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::fault {
+
+FailureDetector::FailureDetector(des::Scheduler& sched, net::ViaNetwork& via,
+                                 std::vector<cluster::Node*> nodes,
+                                 DetectionParams params, Bytes heartbeat_bytes)
+    : sched_(sched),
+      via_(via),
+      nodes_(std::move(nodes)),
+      params_(params),
+      heartbeat_bytes_(heartbeat_bytes) {
+  params_.validate();
+  L2S_REQUIRE(params_.heartbeats);
+  L2S_REQUIRE(!nodes_.empty());
+}
+
+void FailureDetector::start(std::function<bool()> active, NotifyFn on_suspect,
+                            NotifyFn on_readmit) {
+  active_ = std::move(active);
+  on_suspect_ = std::move(on_suspect);
+  on_readmit_ = std::move(on_readmit);
+  last_heard_.assign(nodes_.size(), sched_.now());
+  suspected_.assign(nodes_.size(), false);
+  const SimTime period = seconds_to_simtime(params_.period_seconds);
+  // Staggered first beats (i+1 ns apart) keep same-instant broadcast bursts
+  // ordered but are far below any service time, so timing is unaffected.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int node = static_cast<int>(i);
+    sched_.after(period + static_cast<SimTime>(i + 1),
+                 [this, node]() { heartbeat_round(node); });
+  }
+  sched_.after(period, [this]() { monitor_round(); });
+}
+
+void FailureDetector::heartbeat_round(int node) {
+  if (!active_()) return;  // run drained: stop rescheduling
+  cluster::Node& n = *nodes_[static_cast<std::size_t>(node)];
+  if (n.alive() && nodes_.size() > 1) {
+    ++heartbeats_;
+    via_.broadcast(node, heartbeat_bytes_, [this, node](int /*dst*/) {
+      last_heard_[static_cast<std::size_t>(node)] = sched_.now();
+    });
+  }
+  sched_.after(seconds_to_simtime(params_.period_seconds),
+               [this, node]() { heartbeat_round(node); });
+}
+
+void FailureDetector::monitor_round() {
+  if (!active_()) return;
+  const SimTime now = sched_.now();
+  const SimTime window = params_.suspicion_window();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const bool stale = now - last_heard_[i] > window;
+    if (!suspected_[i] && stale) {
+      suspected_[i] = true;
+      if (on_suspect_) on_suspect_(static_cast<int>(i), now);
+    } else if (suspected_[i] && !stale) {
+      suspected_[i] = false;
+      if (on_readmit_) on_readmit_(static_cast<int>(i), now);
+    }
+  }
+  sched_.after(seconds_to_simtime(params_.period_seconds), [this]() { monitor_round(); });
+}
+
+}  // namespace l2s::fault

@@ -1,0 +1,75 @@
+#include "l2sim/fault/plan.hpp"
+
+#include <cmath>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::fault {
+namespace {
+
+void check_node(int node, int nodes, const char* what) {
+  if (node < 0 || node >= nodes)
+    throw_error(std::string("FaultPlan: ") + what + " node out of range");
+}
+
+void check_time(double seconds, const char* what) {
+  if (!(seconds >= 0.0))
+    throw_error(std::string("FaultPlan: ") + what + " time must be nonnegative");
+}
+
+void check_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw_error(std::string("FaultPlan: ") + what + " must be a probability in [0, 1]");
+}
+
+}  // namespace
+
+bool FaultPlan::lossy() const {
+  for (const auto& m : message_faults)
+    if (m.loss_prob > 0.0) return true;
+  return false;
+}
+
+void FaultPlan::validate(int nodes) const {
+  for (const auto& c : crashes) {
+    check_node(c.node, nodes, "crash");
+    check_time(c.at_seconds, "crash");
+  }
+  for (const auto& r : recoveries) {
+    check_node(r.node, nodes, "recover");
+    check_time(r.at_seconds, "recover");
+    // A recovery needs an earlier crash of the same node to undo.
+    bool preceded = false;
+    for (const auto& c : crashes)
+      if (c.node == r.node && c.at_seconds < r.at_seconds) preceded = true;
+    if (!preceded)
+      throw_error("FaultPlan: recovery without an earlier crash of the same node");
+  }
+  for (const auto& s : slowdowns) {
+    check_node(s.node, nodes, "fail-slow");
+    check_time(s.from_seconds, "fail-slow start");
+    if (!(s.factor > 0.0)) throw_error("FaultPlan: fail-slow factor must be positive");
+    if (!(s.until_seconds >= s.from_seconds))
+      throw_error("FaultPlan: fail-slow window is inverted");
+  }
+  for (const auto& m : message_faults) {
+    check_prob(m.loss_prob, "message loss_prob");
+    check_prob(m.duplicate_prob, "message duplicate_prob");
+    check_time(m.extra_delay_seconds, "message extra delay");
+    check_time(m.from_seconds, "message fault start");
+    if (!(m.until_seconds >= m.from_seconds))
+      throw_error("FaultPlan: message fault window is inverted");
+    if (m.src != -1) check_node(m.src, nodes, "message fault src");
+    if (m.dst != -1) check_node(m.dst, nodes, "message fault dst");
+  }
+}
+
+void DetectionParams::validate() const {
+  if (!heartbeats) return;
+  if (!(period_seconds > 0.0))
+    throw_error("DetectionParams: heartbeat period must be positive");
+  if (suspect_after_missed < 1)
+    throw_error("DetectionParams: suspect_after_missed must be >= 1");
+}
+
+}  // namespace l2s::fault

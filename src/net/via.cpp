@@ -5,9 +5,7 @@
 namespace l2s::net {
 
 ViaNetwork::ViaNetwork(des::Scheduler& sched, SwitchFabric& fabric, const NetParams& params)
-    : sched_(sched), fabric_(fabric), params_(params) {
-  (void)sched_;  // retained for future timeout/retry modeling
-}
+    : sched_(sched), fabric_(fabric), params_(params) {}
 
 int ViaNetwork::add_endpoint(Endpoint ep) {
   L2S_REQUIRE(ep.cpu != nullptr && ep.nic != nullptr);
@@ -23,6 +21,38 @@ void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_deliver
   des::Resource& tx = endpoints_[static_cast<std::size_t>(src)].nic->tx();
   des::Resource& rx = endpoints_[static_cast<std::size_t>(dst)].nic->rx();
   const SimTime xfer = params_.nic_transfer_time(bytes);
+
+  LinkFault fault;
+  if (fault_model_ != nullptr) fault = fault_model_->on_message(src, dst);
+  if (fault.drop) {
+    // The sender still pushes the bytes out; they die in the network.
+    ++dropped_;
+    tx.submit(xfer, []() {});
+    return;
+  }
+  if (fault.duplicate || fault.extra_delay > 0) {
+    if (fault.duplicate) ++duplicated_;
+    if (fault.extra_delay > 0) ++delayed_;
+    const bool dup = fault.duplicate;
+    const SimTime extra = fault.extra_delay;
+    tx.submit(xfer, [this, &rx, xfer, dup, extra, done = std::move(on_delivered)]() mutable {
+      fabric_.traverse([this, &rx, xfer, dup, extra, done = std::move(done)]() mutable {
+      auto deliver = [&rx, xfer, dup, done = std::move(done)]() mutable {
+        rx.submit(xfer, std::move(done));
+        // Receiver-side dedup: the copy costs NIC time, nothing fires.
+        if (dup) rx.submit(xfer, []() {});
+      };
+        if (extra > 0) {
+          sched_.after(extra, std::move(deliver));
+        } else {
+          deliver();
+        }
+      });
+    });
+    return;
+  }
+
+  // Healthy link: the original allocation-lean path, unchanged.
   tx.submit(xfer, [this, &rx, xfer, done = std::move(on_delivered)]() mutable {
     fabric_.traverse([&rx, xfer, done = std::move(done)]() mutable {
       rx.submit(xfer, std::move(done));

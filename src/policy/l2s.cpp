@@ -4,6 +4,10 @@
 
 #include "l2sim/common/error.hpp"
 
+namespace {
+constexpr int kDeadLoad = 1 << 28;
+}  // namespace
+
 namespace l2s::policy {
 
 L2sPolicy::L2sPolicy(L2sParams params) : params_(params) {
@@ -34,7 +38,6 @@ int L2sPolicy::entry_node(std::uint64_t seq, const trace::Request& /*r*/) {
 }
 
 void L2sPolicy::on_node_failed(int node) {
-  constexpr int kDeadLoad = 1 << 28;
   for (int n = 0; n < ctx_.node_count(); ++n) state(n).view.set(node, kDeadLoad);
   if (alive_entries_.empty()) {
     for (int n = 0; n < ctx_.node_count(); ++n) alive_entries_.push_back(n);
@@ -42,6 +45,33 @@ void L2sPolicy::on_node_failed(int node) {
   alive_entries_.erase(std::remove(alive_entries_.begin(), alive_entries_.end(), node),
                        alive_entries_.end());
   if (alive_entries_.empty()) alive_entries_.push_back(node);
+}
+
+void L2sPolicy::on_node_recovered(int node) {
+  // Survivors zero their view of the restarted node: it is alive, idle and
+  // cache-cold, and will re-announce itself through load broadcasts.
+  for (int n = 0; n < ctx_.node_count(); ++n) state(n).view.set(node, 0);
+  // The restarted node's replicated state (server sets, peer loads) is
+  // gone. The rejoin handshake hands it only the current membership — any
+  // still-dead peers stay marked — and everything else is re-learned.
+  NodeState& st = state(node);
+  st.sets.clear();
+  st.view = cluster::LoadView(ctx_.node_count());
+  st.throttle = cluster::BroadcastThrottle(params_.broadcast_delta);
+  if (!alive_entries_.empty()) {
+    for (int m = 0; m < ctx_.node_count(); ++m) {
+      if (m == node) continue;
+      if (std::find(alive_entries_.begin(), alive_entries_.end(), m) ==
+          alive_entries_.end())
+        st.view.set(m, kDeadLoad);
+    }
+    // DNS puts the node back in rotation (alive_entries_ stays sorted).
+    if (std::find(alive_entries_.begin(), alive_entries_.end(), node) ==
+        alive_entries_.end())
+      alive_entries_.insert(
+          std::upper_bound(alive_entries_.begin(), alive_entries_.end(), node),
+          node);
+  }
 }
 
 int L2sPolicy::pick_low(const cluster::LoadView& view, const std::vector<int>& candidates) {

@@ -18,36 +18,63 @@ void LardPolicy::attach(const ClusterContext& ctx) {
   ctx_ = ctx;
   view_ = cluster::LoadView(ctx.node_count());
   completions_since_update_.assign(static_cast<std::size_t>(ctx.node_count()), 0);
+  front_end_ = front_end();
 }
 
 int LardPolicy::entry_node(std::uint64_t /*seq*/, const trace::Request& /*r*/) {
-  return front_end();
+  return front_end_;
 }
 
 int LardPolicy::least_loaded_backend() const {
   // A 1-node cluster degenerates to the front-end serving everything.
   if (ctx_.node_count() == 1) return 0;
-  int best = 1;
-  for (int n = 2; n < ctx_.node_count(); ++n)
-    if (view_.get(n) < view_.get(best)) best = n;
+  int best = -1;
+  for (int n = 0; n < ctx_.node_count(); ++n) {
+    if (n == front_end_) continue;
+    if (best < 0 || view_.get(n) < view_.get(best)) best = n;
+  }
   return best;
 }
 
 void LardPolicy::on_node_failed(int node) {
-  if (node == front_end()) return;  // fatal: nothing the policy can do
+  if (node == front_end_) {
+    if (!params_.front_end_failover || ctx_.node_count() == 1) return;  // fatal
+    // Warm-spare promotion: the least-loaded live back-end takes over
+    // front-end duty. It drains its existing connections but takes no new
+    // service assignments (its view entry is pinned dead, exactly like the
+    // old front-end's).
+    const int promoted = least_loaded_backend();
+    if (promoted < 0 || view_.get(promoted) >= kDeadLoad) return;  // nobody left
+    view_.set(node, kDeadLoad);
+    front_end_ = promoted;
+    view_.set(promoted, kDeadLoad);
+    counters_.add("front_end_failover");
+    return;
+  }
   // An unreachable back-end looks infinitely loaded, so neither the
   // least-loaded choice nor existing server sets ever pick it again.
   view_.set(node, kDeadLoad);
+  completions_since_update_[static_cast<std::size_t>(node)] = 0;
+}
+
+void LardPolicy::on_node_recovered(int node) {
+  if (node == front_end_) return;
+  // Rejoin as a cold back-end with zero open connections — even an
+  // ex-front-end: the promoted replacement keeps the role.
+  view_.set(node, 0);
+  completions_since_update_[static_cast<std::size_t>(node)] = 0;
 }
 
 bool LardPolicy::any_backend_below(int threshold) const {
-  for (int n = 1; n < ctx_.node_count(); ++n)
+  for (int n = 0; n < ctx_.node_count(); ++n) {
+    if (n == front_end_) continue;
     if (view_.get(n) < threshold) return true;
+  }
   return false;
 }
 
 int LardPolicy::select_service_node(int entry, const trace::Request& r) {
-  L2S_REQUIRE(entry == front_end());
+  L2S_REQUIRE(entry == front_end_);
   return decide(r);
 }
 
@@ -112,12 +139,16 @@ void LardPolicy::on_complete(int node, const trace::Request& /*r*/) {
 
 void LardPolicy::record_termination(int node) {
   if (ctx_.node_count() == 1) return;
+  // The front-end's own entry is pinned (it is not a service candidate), so
+  // a promoted front-end draining its old back-end connections sends no
+  // update to itself.
+  if (node == front_end_) return;
   auto& pending = completions_since_update_[static_cast<std::size_t>(node)];
   if (++pending < params_.update_batch) return;
   const int batch = pending;
   pending = 0;
   counters_.add("load_updates");
-  ctx_.via->send(node, front_end(), ctx_.control_msg_bytes,
+  ctx_.via->send(node, front_end_, ctx_.control_msg_bytes,
                  [this, node, batch]() { view_.adjust(node, -batch); });
 }
 

@@ -18,6 +18,10 @@ void Policy::on_pass_start(int /*pass*/) {}
 
 void Policy::on_node_failed(int /*node*/) {}
 
+void Policy::on_node_suspected(int node) { on_node_failed(node); }
+
+void Policy::on_node_recovered(int /*node*/) {}
+
 void Policy::select_service_node_async(int entry, const trace::Request& r,
                                        std::function<void(int)> done) {
   done(select_service_node(entry, r));

@@ -21,6 +21,12 @@ void RoundRobinPolicy::on_node_failed(int node) {
   if (alive_.empty()) alive_.push_back(node);  // nothing left: keep failing fast
 }
 
+void RoundRobinPolicy::on_node_recovered(int node) {
+  if (alive_.empty()) return;  // no failure was ever detected: all in rotation
+  if (std::find(alive_.begin(), alive_.end(), node) != alive_.end()) return;
+  alive_.insert(std::upper_bound(alive_.begin(), alive_.end(), node), node);
+}
+
 void RoundRobinPolicy::on_pass_start(int pass) {
   // A phase coprime to common cluster sizes decorrelates the passes.
   rotation_ = static_cast<std::uint64_t>(pass) * 7919;

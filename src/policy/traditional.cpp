@@ -20,6 +20,12 @@ void TraditionalPolicy::on_node_failed(int node) {
   down_[static_cast<std::size_t>(node)] = true;
 }
 
+void TraditionalPolicy::on_node_recovered(int node) {
+  if (down_.size() != static_cast<std::size_t>(ctx_.node_count()))
+    down_.assign(static_cast<std::size_t>(ctx_.node_count()), false);
+  down_[static_cast<std::size_t>(node)] = false;
+}
+
 int TraditionalPolicy::select_service_node(int entry, const trace::Request& /*r*/) {
   return entry;
 }

@@ -1,0 +1,71 @@
+#include "l2sim/stats/availability.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::stats {
+
+void AvailabilityTracker::begin(SimTime start, SimTime interval, int nodes) {
+  L2S_REQUIRE(interval >= 0 && nodes >= 1);
+  start_ = start;
+  interval_ = interval;
+  completions_.clear();
+  failures_.clear();
+  retries_ = 0;
+  crash_at_.assign(static_cast<std::size_t>(nodes), -1);
+  repair_at_.assign(static_cast<std::size_t>(nodes), -1);
+  detect_ms_.reset();
+  readmit_ms_.reset();
+}
+
+void AvailabilityTracker::bump(std::vector<std::uint64_t>& buckets, SimTime t) {
+  if (interval_ <= 0 || t < start_) return;
+  const auto idx = static_cast<std::size_t>((t - start_) / interval_);
+  if (buckets.size() <= idx) buckets.resize(idx + 1, 0);
+  ++buckets[idx];
+}
+
+void AvailabilityTracker::record_completion(SimTime t) { bump(completions_, t); }
+
+void AvailabilityTracker::record_failure(SimTime t) { bump(failures_, t); }
+
+void AvailabilityTracker::record_crash(int node, SimTime t) {
+  if (crash_at_.empty()) return;  // never armed (warm-up etc.)
+  crash_at_[static_cast<std::size_t>(node)] = t;
+}
+
+void AvailabilityTracker::record_detection(int node, SimTime t) {
+  if (crash_at_.empty()) return;
+  SimTime& crashed = crash_at_[static_cast<std::size_t>(node)];
+  if (crashed < 0) return;  // spurious (e.g. heartbeat loss): not a latency sample
+  detect_ms_.add(simtime_to_seconds(t - crashed) * 1e3);
+  crashed = -1;
+}
+
+void AvailabilityTracker::record_repair(int node, SimTime t) {
+  if (repair_at_.empty()) return;
+  repair_at_[static_cast<std::size_t>(node)] = t;
+  // A repaired node is no longer a pending crash even if detection never
+  // fired (undetected blip).
+  crash_at_[static_cast<std::size_t>(node)] = -1;
+}
+
+void AvailabilityTracker::record_readmission(int node, SimTime t) {
+  if (repair_at_.empty()) return;
+  SimTime& repaired = repair_at_[static_cast<std::size_t>(node)];
+  if (repaired < 0) return;
+  readmit_ms_.add(simtime_to_seconds(t - repaired) * 1e3);
+  repaired = -1;
+}
+
+std::vector<double> AvailabilityTracker::goodput_rps(SimTime end) const {
+  std::vector<double> rps;
+  if (interval_ <= 0 || end <= start_) return rps;
+  const auto buckets = static_cast<std::size_t>((end - start_ + interval_ - 1) / interval_);
+  const double per_bucket_s = simtime_to_seconds(interval_);
+  rps.assign(buckets, 0.0);
+  for (std::size_t i = 0; i < buckets && i < completions_.size(); ++i)
+    rps[i] = static_cast<double>(completions_[i]) / per_bucket_s;
+  return rps;
+}
+
+}  // namespace l2s::stats

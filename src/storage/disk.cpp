@@ -12,7 +12,12 @@ Disk::Disk(des::Scheduler& sched, std::string name, DiskParams params)
 SimTime Disk::read_time(Bytes bytes) const {
   const double seconds =
       params_.access_seconds + bytes_to_kib(bytes) / params_.transfer_kb_per_s;
-  return seconds_to_simtime(seconds);
+  return seconds_to_simtime(seconds * slow_factor_);
+}
+
+void Disk::set_slow_factor(double factor) {
+  L2S_REQUIRE(factor > 0.0);
+  slow_factor_ = factor;
 }
 
 void Disk::read(Bytes bytes, des::EventFn done) {

@@ -35,6 +35,11 @@ SimConfig config(int nodes) {
 
 void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.failed_deadline, b.failed_deadline);
+  EXPECT_EQ(a.failed_retries_exhausted, b.failed_retries_exhausted);
+  EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_EQ(a.via_dropped, b.via_dropped);
   EXPECT_EQ(a.forwarded, b.forwarded);
   EXPECT_EQ(a.connections, b.connections);
   EXPECT_EQ(a.migrations, b.migrations);

@@ -119,6 +119,41 @@ TEST(Failures, NoFailuresMeansNoFailedRequests) {
   EXPECT_EQ(r.completed, tr.request_count());
 }
 
+TEST(Failures, LegacyFailuresShimMatchesFaultPlanCrash) {
+  // SimConfig::failures is deprecated in favour of fault_plan; the shim
+  // folds each entry into a plan crash, so the two spellings of the same
+  // fault must produce the identical run.
+  const auto tr = workload();
+  const auto legacy = failing_config(8, 3, 0.2);
+
+  SimConfig planned;
+  planned.nodes = 8;
+  planned.node.cache_bytes = 4 * kMiB;
+  planned.fault_plan.crashes.push_back({3, 0.2});
+
+  ClusterSimulation a(legacy, tr, std::make_unique<policy::L2sPolicy>());
+  ClusterSimulation b(planned, tr, std::make_unique<policy::L2sPolicy>());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.failed, rb.failed);
+  EXPECT_EQ(ra.failed_retries_exhausted, rb.failed_retries_exhausted);
+  EXPECT_EQ(ra.elapsed_seconds, rb.elapsed_seconds);
+  EXPECT_EQ(ra.mean_response_ms, rb.mean_response_ms);
+  EXPECT_EQ(a.scheduler().events_processed(), b.scheduler().events_processed());
+}
+
+TEST(Failures, FailureBucketsPartitionTheFailedCount) {
+  const auto tr = workload();
+  ClusterSimulation sim(failing_config(8, 3, 0.2), tr,
+                        std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  EXPECT_GT(r.failed, 0u);
+  EXPECT_EQ(r.failed, r.failed_deadline + r.failed_retries_exhausted + r.failed_rejected);
+  // Fail-fast crashes with no retry budget land in the retries bucket.
+  EXPECT_EQ(r.failed, r.failed_retries_exhausted);
+}
+
 TEST(Failures, ConfigValidation) {
   const auto tr = workload(100);
   SimConfig bad;

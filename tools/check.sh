@@ -3,20 +3,27 @@
 #   1. tier-1: Release build + entire test suite
 #   2. DES kernel bench (gates: >=2x open-loop speedup, zero steady-state
 #      heap allocations in the inline kernel)
-#   3. ThreadSanitizer build, running the scheduler/event-kernel and
-#      run_parallel tests (the only concurrent code path)
+#   3. fault bench (gates: crash/failover/loss acceptance criteria from
+#      docs/bench_fault.md, plus bit-reproducibility)
+#   4. AddressSanitizer build, running the fault-injection suites
+#      (`ctest -L fault`) — the crash/retry/epoch machinery is where
+#      lifetime bugs would hide
+#   5. ThreadSanitizer build, running the scheduler/event-kernel,
+#      run_parallel and fault-determinism tests (the concurrent code path)
 #
-# Usage: tools/check.sh [--skip-tsan] [--skip-bench]
+# Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 skip_tsan=0
+skip_asan=0
 skip_bench=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
+    --skip-asan) skip_asan=1 ;;
     --skip-bench) skip_bench=1 ;;
-    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-bench]" >&2; exit 2 ;;
+    *) echo "usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -28,14 +35,24 @@ ctest --test-dir build --output-on-failure -j
 if [[ "$skip_bench" -eq 0 ]]; then
   echo "== DES kernel bench (speedup + zero-allocation gates) =="
   ./build/bench/des_kernel_bench --out build/BENCH_des_kernel.json
+  echo "== fault bench (availability acceptance gates) =="
+  ./build/bench/fault_bench --out build/BENCH_fault.json
+fi
+
+if [[ "$skip_asan" -eq 0 ]]; then
+  echo "== AddressSanitizer: fault-injection suites (ctest -L fault) =="
+  cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target l2sim_fault_tests
+  ctest --test-dir build-asan --output-on-failure -j -L fault
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler + parallel tests =="
+  echo "== ThreadSanitizer: scheduler + parallel + fault tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests
   ctest --test-dir build-tsan --output-on-failure -j \
     -R 'Scheduler|Parallel|Determinism'
+  ctest --test-dir build-tsan --output-on-failure -j -L fault
 fi
 
 echo "check.sh: all green"
