@@ -19,7 +19,7 @@ core::SimResult run_with_failure(const trace::Trace& tr, core::PolicyKind kind,
   core::SimConfig cfg;
   cfg.nodes = 16;
   cfg.node.cache_bytes = 32 * kMiB;
-  cfg.failures.push_back({dead_node, at_seconds});
+  cfg.fault_plan.crashes.push_back({dead_node, at_seconds});
   core::ClusterSimulation sim(cfg, tr, core::make_policy(kind, shrink));
   return sim.run();
 }

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     core::SimConfig cfg;
     cfg.nodes = 16;
     cfg.node.cache_bytes = 32 * kMiB;
-    cfg.dns_entry_skew = skew;
+    cfg.arrival.dns_entry_skew = skew;
 
     policy::L2sParams params;
     params.set_shrink_seconds = 20.0 * scale;

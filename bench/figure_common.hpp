@@ -1,30 +1,63 @@
-// Shared driver for the Figure 7-10 benches and the per-metric studies:
-// generates the named paper trace at the bench scale, runs the node-count
-// sweep over model/L2S/LARD/trad, prints the paper-style table and emits
-// CSV when enabled.
+// Shared scenario library for the Figure 7-10 benches and the per-metric
+// studies. Every bench describes its experiment as a core::ExperimentSpec
+// (trace, cluster, policy, arrival mode) and hands it to the engines —
+// run_model for the analytic bound, run_simulation for the DES — so the
+// figure drivers differ only in trace name and label.
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "l2sim/l2sim.hpp"
 
 namespace l2s::benchfig {
 
 inline trace::Trace scaled_paper_trace(const std::string& name, double scale) {
-  auto spec = trace::paper_trace_spec(name);
-  spec.requests = static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
-  return trace::generate(spec);
+  return core::TraceSpec::paper(name, scale).realize();
 }
 
-inline core::ExperimentConfig figure_config(double scale) {
-  core::ExperimentConfig cfg;
-  cfg.sim.node.cache_bytes = 32 * kMiB;  // the paper's simulation memory size
-  cfg.node_counts = {1, 2, 4, 8, 12, 16};
+/// The paper's figure scenario: 32 MB per-node caches, saturation replay,
+/// replication-decay windows scaled with the truncated trace length.
+inline core::ExperimentSpec figure_spec(const std::string& trace_name, double scale) {
+  core::ExperimentSpec spec;
+  spec.name = trace_name;
+  spec.trace = core::TraceSpec::paper(trace_name, scale);
+  spec.sim.node.cache_bytes = 32 * kMiB;  // the paper's simulation memory size
   // The 20 s replication-decay windows cover the same fraction of a
   // truncated replay as they do of a full-length one.
-  cfg.set_shrink_seconds = 20.0 * scale;
-  return cfg;
+  spec.set_shrink_seconds = 20.0 * scale;
+  return spec;
+}
+
+/// The node counts Figures 7-10 sweep.
+inline const std::vector<int>& figure_node_counts() {
+  static const std::vector<int> counts = {1, 2, 4, 8, 12, 16};
+  return counts;
+}
+
+/// Run one spec's node-count sweep on both engines: the model bound and
+/// the three simulated servers at every node count.
+inline core::FigureSeries run_figure_series(const core::ExperimentSpec& base,
+                                            const std::vector<int>& node_counts) {
+  const trace::Trace tr = base.trace.realize();
+  core::FigureSeries fig;
+  fig.trace_name = tr.name();
+  fig.characteristics = trace::characterize(tr);
+  fig.node_counts = node_counts;
+
+  for (const int nodes : node_counts) {
+    core::ExperimentSpec spec = base;
+    spec.sim.nodes = nodes;
+    fig.model_rps.push_back(core::run_model(spec, tr).throughput_rps);
+    spec.policy = core::PolicyKind::kL2s;
+    fig.l2s.push_back(core::run_simulation(spec, tr));
+    spec.policy = core::PolicyKind::kLard;
+    fig.lard.push_back(core::run_simulation(spec, tr));
+    spec.policy = core::PolicyKind::kTraditional;
+    fig.traditional.push_back(core::run_simulation(spec, tr));
+  }
+  return fig;
 }
 
 /// Run one full throughput figure; returns the series for further study.
@@ -32,12 +65,11 @@ inline core::FigureSeries run_figure(const std::string& trace_name,
                                      const std::string& figure_label, int argc,
                                      char** argv) {
   const double scale = bench_scale();
-  const trace::Trace tr = scaled_paper_trace(trace_name, scale);
-  const auto cfg = figure_config(scale);
+  const auto spec = figure_spec(trace_name, scale);
 
   std::cout << figure_label << " (synthetic " << trace_name
             << " trace, L2SIM_SCALE=" << scale << ")\n\n";
-  const auto fig = core::run_throughput_figure(tr, cfg);
+  const auto fig = run_figure_series(spec, figure_node_counts());
   core::print_throughput_figure(std::cout, fig);
 
   const std::string dir = csv_dir_from_args(argc, argv);

@@ -18,9 +18,9 @@ int main(int argc, char** argv) {
     auto spec = base;
     spec.requests = std::min<std::uint64_t>(
         static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale), 600000);
-    const trace::Trace tr = trace::generate(spec);
-    const auto cfg = benchfig::figure_config(scale);
-    const auto fig = core::run_throughput_figure(tr, cfg);
+    auto espec = benchfig::figure_spec(spec.name, scale);
+    espec.trace = core::TraceSpec::synth(spec);  // the capped trace above
+    const auto fig = benchfig::run_figure_series(espec, benchfig::figure_node_counts());
     core::print_metric_figure(std::cout, fig, "idle");
     std::cout << '\n';
 

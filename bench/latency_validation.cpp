@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
     core::SimConfig cfg;
     cfg.nodes = 1;
     cfg.node.cache_bytes = 8 * kMiB;
-    cfg.open_loop_arrival_rate = rate;
-    cfg.buffer_slots_per_node = 2000;
+    cfg.arrival.open_loop_rate = rate;
+    cfg.admission.buffer_slots_per_node = 2000;
     const auto r = core::run_once(tr, cfg, core::PolicyKind::kTraditional);
     const double mm1_ms = net.solve(rate).mean_response * 1e3;
     // Deterministic service halves each station's waiting (P-K with

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
       core::SimConfig cfg;
       cfg.nodes = 16;
       cfg.node.cache_bytes = 32 * kMiB;
-      cfg.mean_requests_per_connection = rpc;
-      cfg.persistent_mode = mode;
+      cfg.persistence.mean_requests_per_connection = rpc;
+      cfg.persistence.mode = mode;
       policy::L2sParams params;
       params.set_shrink_seconds = 20.0 * scale;
       core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>(params));

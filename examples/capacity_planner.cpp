@@ -19,27 +19,28 @@ int main(int argc, char** argv) {
   const double slo_ms = argc > 2 ? std::atof(argv[2]) : 50.0;
   const std::string trace_name = argc > 3 ? argv[3] : "calgary";
 
-  // Workload statistics from a (scaled) synthetic trace of the named kind.
-  auto spec = trace::paper_trace_spec(trace_name);
-  spec.requests /= 20;
-  const trace::Trace tr = trace::generate(spec);
-  const auto ch = trace::characterize(tr);
+  // One spec describes the whole exercise: a (scaled) synthetic workload
+  // of the named kind on a 32 MB-cache L2S cluster, open-loop arrivals at
+  // the target rate. The model sizes it; the simulator verifies it.
+  core::ExperimentSpec exp;
+  exp.name = "capacity_plan";
+  exp.trace = core::TraceSpec::paper(trace_name, 1.0 / 20.0);
+  exp.sim.node.cache_bytes = 32 * kMiB;
+  exp.sim.arrival.open_loop_rate = target;
+  exp.sim.admission.buffer_slots_per_node = 24;
+  exp.policy = core::PolicyKind::kL2s;
+  const trace::Trace tr = exp.trace.realize();
 
   std::cout << "planning for " << target << " req/s at p-mean <= " << slo_ms
             << " ms on a " << trace_name << "-like workload\n\n";
 
   // 1. Find the smallest cluster whose model bound exceeds the target with
   //    25% headroom (queueing near saturation is hopeless for any SLO).
-  model::ModelParams mp;
-  mp.cache_bytes = 32 * kMiB;
-  mp.replication = 0.15;
-  mp.alpha = ch.alpha;
-  const model::TraceModel tm(mp, ch.to_workload_stats());
-
   int nodes = 0;
   TextTable plan({"nodes", "model bound (req/s)", "target fits?"});
   for (int n = 1; n <= 64; ++n) {
-    const double bound = tm.bound(n).conscious.throughput;
+    exp.sim.nodes = n;
+    const double bound = core::run_model(exp, tr).throughput_rps;
     const bool fits = bound >= target * 1.25;
     if (n <= 4 || n % 4 == 0 || fits) {
       plan.cell(static_cast<long long>(n)).cell(bound, 0)
@@ -62,13 +63,8 @@ int main(int argc, char** argv) {
   //    balance, so the simulated cluster usually needs a node or two
   //    more). The admission window stays near L2S's overload threshold.
   for (int attempt = 0; attempt < 5; ++attempt, nodes += 2) {
-    core::SimConfig cfg;
-    cfg.nodes = nodes;
-    cfg.node.cache_bytes = 32 * kMiB;
-    cfg.open_loop_arrival_rate = target;
-    cfg.buffer_slots_per_node = 24;
-    core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
-    const auto r = sim.run();
+    exp.sim.nodes = nodes;
+    const auto r = core::run_simulation(exp, tr);
 
     const double drop_pct = 100.0 * static_cast<double>(r.failed) /
                             static_cast<double>(r.completed + r.failed);

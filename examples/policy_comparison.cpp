@@ -5,7 +5,6 @@
 //   $ ./policy_comparison calgary|clarknet|nasa|rutgers [scale]
 //   $ ./policy_comparison --clf access.log
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -21,41 +20,28 @@ int main(int argc, char** argv) {
   }
 
   try {
-    trace::Trace tr;
+    // One declarative spec covers both workload sources; the sweep below
+    // realizes it once and runs every point from it.
+    core::ExperimentSpec exp;
+    exp.name = "policy_comparison";
+    exp.sim.node.cache_bytes = 32 * kMiB;
     if (std::string(argv[1]) == "--clf") {
       if (argc < 3) {
         std::cerr << "missing CLF path\n";
         return 1;
       }
-      std::ifstream in(argv[2]);
-      if (!in) {
-        std::cerr << "cannot open " << argv[2] << '\n';
-        return 1;
-      }
-      trace::ClfParseStats ps;
-      tr = trace::read_clf(in, argv[2], &ps);
-      std::cout << "parsed " << ps.accepted << "/" << ps.lines << " CLF lines ("
-                << ps.rejected_malformed << " malformed, " << ps.rejected_status
-                << " non-200, " << ps.rejected_method << " non-GET)\n";
+      exp.trace = core::TraceSpec::clf(argv[2]);
     } else {
-      auto spec = trace::paper_trace_spec(argv[1]);
       const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
-      spec.requests =
-          static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
-      tr = trace::generate(spec);
+      exp.trace = core::TraceSpec::paper(argv[1], scale);
+      // Replication decays over the paper's 20 s window at full trace
+      // length; scale it with the truncation so the decay covers the same
+      // fraction of the run.
+      exp.set_shrink_seconds = 20.0 * scale;
     }
 
-    core::ExperimentConfig cfg;
-    cfg.sim.node.cache_bytes = 32 * kMiB;
-    cfg.node_counts = {1, 2, 4, 8, 12, 16};
-    // Replication decays over the paper's 20 s window at full trace length;
-    // scale it with the truncation so the decay covers the same fraction of
-    // the run.
-    if (std::string(argv[1]) != "--clf") {
-      const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
-      cfg.set_shrink_seconds = 20.0 * scale;
-    }
-
+    const trace::Trace tr = exp.trace.realize();
+    const auto cfg = core::to_experiment_config(exp);
     const auto fig = core::run_throughput_figure(tr, cfg);
     core::print_throughput_figure(std::cout, fig);
     std::cout << '\n';

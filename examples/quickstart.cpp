@@ -37,26 +37,25 @@ int main(int argc, char** argv) {
             << format_double(static_cast<double>(ch.working_set_bytes) / (1 << 20), 0)
             << " MB, fitted alpha " << format_double(ch.alpha, 2) << "\n\n";
 
-  // 2. Cluster: per-node 16 MB cache (small relative to the working set, so
-  //    locality matters), paper-default CPU/disk/network parameters.
-  core::SimConfig cfg;
-  cfg.nodes = nodes;
-  cfg.node.cache_bytes = 16 * kMiB;
+  // 2. Describe the experiment once: workload + cluster (per-node 16 MB
+  //    cache, small relative to the working set so locality matters) with
+  //    paper-default CPU/disk/network parameters.
+  core::ExperimentSpec exp;
+  exp.name = "quickstart";
+  exp.trace = core::TraceSpec::synth(spec);
+  exp.sim.nodes = nodes;
+  exp.sim.node.cache_bytes = 16 * kMiB;
 
-  // 3. One run per policy.
+  // 3. The same spec drives both engines: one DES run per policy...
   for (const auto kind : core::all_policies()) {
-    const core::SimResult r = core::run_once(tr, cfg, kind);
+    exp.policy = kind;
+    const core::SimResult r = core::run_simulation(exp, tr);
     std::cout << r.describe() << '\n';
   }
 
-  // The analytic model's upper bound for the same workload.
-  model::ModelParams mp;
-  mp.nodes = nodes;
-  mp.cache_bytes = cfg.node.cache_bytes;
-  mp.replication = 0.15;
-  mp.alpha = ch.alpha;
-  const model::TraceModel tm(mp, ch.to_workload_stats());
+  // ...and the analytic model's upper bound for the same experiment.
+  const core::ModelResult bound = core::run_model(exp, tr);
   std::cout << "\nmodel bound (15% replication): "
-            << format_double(tm.bound(nodes).conscious.throughput, 0) << " req/s\n";
+            << format_double(bound.throughput_rps, 0) << " req/s\n";
   return 0;
 }

@@ -10,20 +10,49 @@
 
 namespace l2s::cluster {
 
-enum class ConnectionStage : std::uint8_t {
-  kArriving,    ///< in the router / entry NIC
-  kParsing,     ///< entry node CPU
-  kForwarding,  ///< hand-off in flight to the service node
-  kServing,     ///< cache/disk + reply path at the service node
-  kDone,
+/// Explicit request-lifecycle state machine, shared by every engine
+/// component. A request advances
+///   kArriving -> kParsing -> kDispatching -> [kForwarding ->] kServing
+///   -> kReplying -> (next request | kDone)
+/// with two detours: kRetryBackoff while a failed attempt waits out its
+/// backoff (the next attempt restarts at kArriving), and a jump to kDone
+/// from anywhere on completion, final failure or deadline expiry. kDone is
+/// absorbing: stale callbacks check it (see engine::attempt_stale) and
+/// bail, which is what makes retries and crash aborts idempotent.
+enum class ConnectionState : std::uint8_t {
+  kArriving,      ///< in the router / entry NIC
+  kParsing,       ///< entry node CPU
+  kDispatching,   ///< policy deciding the service node
+  kForwarding,    ///< hand-off in flight to the service node
+  kServing,       ///< cache/disk lookup at the service node
+  kReplying,      ///< reply CPU/NIC/router back to the client
+  kRetryBackoff,  ///< waiting to launch the next attempt
+  kDone,          ///< completed or failed; no callback may act on it again
 };
+
+/// Back-compat alias: the pre-engine name of the lifecycle enum.
+using ConnectionStage = ConnectionState;
+
+[[nodiscard]] constexpr const char* connection_state_name(ConnectionState s) {
+  switch (s) {
+    case ConnectionState::kArriving: return "arriving";
+    case ConnectionState::kParsing: return "parsing";
+    case ConnectionState::kDispatching: return "dispatching";
+    case ConnectionState::kForwarding: return "forwarding";
+    case ConnectionState::kServing: return "serving";
+    case ConnectionState::kReplying: return "replying";
+    case ConnectionState::kRetryBackoff: return "retry-backoff";
+    case ConnectionState::kDone: return "done";
+  }
+  return "?";
+}
 
 struct Connection {
   std::uint64_t id = 0;
   trace::Request request{};
   int entry_node = -1;    ///< node that accepted the client connection
   int service_node = -1;  ///< node that services the request (== entry if local)
-  ConnectionStage stage = ConnectionStage::kArriving;
+  ConnectionState state = ConnectionState::kArriving;
   SimTime arrival = 0;    ///< arrival of the *current* request
   SimTime completion = 0;
   bool cache_hit = false;

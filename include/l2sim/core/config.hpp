@@ -1,0 +1,143 @@
+// Simulation configuration, grouped by the engine component that consumes
+// it: arrival generation, admission control, client retries and persistent
+// connections each have their own sub-config, embedded in SimConfig next
+// to the cluster-wide hardware and fault parameters.
+//
+// Field migration from the flat pre-engine SimConfig:
+//   open_loop_arrival_rate        -> arrival.open_loop_rate
+//   dns_entry_skew                -> arrival.dns_entry_skew
+//   buffer_slots_per_node         -> admission.buffer_slots_per_node
+//   mean_requests_per_connection  -> persistence.mean_requests_per_connection
+//   persistent_mode               -> persistence.mode
+//   retry (SimConfig::RetryParams)-> retry (RetryConfig; alias kept)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/common/units.hpp"
+#include "l2sim/fault/plan.hpp"
+#include "l2sim/net/params.hpp"
+
+namespace l2s::core {
+
+/// How a persistent (HTTP/1.1-style) connection obtains a file its current
+/// node does not cache, following Aron et al.'s two mechanisms:
+/// migrate the whole connection to the caching node (hand-off), or have
+/// the current node fetch the content from the caching node over the
+/// cluster network and reply itself (back-end request forwarding).
+enum class PersistentMode { kConnectionHandoff, kBackendForwarding };
+
+/// How requests enter the cluster (consumed by engine::ArrivalSource).
+struct ArrivalConfig {
+  /// Open-loop arrival mode: when positive, requests arrive as a Poisson
+  /// process at this rate (requests/second) instead of the paper's
+  /// saturation replay — the configuration for latency-vs-load studies.
+  /// The admission window still caps outstanding work (arrivals finding
+  /// it full are dropped and counted as failed), bounding queue blow-up
+  /// above saturation.
+  double open_loop_rate = 0.0;
+
+  /// DNS-translation caching skew: with this probability a client's
+  /// connection ignores the DNS round-robin answer and lands on a node
+  /// drawn from a Zipf(1) "cached translation" distribution instead — the
+  /// imbalance Section 2 attributes to intermediate name servers caching
+  /// translations. Applies only to policies with a DNS front door.
+  double dns_entry_skew = 0.0;
+};
+
+/// Bounded in-flight admission window (engine::AdmissionController).
+struct AdmissionConfig {
+  /// Admission buffer slots per node (total in-flight = nodes * this).
+  /// At saturation the average per-node open-connection count equals this
+  /// value, so it should sit at or just below the L2S overload threshold
+  /// (T = 20): only nodes serving hot files then cross T, which is what
+  /// triggers selective replication. Values far above T put every node
+  /// permanently over threshold and degrade L2S into full replication.
+  std::uint64_t buffer_slots_per_node = 20;
+};
+
+/// Client-side robustness (engine::RetryManager). Defaults keep
+/// everything off, reproducing the fail-fast client of the original model.
+struct RetryConfig {
+  int max_retries = 0;  ///< extra attempts after the first (0 = fail fast)
+  double initial_backoff_seconds = 0.025;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.2;
+  /// Per-request deadline measured from first arrival; the client gives
+  /// up (request fails) when it expires. 0 = none.
+  double deadline_seconds = 0.0;
+  /// Per-attempt timeout: an attempt that has not completed by then is
+  /// abandoned and retried (or failed). Required (or a deadline) for
+  /// liveness whenever the fault plan can drop messages. 0 = none.
+  double attempt_timeout_seconds = 0.0;
+};
+
+/// Persistent-connection behaviour (engine::PersistentPath).
+struct PersistenceConfig {
+  /// Mean requests served per client connection (geometric distribution);
+  /// 1.0 reproduces the paper's HTTP/1.0 setting of one request per
+  /// connection. Larger values simulate persistent connections.
+  double mean_requests_per_connection = 1.0;
+  PersistentMode mode = PersistentMode::kConnectionHandoff;
+};
+
+struct SimConfig {
+  int nodes = 16;
+  cluster::NodeParams node;  ///< per-node cache (32 MB default), CPU, disk
+  net::NetParams net;
+  Bytes request_msg_bytes = 256;  ///< client request / hand-off payload
+  Bytes control_msg_bytes = 16;   ///< load & locality update payload
+  bool warmup = true;
+  /// Seed for the simulation's own randomness (connection lengths, DNS
+  /// skew, open-loop gaps); the fault layer splits its own stream off it.
+  std::uint64_t seed = 0x5EEDC0DE;
+
+  ArrivalConfig arrival;
+  AdmissionConfig admission;
+  RetryConfig retry;
+  PersistenceConfig persistence;
+  /// Back-compat alias: RetryConfig was SimConfig::RetryParams before the
+  /// sub-config split.
+  using RetryParams = RetryConfig;
+
+  /// Interval at which per-node open-connection counts are sampled to
+  /// compute the load-imbalance statistics (0 disables sampling).
+  SimTime load_sample_interval = seconds_to_simtime(0.05);
+  /// When non-empty, every load sample of the measured pass is appended to
+  /// this CSV file (time_s, node0, node1, ...): the per-node load timeline
+  /// for plotting balance behaviour over time.
+  std::string timeline_csv_path;
+
+  /// Declarative fault schedule for the measured pass (crashes,
+  /// recoveries, fail-slow windows, VIA message faults).
+  fault::FaultPlan fault_plan;
+
+  /// Heartbeat failure detection (off = fixed-delay detection).
+  fault::DetectionParams detection;
+
+  /// Delay until the survivors (policies, DNS) stop using a crashed node
+  /// under fixed-delay detection (`detection.heartbeats` false); it also
+  /// paces readmission after a recovery on that path.
+  double failure_detection_seconds = 0.5;
+
+  /// How long a client waits on a connection to a crashed node before
+  /// giving up (its admission slot is held for the duration). Without this
+  /// timeout, fail-fast aborts would let a dead node black-hole the whole
+  /// trace during the detection window — the classic least-connections
+  /// pathology, where the dead node's frozen (minimal) connection count
+  /// attracts every new request.
+  double failure_client_timeout_seconds = 0.1;
+
+  /// Goodput timeline bucket width for SimResult::goodput_rps (0 = off).
+  double goodput_interval_seconds = 0.0;
+  /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
+  /// assumption). When set, the vector length must equal `nodes`.
+  std::vector<double> node_speed_factors;
+
+  void validate() const;
+};
+
+}  // namespace l2s::core

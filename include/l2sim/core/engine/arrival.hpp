@@ -1,0 +1,36 @@
+// ArrivalSource: how requests enter the cluster. Two modes, selected by
+// ArrivalConfig::open_loop_rate:
+//   * saturation replay (the paper's measurement protocol) — the admission
+//     window is kept full from the trace cursor, and
+//   * open-loop Poisson arrivals at a configured rate, for
+//     latency-vs-load studies; arrivals finding the window full are
+//     dropped and counted as rejected.
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/core/engine/context.hpp"
+
+namespace l2s::core::engine {
+
+class ArrivalSource {
+ public:
+  explicit ArrivalSource(EngineContext& ctx) : ctx_(ctx) {}
+
+  /// Begin one pass: fill the admission window (replay) or schedule the
+  /// first Poisson arrival (open loop). The window must be open.
+  void start();
+
+ private:
+  void open_loop_arrival();
+  /// Admit one trace request: build the connection, launch its first
+  /// attempt, sample the connection length and arm the deadline.
+  void inject(std::uint64_t seq, const trace::Request& r);
+  /// Geometric on {1, 2, ...} with mean
+  /// persistence.mean_requests_per_connection.
+  [[nodiscard]] std::uint32_t sample_connection_length();
+
+  EngineContext& ctx_;
+};
+
+}  // namespace l2s::core::engine

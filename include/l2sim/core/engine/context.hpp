@@ -1,0 +1,66 @@
+// EngineContext: the wiring loom of the decomposed simulation engine.
+//
+// The coordinator (core::ClusterSimulation) owns the simulated hardware
+// and one instance of every engine component; each component receives a
+// reference to this context and reaches its collaborators exclusively
+// through it. Components never own each other, so the request lifecycle
+// can flow ArrivalSource -> Dispatcher -> ServicePath -> PersistentPath
+// with RetryManager re-entering the cycle on failures, without a single
+// circular include.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "l2sim/cluster/node.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/core/config.hpp"
+#include "l2sim/core/engine/lifecycle.hpp"
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/net/router.hpp"
+#include "l2sim/net/via.hpp"
+#include "l2sim/policy/policy.hpp"
+#include "l2sim/trace/trace.hpp"
+
+namespace l2s::core::engine {
+
+class ArrivalSource;
+class AdmissionController;
+class Dispatcher;
+class RetryManager;
+class ServicePath;
+class PersistentPath;
+
+struct EngineContext {
+  // Simulated hardware and configuration (owned by the coordinator).
+  const SimConfig* config = nullptr;
+  const trace::Trace* trace = nullptr;
+  des::Scheduler* sched = nullptr;
+  net::Router* router = nullptr;
+  net::ViaNetwork* via = nullptr;
+  policy::Policy* policy = nullptr;
+  std::vector<std::unique_ptr<cluster::Node>>* nodes = nullptr;
+  /// The simulation's own random stream (connection lengths, DNS skew,
+  /// open-loop gaps). Exactly one component draws at a time, so sharing
+  /// the stream keeps the draw order identical to the monolithic engine.
+  Rng* rng = nullptr;
+
+  // Engine components (owned by the coordinator, wired here).
+  ArrivalSource* arrival = nullptr;
+  AdmissionController* admission = nullptr;
+  Dispatcher* dispatcher = nullptr;
+  RetryManager* retry = nullptr;
+  ServicePath* service = nullptr;
+  PersistentPath* persistent = nullptr;
+  /// All lifecycle events go through this fan-out (metrics, availability).
+  LifecycleFanout* observers = nullptr;
+
+  [[nodiscard]] const SimConfig& cfg() const { return *config; }
+  [[nodiscard]] SimTime now() const { return sched->now(); }
+  [[nodiscard]] cluster::Node& node(int id) const {
+    return *(*nodes)[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool node_alive(int id) const { return node(id).alive(); }
+};
+
+}  // namespace l2s::core::engine

@@ -1,0 +1,102 @@
+// Request-lifecycle vocabulary shared by the engine components: the
+// connection state machine (cluster::ConnectionState), the failure
+// buckets, the attempt-staleness guard, and the LifecycleObserver fan-out
+// through which the engine publishes every lifecycle event without
+// knowing who listens (metrics, availability tracking, timelines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "l2sim/cluster/connection.hpp"
+#include "l2sim/common/units.hpp"
+
+namespace l2s::core::engine {
+
+using cluster::ConnectionState;
+using ConnPtr = std::shared_ptr<cluster::Connection>;
+
+/// Why a request finally failed — one per SimResult failure bucket.
+enum class FailureKind {
+  kDeadline,          ///< the per-request deadline expired
+  kRetriesExhausted,  ///< every attempt died (includes fail-fast aborts)
+  kRejected,          ///< open-loop arrival found the admission buffers full
+};
+
+/// A callback belongs to a superseded attempt (or a finished request).
+/// Every event the engine schedules on behalf of an attempt captures the
+/// attempt id and checks this first; kDone is absorbing.
+[[nodiscard]] inline bool attempt_stale(const ConnPtr& conn, std::uint32_t att) {
+  return conn->state == ConnectionState::kDone || conn->attempt != att;
+}
+
+/// Passive taps on the request lifecycle and the fault timeline. Handlers
+/// must not schedule events or mutate engine state: observers exist so
+/// that statistics, availability tracking and CSV emission stay out of the
+/// simulation path — and adding one can never perturb event order.
+class LifecycleObserver {
+ public:
+  virtual ~LifecycleObserver() = default;
+
+  // Request lifecycle.
+  virtual void on_request_completed(const cluster::Connection& /*conn*/, SimTime /*now*/) {}
+  virtual void on_connection_closed(const cluster::Connection& /*conn*/) {}
+  virtual void on_request_failed(FailureKind /*kind*/, SimTime /*now*/) {}
+  virtual void on_retry_scheduled(SimTime /*now*/) {}
+  virtual void on_forward() {}       ///< hand-off or remote fetch left the entry node
+  virtual void on_migration() {}     ///< persistent connection migrated
+  virtual void on_remote_fetch() {}  ///< back-end request forwarding used
+
+  // Fault timeline (from the coordinator's fault arming / detection).
+  virtual void on_node_crashed(int /*node*/, SimTime /*at*/) {}
+  virtual void on_node_repaired(int /*node*/, SimTime /*at*/) {}
+  virtual void on_node_detected(int /*node*/, SimTime /*at*/) {}
+  virtual void on_node_readmitted(int /*node*/, SimTime /*at*/) {}
+};
+
+/// Fan-out: the engine talks to exactly one observer, which forwards to
+/// every registered listener in registration order.
+class LifecycleFanout final : public LifecycleObserver {
+ public:
+  void add(LifecycleObserver* obs) { observers_.push_back(obs); }
+
+  void on_request_completed(const cluster::Connection& c, SimTime now) override {
+    for (auto* o : observers_) o->on_request_completed(c, now);
+  }
+  void on_connection_closed(const cluster::Connection& c) override {
+    for (auto* o : observers_) o->on_connection_closed(c);
+  }
+  void on_request_failed(FailureKind kind, SimTime now) override {
+    for (auto* o : observers_) o->on_request_failed(kind, now);
+  }
+  void on_retry_scheduled(SimTime now) override {
+    for (auto* o : observers_) o->on_retry_scheduled(now);
+  }
+  void on_forward() override {
+    for (auto* o : observers_) o->on_forward();
+  }
+  void on_migration() override {
+    for (auto* o : observers_) o->on_migration();
+  }
+  void on_remote_fetch() override {
+    for (auto* o : observers_) o->on_remote_fetch();
+  }
+  void on_node_crashed(int node, SimTime at) override {
+    for (auto* o : observers_) o->on_node_crashed(node, at);
+  }
+  void on_node_repaired(int node, SimTime at) override {
+    for (auto* o : observers_) o->on_node_repaired(node, at);
+  }
+  void on_node_detected(int node, SimTime at) override {
+    for (auto* o : observers_) o->on_node_detected(node, at);
+  }
+  void on_node_readmitted(int node, SimTime at) override {
+    for (auto* o : observers_) o->on_node_readmitted(node, at);
+  }
+
+ private:
+  std::vector<LifecycleObserver*> observers_;
+};
+
+}  // namespace l2s::core::engine

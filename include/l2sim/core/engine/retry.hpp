@@ -1,0 +1,42 @@
+// RetryManager: the client-side robustness machinery — capped exponential
+// backoff between attempts, the per-attempt timeout, the per-request
+// deadline, and the final transition of a request into one of the failure
+// buckets. Owns every path that marks a connection kDone without a
+// completed reply.
+#pragma once
+
+#include "l2sim/core/engine/context.hpp"
+
+namespace l2s::core::engine {
+
+class RetryManager {
+ public:
+  explicit RetryManager(EngineContext& ctx) : ctx_(ctx) {}
+
+  /// Abort the connection's current attempt (its node crashed, or the
+  /// policy produced no decision): retried if the client has retry budget
+  /// left, otherwise the client sees a failure and the admission slot
+  /// frees after the client timeout. Idempotent.
+  void abort_connection(const ConnPtr& conn);
+
+  /// Consume retry budget and schedule the next attempt after backoff.
+  void schedule_retry(const ConnPtr& conn);
+
+  /// Arm the per-request deadline (measured from the current request's
+  /// arrival); re-armed by each request on a persistent connection.
+  void arm_deadline(const ConnPtr& conn);
+
+  /// Arm the per-attempt timeout for the connection's current attempt: an
+  /// attempt that hangs (lost hand-off, dead node, glacial queue) is
+  /// abandoned and retried or failed. No-op when not configured.
+  void arm_attempt_timeout(const ConnPtr& conn);
+
+  /// Final failure: mark kDone, count it under `kind`, free the admission
+  /// slot after `slot_hold` (0 = immediately).
+  void fail_connection(const ConnPtr& conn, FailureKind kind, SimTime slot_hold);
+
+ private:
+  EngineContext& ctx_;
+};
+
+}  // namespace l2s::core::engine

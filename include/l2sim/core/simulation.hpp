@@ -1,159 +1,45 @@
 // ClusterSimulation: the trace-driven discrete-event simulator of a
-// cluster-based network server (Section 5 of the paper).
+// cluster-based network server (Section 5 of the paper) — a slim
+// coordinator over the engine components in l2sim/core/engine/:
 //
-// Request lifecycle (HTTP/1.0-style, one request per connection):
+//   ArrivalSource        how requests enter (saturation replay / Poisson)
+//   AdmissionController  the bounded in-flight window + drop accounting
+//   Dispatcher           entry selection, parse, policy decision, hand-off
+//   ServicePath          cache/disk service, reply path, completion
+//   PersistentPath       HTTP/1.1 requests: migration or remote fetch
+//   RetryManager         backoff, attempt timeout, deadline, failure
+//   MetricsCollector     every statistic, behind LifecycleObserver
 //
-//   client -> router -> entry NI-in -> entry CPU (parse)
-//     -> policy decision
-//        local:      -> service path on the entry node
-//        forwarded:  -> entry CPU (hand-off) -> VIA transfer
-//                    -> target CPU (receive) -> service path on target
-//   service path: cache hit ? CPU reply : disk read + cache insert + CPU reply
-//     -> NI-out -> router -> client (connection closes)
-//
-// Measurement protocol follows the paper: caches are warmed by simulating
-// the trace once, statistics are reset, and the same trace is replayed
-// under saturation to measure maximum throughput.
+// The coordinator owns the simulated hardware (scheduler, nodes, router,
+// switch fabric, VIA), wires the components through an EngineContext, and
+// runs the paper's measurement protocol: warm the caches by simulating the
+// trace once, reset statistics, then replay the same trace under
+// saturation to measure maximum throughput. Faults (crashes, fail-slow,
+// message faults) and their detection are armed around the measured pass.
 #pragma once
 
-#include <fstream>
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "l2sim/cluster/connection.hpp"
-#include "l2sim/cluster/injector.hpp"
-#include "l2sim/common/rng.hpp"
 #include "l2sim/cluster/node.hpp"
+#include "l2sim/common/rng.hpp"
+#include "l2sim/core/config.hpp"
+#include "l2sim/core/engine/context.hpp"
 #include "l2sim/core/metrics.hpp"
 #include "l2sim/des/scheduler.hpp"
 #include "l2sim/fault/detector.hpp"
-#include "l2sim/fault/plan.hpp"
 #include "l2sim/fault/runtime.hpp"
 #include "l2sim/net/router.hpp"
 #include "l2sim/net/switch_fabric.hpp"
 #include "l2sim/net/via.hpp"
 #include "l2sim/policy/policy.hpp"
-#include "l2sim/stats/accumulator.hpp"
-#include "l2sim/stats/availability.hpp"
-#include "l2sim/stats/histogram.hpp"
 #include "l2sim/trace/trace.hpp"
 
 namespace l2s::core {
 
-/// How a persistent (HTTP/1.1-style) connection obtains a file its current
-/// node does not cache, following Aron et al.'s two mechanisms:
-/// migrate the whole connection to the caching node (hand-off), or have
-/// the current node fetch the content from the caching node over the
-/// cluster network and reply itself (back-end request forwarding).
-enum class PersistentMode { kConnectionHandoff, kBackendForwarding };
-
-struct SimConfig {
-  int nodes = 16;
-  cluster::NodeParams node;  ///< per-node cache (32 MB default), CPU, disk
-  net::NetParams net;
-  Bytes request_msg_bytes = 256;  ///< client request / hand-off payload
-  Bytes control_msg_bytes = 16;   ///< load & locality update payload
-  /// Admission buffer slots per node (total in-flight = nodes * this).
-  /// At saturation the average per-node open-connection count equals this
-  /// value, so it should sit at or just below the L2S overload threshold
-  /// (T = 20): only nodes serving hot files then cross T, which is what
-  /// triggers selective replication. Values far above T put every node
-  /// permanently over threshold and degrade L2S into full replication.
-  std::uint64_t buffer_slots_per_node = 20;
-  bool warmup = true;
-
-  /// Open-loop arrival mode: when positive, requests arrive as a Poisson
-  /// process at this rate (requests/second) instead of the paper's
-  /// saturation replay — the configuration for latency-vs-load studies.
-  /// The admission window still caps outstanding work (arrivals finding
-  /// it full are dropped and counted as failed), bounding queue blow-up
-  /// above saturation.
-  double open_loop_arrival_rate = 0.0;
-
-  /// Mean requests served per client connection (geometric distribution);
-  /// 1.0 reproduces the paper's HTTP/1.0 setting of one request per
-  /// connection. Larger values simulate persistent connections.
-  double mean_requests_per_connection = 1.0;
-  PersistentMode persistent_mode = PersistentMode::kConnectionHandoff;
-  /// Seed for the simulation's own randomness (connection lengths).
-  std::uint64_t seed = 0x5EEDC0DE;
-
-  /// Interval at which per-node open-connection counts are sampled to
-  /// compute the load-imbalance statistics (0 disables sampling).
-  SimTime load_sample_interval = seconds_to_simtime(0.05);
-  /// When non-empty, every load sample of the measured pass is appended to
-  /// this CSV file (time_s, node0, node1, ...): the per-node load timeline
-  /// for plotting balance behaviour over time.
-  std::string timeline_csv_path;
-
-  /// DNS-translation caching skew: with this probability a client's
-  /// connection ignores the DNS round-robin answer and lands on a node
-  /// drawn from a Zipf(1) "cached translation" distribution instead — the
-  /// imbalance Section 2 attributes to intermediate name servers caching
-  /// translations. Applies only to policies with a DNS front door.
-  double dns_entry_skew = 0.0;
-
-  /// Node crashes injected during the measured pass (availability study:
-  /// the paper's L2S has no single point of failure, while LARD's
-  /// front-end is one). Times are seconds after measurement starts.
-  ///
-  /// DEPRECATED: this is the pre-FaultPlan interface, kept as a shim —
-  /// every entry is folded into `fault_plan` as a Crash when the run is
-  /// armed. New code should populate `fault_plan` directly, which also
-  /// expresses recoveries, fail-slow windows and message faults.
-  struct NodeFailure {
-    int node = 0;
-    double at_seconds = 0.0;
-  };
-  std::vector<NodeFailure> failures;
-  /// Delay until the survivors (policies, DNS) stop using a crashed node.
-  /// Only used by the legacy fixed-delay detection path (when
-  /// `detection.heartbeats` is false); it also paces readmission after a
-  /// recovery on that path.
-  double failure_detection_seconds = 0.5;
-
-  /// Declarative fault schedule for the measured pass (crashes,
-  /// recoveries, fail-slow windows, VIA message faults). Replaces — and is
-  /// merged with — the legacy `failures` vector.
-  fault::FaultPlan fault_plan;
-
-  /// Heartbeat failure detection (off = legacy fixed-delay detection).
-  fault::DetectionParams detection;
-
-  /// Client-side robustness. Defaults keep everything off, reproducing
-  /// the fail-fast client of the original model.
-  struct RetryParams {
-    int max_retries = 0;  ///< extra attempts after the first (0 = fail fast)
-    double initial_backoff_seconds = 0.025;
-    double backoff_multiplier = 2.0;
-    double max_backoff_seconds = 0.2;
-    /// Per-request deadline measured from first arrival; the client gives
-    /// up (request fails) when it expires. 0 = none.
-    double deadline_seconds = 0.0;
-    /// Per-attempt timeout: an attempt that has not completed by then is
-    /// abandoned and retried (or failed). Required (or a deadline) for
-    /// liveness whenever the fault plan can drop messages. 0 = none.
-    double attempt_timeout_seconds = 0.0;
-  };
-  RetryParams retry;
-
-  /// Goodput timeline bucket width for SimResult::goodput_rps (0 = off).
-  double goodput_interval_seconds = 0.0;
-  /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
-  /// assumption). When set, the vector length must equal `nodes`.
-  std::vector<double> node_speed_factors;
-
-  /// How long a client waits on a connection to a crashed node before
-  /// giving up (its admission slot is held for the duration). Without this
-  /// timeout, fail-fast aborts would let a dead node black-hole the whole
-  /// trace during the detection window — the classic least-connections
-  /// pathology, where the dead node's frozen (minimal) connection count
-  /// attracts every new request.
-  double failure_client_timeout_seconds = 0.1;
-
-  void validate() const;
-};
+namespace engine {
+class MetricsCollector;
+}  // namespace engine
 
 class ClusterSimulation {
  public:
@@ -175,52 +61,13 @@ class ClusterSimulation {
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
  private:
-  using ConnPtr = std::shared_ptr<cluster::Connection>;
-
-  void replay_trace();                 ///< inject the whole trace and drain
-  void open_loop_arrival();            ///< Poisson arrival pump
-  void inject(std::uint64_t seq, const trace::Request& r);
-  void distribute(const ConnPtr& conn);
-  void dispatch_to(const ConnPtr& conn, int target);
-  void begin_service(const ConnPtr& conn, bool opening);
-  void reply_path(const ConnPtr& conn);
-  void request_finished(const ConnPtr& conn);
-  void close_connection(const ConnPtr& conn);
-  /// Start the next request of a persistent connection at its current node.
-  void continue_connection(const ConnPtr& conn);
-  void persistent_distribute(const ConnPtr& conn);
-  void migrate_connection(const ConnPtr& conn, int target);
-  void remote_fetch(const ConnPtr& conn, int owner);
-  [[nodiscard]] std::uint32_t sample_connection_length();
-  [[nodiscard]] bool node_alive(int id) const;
-  /// Abort a connection whose node crashed: retried if the client has
-  /// retry budget left, otherwise the client sees a failure and the
-  /// admission slot frees (after the client timeout). Idempotent.
-  void abort_connection(const ConnPtr& conn);
-  /// Launch the connection's current attempt: entry selection, router,
-  /// entry NIC, parse. Called at injection and again on every retry.
-  void start_attempt(const ConnPtr& conn);
-  /// Consume retry budget and schedule the next attempt after backoff.
-  void schedule_retry(const ConnPtr& conn);
-  /// A callback belongs to a superseded attempt (or a finished request).
-  [[nodiscard]] static bool attempt_stale(const ConnPtr& conn, std::uint32_t att) {
-    return conn->stage == cluster::ConnectionStage::kDone || conn->attempt != att;
-  }
-  /// Release the service node's open-connection count if this connection
-  /// still holds one against the node's current incarnation.
-  void release_service_count(const ConnPtr& conn);
-  /// The connection's service node is alive and still the incarnation the
-  /// connection was counted against (always true without crashes).
-  [[nodiscard]] bool service_current(const ConnPtr& conn) const;
-  /// Final failure: count it under `bucket`, free the admission slot after
-  /// `slot_hold` (0 = immediately).
-  void fail_connection(const ConnPtr& conn, std::uint64_t& bucket, SimTime slot_hold);
-  void arm_deadline(const ConnPtr& conn);
-  /// Interpret the fault plan (+ legacy failures) and start detection.
+  /// One pass: open an admission window, start arrivals (and the load
+  /// sampler), drain the scheduler.
+  void replay_trace();
+  /// Interpret the fault plan and start detection for the measured pass.
   void arm_faults(SimTime measure_start);
-  void sample_loads();
+  /// End of warm-up: zero hardware stats, policy counters and metrics.
   void reset_statistics();
-  [[nodiscard]] SimResult collect(SimTime measure_start) const;
 
   SimConfig config_;
   const trace::Trace& trace_;
@@ -230,33 +77,21 @@ class ClusterSimulation {
   net::ViaNetwork via_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::unique_ptr<policy::Policy> policy_;
-  std::unique_ptr<cluster::Injector> injector_;
   std::unique_ptr<fault::FaultRuntime> fault_runtime_;
   std::unique_ptr<fault::FailureDetector> detector_;
+  Rng rng_{0};  ///< simulation random stream (seeded from config)
 
-  // Measured-pass statistics.
-  std::uint64_t completed_ = 0;
-  std::uint64_t connections_ = 0;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t migrations_ = 0;
-  std::uint64_t remote_fetches_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t failed_deadline_ = 0;
-  std::uint64_t failed_retries_ = 0;
-  std::uint64_t failed_rejected_ = 0;
-  std::uint64_t completed_after_retry_ = 0;
-  std::uint64_t retry_attempts_ = 0;
-  stats::AvailabilityTracker availability_;
-  stats::Accumulator response_times_;
-  stats::LogHistogram response_hist_{0.01, 1.3, 64};  ///< ms buckets
-  stats::Accumulator stage_entry_;
-  stats::Accumulator stage_forward_;
-  stats::Accumulator stage_disk_;
-  stats::Accumulator stage_reply_;
-  stats::Accumulator load_cov_;       ///< per-sample load coefficient of variation
-  stats::Accumulator load_max_mean_;  ///< per-sample max/mean load ratio
-  Rng rng_{0};  ///< connection-length sampling (seeded from config)
-  std::unique_ptr<std::ofstream> timeline_;  ///< optional load timeline sink
+  // Engine components (wired through ctx_; declaration order is
+  // construction order, so ctx_ comes first).
+  engine::EngineContext ctx_;
+  engine::LifecycleFanout fanout_;
+  std::unique_ptr<engine::AdmissionController> admission_;
+  std::unique_ptr<engine::ArrivalSource> arrival_;
+  std::unique_ptr<engine::Dispatcher> dispatcher_;
+  std::unique_ptr<engine::RetryManager> retry_;
+  std::unique_ptr<engine::ServicePath> service_;
+  std::unique_ptr<engine::PersistentPath> persistent_;
+  std::unique_ptr<engine::MetricsCollector> metrics_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,87 @@
+// ExperimentSpec: one declarative description of an experiment — which
+// workload, how many nodes, which distribution policy, how requests
+// arrive, what faults strike, and where output goes — runnable against
+// either evaluation engine:
+//
+//   run_simulation(spec)  the trace-driven DES (ClusterSimulation)
+//   run_model(spec)       the analytic bound (model::TraceModel)
+//
+// Benches, examples and the CLI build a spec once and hand it to whichever
+// engine(s) a study needs, so simulator-vs-model comparisons are
+// guaranteed to describe the same experiment.
+#pragma once
+
+#include <string>
+
+#include "l2sim/core/experiment.hpp"
+#include "l2sim/trace/characterize.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::core {
+
+/// Where the workload comes from. `realize()` materializes the trace;
+/// callers that sweep many configurations over one workload realize once
+/// and pass the trace to the run_* overloads that accept it.
+struct TraceSpec {
+  enum class Kind {
+    kPaper,      ///< one of the paper's calibrated traces, scaled
+    kClfFile,    ///< a Common Log Format access log on disk
+    kSynthetic,  ///< an explicit SyntheticSpec
+  };
+  Kind kind = Kind::kPaper;
+
+  std::string paper_name = "clarknet";  ///< kPaper: calgary/clarknet/nasa/rutgers
+  double scale = 1.0;                   ///< kPaper: request-count scale factor
+  std::string path;                     ///< kClfFile: log path
+  trace::SyntheticSpec synthetic;       ///< kSynthetic: full generator spec
+
+  [[nodiscard]] static TraceSpec paper(std::string name, double scale = 1.0);
+  [[nodiscard]] static TraceSpec clf(std::string path);
+  [[nodiscard]] static TraceSpec synth(trace::SyntheticSpec spec);
+
+  [[nodiscard]] trace::Trace realize() const;
+};
+
+/// Where results go (beyond the returned structs).
+struct OutputSpec {
+  std::string csv_dir;           ///< figure CSV directory ("" = no CSV)
+  std::string timeline_csv_path; ///< per-node load timeline ("" = off)
+};
+
+/// The full experiment description. `sim` carries the cluster hardware,
+/// arrival mode (sim.arrival), persistence (sim.persistence) and fault
+/// schedule (sim.fault_plan); the fields here are what the engines need
+/// beyond a SimConfig.
+struct ExperimentSpec {
+  std::string name;  ///< label for reports/CSV
+  TraceSpec trace;
+  SimConfig sim;
+  PolicyKind policy = PolicyKind::kL2s;
+  double set_shrink_seconds = 20.0;  ///< LARD K / L2S decay window
+  double model_replication = 0.15;   ///< R for the model bound (paper: 15%)
+  OutputSpec output;
+};
+
+/// The analytic engine's answer for a spec.
+struct ModelResult {
+  double throughput_rps = 0.0;  ///< locality-conscious bound
+  double hit_rate = 0.0;        ///< conscious cache hit rate
+  trace::TraceCharacteristics characteristics;
+};
+
+/// Run the spec on the DES engine. The single-argument form realizes the
+/// trace from spec.trace; the two-argument form uses a pre-realized trace.
+[[nodiscard]] SimResult run_simulation(const ExperimentSpec& spec);
+[[nodiscard]] SimResult run_simulation(const ExperimentSpec& spec,
+                                       const trace::Trace& trace);
+
+/// Run the spec on the analytic model (policy-independent bound).
+[[nodiscard]] ModelResult run_model(const ExperimentSpec& spec);
+[[nodiscard]] ModelResult run_model(const ExperimentSpec& spec,
+                                    const trace::Trace& trace);
+
+/// The ExperimentConfig (node-count sweep) implied by a spec — the bridge
+/// to run_throughput_figure for the Figure 7-10 benches.
+[[nodiscard]] ExperimentConfig to_experiment_config(const ExperimentSpec& spec);
+
+}  // namespace l2s::core

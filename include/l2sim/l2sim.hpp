@@ -24,11 +24,13 @@
 #include "l2sim/common/rng.hpp"
 #include "l2sim/common/table.hpp"
 #include "l2sim/common/units.hpp"
+#include "l2sim/core/config.hpp"
 #include "l2sim/core/experiment.hpp"
 #include "l2sim/core/metrics.hpp"
 #include "l2sim/core/parallel.hpp"
 #include "l2sim/core/report.hpp"
 #include "l2sim/core/simulation.hpp"
+#include "l2sim/core/spec.hpp"
 #include "l2sim/fault/detector.hpp"
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/fault/runtime.hpp"

@@ -1,0 +1,46 @@
+#include "l2sim/core/config.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::core {
+
+void SimConfig::validate() const {
+  if (nodes < 1) throw_error("SimConfig: nodes must be >= 1");
+  if (admission.buffer_slots_per_node < 1)
+    throw_error("SimConfig: admission.buffer_slots_per_node must be >= 1");
+  if (request_msg_bytes == 0) throw_error("SimConfig: request_msg_bytes must be positive");
+  if (persistence.mean_requests_per_connection < 1.0)
+    throw_error("SimConfig: persistence.mean_requests_per_connection must be >= 1");
+  if (failure_detection_seconds < 0.0)
+    throw_error("SimConfig: failure_detection_seconds must be nonnegative");
+  if (failure_client_timeout_seconds < 0.0)
+    throw_error("SimConfig: failure_client_timeout_seconds must be nonnegative");
+  fault_plan.validate(nodes);
+  detection.validate();
+  if (retry.max_retries < 0) throw_error("SimConfig: retry.max_retries must be >= 0");
+  if (retry.initial_backoff_seconds < 0.0 || retry.max_backoff_seconds < 0.0 ||
+      retry.deadline_seconds < 0.0 || retry.attempt_timeout_seconds < 0.0)
+    throw_error("SimConfig: retry times must be nonnegative");
+  if (retry.backoff_multiplier < 1.0)
+    throw_error("SimConfig: retry.backoff_multiplier must be >= 1");
+  if (goodput_interval_seconds < 0.0)
+    throw_error("SimConfig: goodput_interval_seconds must be nonnegative");
+  if (fault_plan.lossy() && retry.deadline_seconds <= 0.0 &&
+      retry.attempt_timeout_seconds <= 0.0)
+    throw_error(
+        "SimConfig: a lossy fault plan requires retry.deadline_seconds or "
+        "retry.attempt_timeout_seconds (a lost hand-off would otherwise hold "
+        "its admission slot forever)");
+  if (arrival.open_loop_rate < 0.0)
+    throw_error("SimConfig: arrival.open_loop_rate must be nonnegative");
+  if (arrival.dns_entry_skew < 0.0 || arrival.dns_entry_skew > 1.0)
+    throw_error("SimConfig: arrival.dns_entry_skew must be in [0, 1]");
+  if (!node_speed_factors.empty()) {
+    if (node_speed_factors.size() != static_cast<std::size_t>(nodes))
+      throw_error("SimConfig: node_speed_factors must have one entry per node");
+    for (const double f : node_speed_factors)
+      if (f <= 0.0) throw_error("SimConfig: node speed factors must be positive");
+  }
+}
+
+}  // namespace l2s::core

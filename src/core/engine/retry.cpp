@@ -1,0 +1,79 @@
+#include "l2sim/core/engine/retry.hpp"
+
+#include <algorithm>
+
+#include "l2sim/core/engine/admission.hpp"
+#include "l2sim/core/engine/dispatch.hpp"
+#include "l2sim/core/engine/service_path.hpp"
+
+namespace l2s::core::engine {
+
+void RetryManager::fail_connection(const ConnPtr& conn, FailureKind kind,
+                                   SimTime slot_hold) {
+  if (conn->state == ConnectionState::kDone) return;
+  ctx_.service->release_service_count(conn);
+  conn->state = ConnectionState::kDone;
+  ctx_.observers->on_request_failed(kind, ctx_.now());
+  ctx_.admission->release_after(slot_hold);
+}
+
+void RetryManager::abort_connection(const ConnPtr& conn) {
+  if (conn->state == ConnectionState::kDone) return;
+  if (conn->retries_used < static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries)) {
+    ctx_.service->release_service_count(conn);
+    schedule_retry(conn);
+    return;
+  }
+  // The client holds the connection until its timeout expires; only then
+  // does the admission slot free up for the next request.
+  fail_connection(conn, FailureKind::kRetriesExhausted,
+                  seconds_to_simtime(ctx_.cfg().failure_client_timeout_seconds));
+}
+
+void RetryManager::schedule_retry(const ConnPtr& conn) {
+  ++conn->retries_used;
+  ++conn->attempt;
+  ctx_.observers->on_retry_scheduled(ctx_.now());
+  conn->state = ConnectionState::kRetryBackoff;
+  const auto& rp = ctx_.cfg().retry;
+  double backoff = rp.initial_backoff_seconds;
+  for (std::uint32_t i = 1; i < conn->retries_used; ++i) backoff *= rp.backoff_multiplier;
+  backoff = std::min(backoff, rp.max_backoff_seconds);
+  const auto att = conn->attempt;
+  ctx_.sched->after(seconds_to_simtime(backoff), [this, conn, att]() {
+    if (attempt_stale(conn, att)) return;  // the deadline fired during backoff
+    ctx_.dispatcher->start_attempt(conn);
+  });
+}
+
+void RetryManager::arm_deadline(const ConnPtr& conn) {
+  const double ddl = ctx_.cfg().retry.deadline_seconds;
+  if (ddl <= 0.0) return;
+  conn->deadline_at = ctx_.now() + seconds_to_simtime(ddl);
+  const SimTime target = conn->deadline_at;
+  ctx_.sched->after(seconds_to_simtime(ddl), [this, conn, target]() {
+    if (conn->state == ConnectionState::kDone) return;
+    if (conn->deadline_at != target) return;  // a later request re-armed it
+    fail_connection(conn, FailureKind::kDeadline, 0);
+  });
+}
+
+void RetryManager::arm_attempt_timeout(const ConnPtr& conn) {
+  if (ctx_.cfg().retry.attempt_timeout_seconds <= 0.0) return;
+  const auto att = conn->attempt;
+  ctx_.sched->after(seconds_to_simtime(ctx_.cfg().retry.attempt_timeout_seconds),
+                    [this, conn, att]() {
+                      if (attempt_stale(conn, att)) return;
+                      // The attempt hangs (lost hand-off, dead node, glacial
+                      // queue): abandon it and retry or give up.
+                      ctx_.service->release_service_count(conn);
+                      if (conn->retries_used <
+                          static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries)) {
+                        schedule_retry(conn);
+                      } else {
+                        fail_connection(conn, FailureKind::kRetriesExhausted, 0);
+                      }
+                    });
+}
+
+}  // namespace l2s::core::engine

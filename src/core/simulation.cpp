@@ -1,52 +1,15 @@
 #include "l2sim/core/simulation.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <fstream>
-
 #include "l2sim/common/error.hpp"
+#include "l2sim/core/engine/admission.hpp"
+#include "l2sim/core/engine/arrival.hpp"
+#include "l2sim/core/engine/dispatch.hpp"
+#include "l2sim/core/engine/metrics_collector.hpp"
+#include "l2sim/core/engine/persistent_path.hpp"
+#include "l2sim/core/engine/retry.hpp"
+#include "l2sim/core/engine/service_path.hpp"
 
 namespace l2s::core {
-
-void SimConfig::validate() const {
-  if (nodes < 1) throw_error("SimConfig: nodes must be >= 1");
-  if (buffer_slots_per_node < 1) throw_error("SimConfig: buffer_slots_per_node must be >= 1");
-  if (request_msg_bytes == 0) throw_error("SimConfig: request_msg_bytes must be positive");
-  if (mean_requests_per_connection < 1.0)
-    throw_error("SimConfig: mean_requests_per_connection must be >= 1");
-  for (const auto& f : failures) {
-    if (f.node < 0 || f.node >= nodes) throw_error("SimConfig: failure node out of range");
-    if (f.at_seconds < 0.0) throw_error("SimConfig: failure time must be nonnegative");
-  }
-  if (failure_detection_seconds < 0.0)
-    throw_error("SimConfig: failure_detection_seconds must be nonnegative");
-  if (failure_client_timeout_seconds < 0.0)
-    throw_error("SimConfig: failure_client_timeout_seconds must be nonnegative");
-  fault_plan.validate(nodes);
-  detection.validate();
-  if (retry.max_retries < 0) throw_error("SimConfig: retry.max_retries must be >= 0");
-  if (retry.initial_backoff_seconds < 0.0 || retry.max_backoff_seconds < 0.0 ||
-      retry.deadline_seconds < 0.0 || retry.attempt_timeout_seconds < 0.0)
-    throw_error("SimConfig: retry times must be nonnegative");
-  if (retry.backoff_multiplier < 1.0)
-    throw_error("SimConfig: retry.backoff_multiplier must be >= 1");
-  if (goodput_interval_seconds < 0.0)
-    throw_error("SimConfig: goodput_interval_seconds must be nonnegative");
-  if (fault_plan.lossy() && retry.deadline_seconds <= 0.0 &&
-      retry.attempt_timeout_seconds <= 0.0)
-    throw_error(
-        "SimConfig: a lossy fault plan requires retry.deadline_seconds or "
-        "retry.attempt_timeout_seconds (a lost hand-off would otherwise hold "
-        "its admission slot forever)");
-  if (open_loop_arrival_rate < 0.0)
-    throw_error("SimConfig: open_loop_arrival_rate must be nonnegative");
-  if (!node_speed_factors.empty()) {
-    if (node_speed_factors.size() != static_cast<std::size_t>(nodes))
-      throw_error("SimConfig: node_speed_factors must have one entry per node");
-    for (const double f : node_speed_factors)
-      if (f <= 0.0) throw_error("SimConfig: node speed factors must be positive");
-  }
-}
 
 ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace,
                                      std::unique_ptr<policy::Policy> policy)
@@ -61,19 +24,45 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   L2S_REQUIRE(policy_ != nullptr);
   if (trace_.request_count() == 0) throw_error("ClusterSimulation: empty trace");
 
-  policy::ClusterContext ctx;
-  ctx.sched = &sched_;
-  ctx.via = &via_;
-  ctx.control_msg_bytes = config_.control_msg_bytes;
+  policy::ClusterContext pctx;
+  pctx.sched = &sched_;
+  pctx.via = &via_;
+  pctx.control_msg_bytes = config_.control_msg_bytes;
   for (int i = 0; i < config_.nodes; ++i) {
     const double speed = config_.node_speed_factors.empty()
                              ? 1.0
                              : config_.node_speed_factors[static_cast<std::size_t>(i)];
     nodes_.push_back(std::make_unique<cluster::Node>(sched_, i, config_.node, speed));
     via_.add_endpoint({&nodes_.back()->cpu(), &nodes_.back()->nic()});
-    ctx.nodes.push_back(nodes_.back().get());
+    pctx.nodes.push_back(nodes_.back().get());
   }
-  policy_->attach(ctx);
+  policy_->attach(pctx);
+
+  // Wire the engine: every component reaches its collaborators through
+  // ctx_, and every lifecycle event fans out to the metrics collector.
+  ctx_.config = &config_;
+  ctx_.trace = &trace_;
+  ctx_.sched = &sched_;
+  ctx_.router = &router_;
+  ctx_.via = &via_;
+  ctx_.policy = policy_.get();
+  ctx_.nodes = &nodes_;
+  ctx_.rng = &rng_;
+  ctx_.observers = &fanout_;
+  admission_ = std::make_unique<engine::AdmissionController>(ctx_);
+  arrival_ = std::make_unique<engine::ArrivalSource>(ctx_);
+  dispatcher_ = std::make_unique<engine::Dispatcher>(ctx_);
+  retry_ = std::make_unique<engine::RetryManager>(ctx_);
+  service_ = std::make_unique<engine::ServicePath>(ctx_);
+  persistent_ = std::make_unique<engine::PersistentPath>(ctx_);
+  metrics_ = std::make_unique<engine::MetricsCollector>(ctx_);
+  ctx_.admission = admission_.get();
+  ctx_.arrival = arrival_.get();
+  ctx_.dispatcher = dispatcher_.get();
+  ctx_.retry = retry_.get();
+  ctx_.service = service_.get();
+  ctx_.persistent = persistent_.get();
+  fanout_.add(metrics_.get());
 }
 
 ClusterSimulation::~ClusterSimulation() = default;
@@ -90,51 +79,40 @@ SimResult ClusterSimulation::run() {
   }
   const SimTime measure_start = sched_.now();
   policy_->on_pass_start(pass);
+  metrics_->begin_measurement(measure_start);
   arm_faults(measure_start);
-  if (!config_.timeline_csv_path.empty()) {
-    timeline_ = std::make_unique<std::ofstream>(config_.timeline_csv_path);
-    if (!*timeline_) throw_error("cannot open timeline CSV: " + config_.timeline_csv_path);
-    *timeline_ << "time_s";
-    for (int n = 0; n < config_.nodes; ++n) *timeline_ << ",node" << n;
-    *timeline_ << '\n';
-  }
   replay_trace();
-  return collect(measure_start);
+  return metrics_->collect(measure_start, detector_.get());
 }
 
-bool ClusterSimulation::node_alive(int id) const {
-  return nodes_[static_cast<std::size_t>(id)]->alive();
+void ClusterSimulation::replay_trace() {
+  admission_->open();
+  arrival_->start();
+  metrics_->start_sampling();
+  sched_.run();
+  L2S_REQUIRE(admission_->drained());
 }
 
 void ClusterSimulation::arm_faults(SimTime measure_start) {
-  availability_.begin(measure_start,
-                      seconds_to_simtime(config_.goodput_interval_seconds),
-                      config_.nodes);
-
-  // Legacy shim: SimConfig::failures entries become plan crashes.
-  fault::FaultPlan plan = config_.fault_plan;
-  for (const auto& f : config_.failures)
-    plan.crashes.push_back({f.node, f.at_seconds});
-
   const SimTime detect_delay = seconds_to_simtime(config_.failure_detection_seconds);
   const bool heartbeats = config_.detection.heartbeats;
 
-  if (!plan.empty()) {
+  if (!config_.fault_plan.empty()) {
     fault::FaultRuntime::Hooks hooks;
     hooks.on_crash = [this, detect_delay, heartbeats](int node, SimTime at) {
-      availability_.record_crash(node, at);
+      fanout_.on_node_crashed(node, at);
       if (heartbeats) return;  // the heartbeat detector notices by itself
       sched_.after(detect_delay, [this, node]() {
         policy_->on_node_failed(node);
-        availability_.record_detection(node, sched_.now());
+        fanout_.on_node_detected(node, sched_.now());
       });
     };
     hooks.on_recover = [this, detect_delay, heartbeats](int node, SimTime at) {
-      availability_.record_repair(node, at);
+      fanout_.on_node_repaired(node, at);
       if (heartbeats) return;
       sched_.after(detect_delay, [this, node]() {
         policy_->on_node_recovered(node);
-        availability_.record_readmission(node, sched_.now());
+        fanout_.on_node_readmitted(node, sched_.now());
       });
     };
     std::vector<cluster::Node*> ptrs;
@@ -142,7 +120,7 @@ void ClusterSimulation::arm_faults(SimTime measure_start) {
     // The fault Rng is derived from the seed without touching rng_, so
     // adding message faults never perturbs the trace-side random streams.
     fault_runtime_ = std::make_unique<fault::FaultRuntime>(
-        sched_, std::move(ptrs), std::move(plan),
+        sched_, std::move(ptrs), config_.fault_plan,
         Rng(config_.seed ^ 0xFA17'5EED'0000'0001ULL));
     via_.set_fault_model(fault_runtime_.get());
     fault_runtime_->arm(measure_start, std::move(hooks));
@@ -154,550 +132,16 @@ void ClusterSimulation::arm_faults(SimTime measure_start) {
     detector_ = std::make_unique<fault::FailureDetector>(
         sched_, via_, std::move(ptrs), config_.detection, config_.control_msg_bytes);
     detector_->start(
-        [this]() {
-          return injector_ && !(injector_->exhausted() && injector_->in_flight() == 0);
-        },
+        [this]() { return admission_->active() && !admission_->drained(); },
         [this](int node, SimTime at) {
           policy_->on_node_suspected(node);
-          availability_.record_detection(node, at);
+          fanout_.on_node_detected(node, at);
         },
         [this](int node, SimTime at) {
           policy_->on_node_recovered(node);
-          availability_.record_readmission(node, at);
+          fanout_.on_node_readmitted(node, at);
         });
   }
-}
-
-void ClusterSimulation::release_service_count(const ConnPtr& conn) {
-  if (!conn->counted_in_service) return;
-  conn->counted_in_service = false;
-  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  // A dead node's bookkeeping died with it; a recovered node restarted
-  // with a zeroed count, so a pre-crash epoch must not decrement it.
-  if (n.alive() && n.epoch() == conn->service_epoch) n.connection_closed();
-}
-
-bool ClusterSimulation::service_current(const ConnPtr& conn) const {
-  const cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  if (!n.alive()) return false;
-  return !conn->counted_in_service || n.epoch() == conn->service_epoch;
-}
-
-void ClusterSimulation::fail_connection(const ConnPtr& conn, std::uint64_t& bucket,
-                                        SimTime slot_hold) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  release_service_count(conn);
-  conn->stage = cluster::ConnectionStage::kDone;
-  ++failed_;
-  ++bucket;
-  availability_.record_failure(sched_.now());
-  if (slot_hold > 0) {
-    sched_.after(slot_hold, [this]() { injector_->on_complete(); });
-  } else {
-    injector_->on_complete();
-  }
-}
-
-void ClusterSimulation::abort_connection(const ConnPtr& conn) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (conn->retries_used < static_cast<std::uint32_t>(config_.retry.max_retries)) {
-    release_service_count(conn);
-    schedule_retry(conn);
-    return;
-  }
-  // The client holds the connection until its timeout expires; only then
-  // does the admission slot free up for the next request.
-  fail_connection(conn, failed_retries_,
-                  seconds_to_simtime(config_.failure_client_timeout_seconds));
-}
-
-void ClusterSimulation::schedule_retry(const ConnPtr& conn) {
-  ++conn->retries_used;
-  ++conn->attempt;
-  ++retry_attempts_;
-  availability_.record_retry();
-  conn->stage = cluster::ConnectionStage::kArriving;
-  const auto& rp = config_.retry;
-  double backoff = rp.initial_backoff_seconds;
-  for (std::uint32_t i = 1; i < conn->retries_used; ++i) backoff *= rp.backoff_multiplier;
-  backoff = std::min(backoff, rp.max_backoff_seconds);
-  const auto att = conn->attempt;
-  sched_.after(seconds_to_simtime(backoff), [this, conn, att]() {
-    if (attempt_stale(conn, att)) return;  // the deadline fired during backoff
-    start_attempt(conn);
-  });
-}
-
-void ClusterSimulation::arm_deadline(const ConnPtr& conn) {
-  const double ddl = config_.retry.deadline_seconds;
-  if (ddl <= 0.0) return;
-  conn->deadline_at = sched_.now() + seconds_to_simtime(ddl);
-  const SimTime target = conn->deadline_at;
-  sched_.after(seconds_to_simtime(ddl), [this, conn, target]() {
-    if (conn->stage == cluster::ConnectionStage::kDone) return;
-    if (conn->deadline_at != target) return;  // a later request re-armed it
-    fail_connection(conn, failed_deadline_, 0);
-  });
-}
-
-void ClusterSimulation::replay_trace() {
-  const std::uint64_t slots =
-      config_.buffer_slots_per_node * static_cast<std::uint64_t>(config_.nodes);
-  injector_ = std::make_unique<cluster::Injector>(trace_, slots);
-  if (config_.open_loop_arrival_rate > 0.0) {
-    // Open loop: a Poisson pump admits requests at the configured rate;
-    // the injector tracks the trace cursor and in-flight slots only.
-    sched_.after(0, [this]() { open_loop_arrival(); });
-  } else {
-    injector_->start(
-        [this](std::uint64_t seq, const trace::Request& r) { inject(seq, r); });
-  }
-  if (config_.load_sample_interval > 0 && config_.nodes > 1)
-    sched_.after(config_.load_sample_interval, [this]() { sample_loads(); });
-  sched_.run();
-  L2S_REQUIRE(injector_->exhausted() && injector_->in_flight() == 0);
-}
-
-void ClusterSimulation::open_loop_arrival() {
-  std::uint64_t seq = 0;
-  trace::Request r{};
-  if (injector_->try_admit(seq, r)) {
-    inject(seq, r);
-  } else if (!injector_->exhausted()) {
-    // The admission buffers are full: the arrival is refused and the
-    // request it would have carried is counted as failed (finite-buffer
-    // semantics above saturation).
-    if (injector_->try_take(seq, r)) {
-      ++failed_;
-      ++failed_rejected_;
-      availability_.record_failure(sched_.now());
-    }
-  }
-  if (!injector_->exhausted()) {
-    const SimTime gap =
-        seconds_to_simtime(rng_.next_exponential(config_.open_loop_arrival_rate));
-    sched_.after(gap, [this]() { open_loop_arrival(); });
-  }
-}
-
-void ClusterSimulation::sample_loads() {
-  // The sampler rides along with the run and stops once the work drains
-  // (a perpetual self-rescheduling event would keep the scheduler alive).
-  if (injector_->exhausted() && injector_->in_flight() == 0) return;
-  double sum = 0.0;
-  double sq = 0.0;
-  double max = 0.0;
-  for (const auto& n : nodes_) {
-    const auto load = static_cast<double>(n->open_connections());
-    sum += load;
-    sq += load * load;
-    max = std::max(max, load);
-  }
-  const auto count = static_cast<double>(nodes_.size());
-  const double mean = sum / count;
-  if (mean > 0.0) {
-    const double variance = std::max(0.0, sq / count - mean * mean);
-    load_cov_.add(std::sqrt(variance) / mean);
-    load_max_mean_.add(max / mean);
-  }
-  if (timeline_ && timeline_->is_open()) {
-    *timeline_ << simtime_to_seconds(sched_.now());
-    for (const auto& n : nodes_) *timeline_ << ',' << n->open_connections();
-    *timeline_ << '\n';
-  }
-  sched_.after(config_.load_sample_interval, [this]() { sample_loads(); });
-}
-
-std::uint32_t ClusterSimulation::sample_connection_length() {
-  const double mean = config_.mean_requests_per_connection;
-  if (mean <= 1.0) return 1;
-  // Geometric on {1, 2, ...} with the requested mean.
-  const double p = 1.0 / mean;
-  double u = rng_.next_double();
-  while (u <= 0.0) u = rng_.next_double();
-  const double k = std::floor(std::log(u) / std::log(1.0 - p));
-  return 1 + static_cast<std::uint32_t>(std::min(k, 1e6));
-}
-
-void ClusterSimulation::inject(std::uint64_t seq, const trace::Request& r) {
-  auto conn = std::make_shared<cluster::Connection>();
-  conn->id = seq;
-  conn->request = r;
-  conn->first_arrival = sched_.now();
-  start_attempt(conn);
-  conn->remaining_requests = sample_connection_length() - 1;
-  arm_deadline(conn);
-}
-
-void ClusterSimulation::start_attempt(const ConnPtr& conn) {
-  conn->arrival = sched_.now();
-  conn->stage = cluster::ConnectionStage::kArriving;
-  conn->service_node = -1;
-  conn->cache_hit = false;
-  if (conn->attempt == 0) {
-    conn->entry_node = policy_->entry_node(conn->id, conn->request);
-    if (config_.dns_entry_skew > 0.0 && policy_->entry_is_dns() &&
-        rng_.next_double() < config_.dns_entry_skew) {
-      // A cached DNS translation: the client population behind some name
-      // server reuses an old answer. Popular resolvers concentrate on a few
-      // nodes (Zipf over node ids).
-      const auto n = static_cast<double>(config_.nodes);
-      const double u = rng_.next_double();
-      const double h = std::exp(u * std::log(n + 1.0));  // Zipf(1)-ish via inverse
-      conn->entry_node = std::min(config_.nodes - 1, static_cast<int>(h) - 1);
-    }
-  } else {
-    // A retrying client re-resolves: perturbing the sequence steers DNS
-    // rotation or switch selection toward a different node, and the
-    // cached-translation skew does not reapply (that answer just failed).
-    const std::uint64_t sel = conn->id ^ (0x9E3779B97F4A7C15ULL * conn->attempt);
-    conn->entry_node = policy_->entry_node(sel, conn->request);
-  }
-
-  const auto att = conn->attempt;
-  if (config_.retry.attempt_timeout_seconds > 0.0) {
-    sched_.after(seconds_to_simtime(config_.retry.attempt_timeout_seconds),
-                 [this, conn, att]() {
-                   if (attempt_stale(conn, att)) return;
-                   // The attempt hangs (lost hand-off, dead node, glacial
-                   // queue): abandon it and retry or give up.
-                   release_service_count(conn);
-                   if (conn->retries_used <
-                       static_cast<std::uint32_t>(config_.retry.max_retries)) {
-                     schedule_retry(conn);
-                   } else {
-                     fail_connection(conn, failed_retries_, 0);
-                   }
-                 });
-  }
-
-  // Client request: router, then the entry node's NI-in, then parse.
-  router_.forward(config_.request_msg_bytes, [this, conn, att]() {
-    if (attempt_stale(conn, att)) return;
-    if (!node_alive(conn->entry_node)) {
-      abort_connection(conn);  // connection refused: the entry node is down
-      return;
-    }
-    cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
-    entry.nic().rx().submit(config_.net.ni_request_time(), [this, conn, att]() {
-      if (attempt_stale(conn, att)) return;
-      if (!node_alive(conn->entry_node)) {
-        abort_connection(conn);
-        return;
-      }
-      cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->entry_node)];
-      conn->stage = cluster::ConnectionStage::kParsing;
-      n.cpu().submit(n.parse_time(), [this, conn, att]() {
-        if (attempt_stale(conn, att)) return;
-        distribute(conn);
-      });
-    });
-  });
-}
-
-void ClusterSimulation::distribute(const ConnPtr& conn) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!node_alive(conn->entry_node)) {
-    abort_connection(conn);
-    return;
-  }
-  if (policy_->decides_asynchronously()) {
-    const auto att = conn->attempt;
-    policy_->select_service_node_async(conn->entry_node, conn->request,
-                                       [this, conn, att](int target) {
-                                         if (attempt_stale(conn, att)) return;
-                                         dispatch_to(conn, target);
-                                       });
-    return;
-  }
-  dispatch_to(conn, policy_->select_service_node(conn->entry_node, conn->request));
-}
-
-void ClusterSimulation::dispatch_to(const ConnPtr& conn, int target) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  conn->t_decided = sched_.now();
-  if (target < 0) {
-    // The policy could not produce a decision (e.g. its dispatcher died):
-    // the client's request fails.
-    abort_connection(conn);
-    return;
-  }
-  L2S_REQUIRE(target < config_.nodes);
-  conn->service_node = target;
-
-  if (target == conn->entry_node) {
-    begin_service(conn, /*opening=*/true);
-    return;
-  }
-
-  ++forwarded_;
-  conn->stage = cluster::ConnectionStage::kForwarding;
-  const auto att = conn->attempt;
-  cluster::Node& entry = *nodes_[static_cast<std::size_t>(conn->entry_node)];
-  // Hand-off: policy-specific CPU cost at the entry node, the wire
-  // transfer, and the VIA receive overhead at the target. A dropped
-  // hand-off message leaves the attempt hanging until its timeout.
-  entry.cpu().submit(policy_->forward_cpu_time(conn->entry_node), [this, conn, att]() {
-    if (attempt_stale(conn, att)) return;
-    via_.transmit(conn->entry_node, conn->service_node, config_.request_msg_bytes,
-                  [this, conn, att]() {
-                    if (attempt_stale(conn, att)) return;
-                    cluster::Node& target_node =
-                        *nodes_[static_cast<std::size_t>(conn->service_node)];
-                    target_node.cpu().submit(config_.net.cpu_msg_time(),
-                                             [this, conn, att]() {
-                                               if (attempt_stale(conn, att)) return;
-                                               begin_service(conn, /*opening=*/true);
-                                             });
-                  });
-  });
-}
-
-void ClusterSimulation::begin_service(const ConnPtr& conn, bool opening) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!service_current(conn)) {
-    abort_connection(conn);
-    return;
-  }
-  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  conn->stage = cluster::ConnectionStage::kServing;
-  conn->t_service = sched_.now();
-  if (opening) {
-    n.connection_opened();
-    conn->counted_in_service = true;
-    conn->service_epoch = n.epoch();
-    policy_->on_service_start(conn->service_node, conn->request);
-  }
-
-  if (n.file_cache().lookup(conn->request.file)) {
-    conn->cache_hit = true;
-    conn->t_disk_done = sched_.now();
-    reply_path(conn);
-    return;
-  }
-  // Miss: read the whole file from disk, make it resident, then reply.
-  const auto att = conn->attempt;
-  const Bytes file_bytes = trace_.files().size_of(conn->request.file);
-  n.disk().read(file_bytes, [this, conn, file_bytes, att]() {
-    if (attempt_stale(conn, att)) return;
-    if (!service_current(conn)) {
-      abort_connection(conn);
-      return;
-    }
-    cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    node.file_cache().insert(conn->request.file, file_bytes);
-    conn->t_disk_done = sched_.now();
-    reply_path(conn);
-  });
-}
-
-void ClusterSimulation::reply_path(const ConnPtr& conn) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!service_current(conn)) {
-    abort_connection(conn);
-    return;
-  }
-  const auto att = conn->attempt;
-  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  const Bytes bytes = conn->request.bytes;
-  n.cpu().submit(n.reply_time(bytes), [this, conn, bytes, att]() {
-    if (attempt_stale(conn, att)) return;
-    cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    node.nic().tx().submit(config_.net.ni_reply_time(bytes), [this, conn, bytes, att]() {
-      if (attempt_stale(conn, att)) return;
-      router_.forward(bytes, [this, conn, att]() {
-        if (attempt_stale(conn, att)) return;
-        request_finished(conn);
-      });
-    });
-  });
-}
-
-void ClusterSimulation::request_finished(const ConnPtr& conn) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  conn->completion = sched_.now();
-  ++completed_;
-  if (conn->retries_used > 0) ++completed_after_retry_;
-  availability_.record_completion(conn->completion);
-  ++conn->requests_served;
-  // Client-perceived latency spans every attempt, from the first arrival.
-  const double response_ms =
-      simtime_to_seconds(conn->completion - conn->first_arrival) * 1e3;
-  response_times_.add(response_ms);
-  response_hist_.add(response_ms);
-  stage_entry_.add(simtime_ms(conn->t_decided - conn->arrival));
-  stage_forward_.add(simtime_ms(conn->t_service - conn->t_decided));
-  stage_disk_.add(simtime_ms(conn->t_disk_done - conn->t_service));
-  stage_reply_.add(simtime_ms(conn->completion - conn->t_disk_done));
-
-  if (conn->remaining_requests > 0) {
-    std::uint64_t seq = 0;
-    trace::Request next{};
-    if (injector_->try_take(seq, next)) {
-      --conn->remaining_requests;
-      conn->id = seq;
-      conn->request = next;
-      // A fresh request on the same connection: new attempt id (stale
-      // timers from the previous request must not touch it) and a fresh
-      // retry budget.
-      ++conn->attempt;
-      conn->retries_used = 0;
-      continue_connection(conn);
-      return;
-    }
-  }
-  close_connection(conn);
-}
-
-void ClusterSimulation::close_connection(const ConnPtr& conn) {
-  conn->stage = cluster::ConnectionStage::kDone;
-  cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-  // A completion that limps in across its node's crash+restart must not
-  // touch the fresh incarnation's count (or feed the policy a stale event).
-  const bool same_epoch = n.epoch() == conn->service_epoch;
-  if (same_epoch) n.connection_closed();
-  conn->counted_in_service = false;
-  ++connections_;
-  if (same_epoch) policy_->on_complete(conn->service_node, conn->request);
-  injector_->on_complete();
-}
-
-void ClusterSimulation::continue_connection(const ConnPtr& conn) {
-  // The client pipelines its next request over the open connection: it
-  // passes the router and the current node's NI-in, is parsed, and then
-  // redistributed without the connection-establishment work.
-  const auto att = conn->attempt;
-  router_.forward(config_.request_msg_bytes, [this, conn, att]() {
-    if (attempt_stale(conn, att)) return;
-    if (!service_current(conn)) {
-      abort_connection(conn);
-      return;
-    }
-    cluster::Node& n = *nodes_[static_cast<std::size_t>(conn->service_node)];
-    n.nic().rx().submit(config_.net.ni_request_time(), [this, conn, att]() {
-      if (attempt_stale(conn, att)) return;
-      if (!service_current(conn)) {
-        abort_connection(conn);
-        return;
-      }
-      cluster::Node& node = *nodes_[static_cast<std::size_t>(conn->service_node)];
-      conn->arrival = sched_.now();
-      conn->first_arrival = conn->arrival;
-      arm_deadline(conn);
-      conn->stage = cluster::ConnectionStage::kParsing;
-      node.cpu().submit(node.parse_time(), [this, conn, att]() {
-        if (attempt_stale(conn, att)) return;
-        persistent_distribute(conn);
-      });
-    });
-  });
-}
-
-void ClusterSimulation::persistent_distribute(const ConnPtr& conn) {
-  if (conn->stage == cluster::ConnectionStage::kDone) return;
-  if (!service_current(conn)) {
-    abort_connection(conn);
-    return;
-  }
-  const int current = conn->service_node;
-  const int target = policy_->select_next_in_connection(current, conn->request);
-  L2S_REQUIRE(target >= 0 && target < config_.nodes);
-  if (target == current) {
-    begin_service(conn, /*opening=*/false);
-    return;
-  }
-  if (config_.persistent_mode == PersistentMode::kConnectionHandoff) {
-    migrate_connection(conn, target);
-  } else {
-    remote_fetch(conn, target);
-  }
-}
-
-void ClusterSimulation::migrate_connection(const ConnPtr& conn, int target) {
-  ++migrations_;
-  ++forwarded_;
-  conn->stage = cluster::ConnectionStage::kForwarding;
-  const int from = conn->service_node;
-  const auto att = conn->attempt;
-  cluster::Node& old_node = *nodes_[static_cast<std::size_t>(from)];
-  old_node.cpu().submit(policy_->forward_cpu_time(from), [this, conn, from, target, att]() {
-    if (attempt_stale(conn, att)) return;
-    via_.transmit(from, target, config_.request_msg_bytes, [this, conn, from, target, att]() {
-      if (attempt_stale(conn, att)) return;
-      cluster::Node& new_node = *nodes_[static_cast<std::size_t>(target)];
-      new_node.cpu().submit(config_.net.cpu_msg_time(), [this, conn, from, target, att]() {
-        if (attempt_stale(conn, att)) return;
-        if (!node_alive(target)) {
-          abort_connection(conn);
-          return;
-        }
-        release_service_count(conn);  // `from` loses the connection (if it is still that incarnation)
-        nodes_[static_cast<std::size_t>(target)]->connection_opened();
-        conn->counted_in_service = true;
-        conn->service_node = target;
-        conn->service_epoch = nodes_[static_cast<std::size_t>(target)]->epoch();
-        policy_->on_connection_migrated(from, target, conn->request);
-        begin_service(conn, /*opening=*/false);
-      });
-    });
-  });
-}
-
-void ClusterSimulation::remote_fetch(const ConnPtr& conn, int owner) {
-  ++remote_fetches_;
-  ++forwarded_;
-  // Back-end request forwarding: the connection stays put; the caching
-  // node supplies the content over the cluster network and the current
-  // node replies to the client. The fetched file is *not* inserted into
-  // the local cache (proxy semantics).
-  const int current = conn->service_node;
-  const auto att = conn->attempt;
-  cluster::Node& cur = *nodes_[static_cast<std::size_t>(current)];
-  cur.cpu().submit(policy_->forward_cpu_time(current), [this, conn, current, owner, att]() {
-    if (attempt_stale(conn, att)) return;
-    via_.transmit(current, owner, config_.request_msg_bytes, [this, conn, current, owner,
-                                                             att]() {
-      if (attempt_stale(conn, att)) return;
-      cluster::Node& own = *nodes_[static_cast<std::size_t>(owner)];
-      own.cpu().submit(config_.net.cpu_msg_time(), [this, conn, current, owner, att]() {
-        if (attempt_stale(conn, att)) return;
-        if (!node_alive(owner) || !node_alive(current)) {
-          abort_connection(conn);
-          return;
-        }
-        cluster::Node& o = *nodes_[static_cast<std::size_t>(owner)];
-        const Bytes file_bytes = trace_.files().size_of(conn->request.file);
-        auto send_back = [this, conn, current, owner, file_bytes, att]() {
-          cluster::Node& src = *nodes_[static_cast<std::size_t>(owner)];
-          // Memory-to-NIC copy at the owner, bulk transfer, then the
-          // normal reply path at the connection's node.
-          src.cpu().submit(src.reply_time(conn->request.bytes), [this, conn, current,
-                                                                 owner, att]() {
-            if (attempt_stale(conn, att)) return;
-            via_.transmit(owner, current, conn->request.bytes, [this, conn, current,
-                                                                att]() {
-              if (attempt_stale(conn, att)) return;
-              cluster::Node& c = *nodes_[static_cast<std::size_t>(current)];
-              c.cpu().submit(config_.net.cpu_msg_time(), [this, conn, att]() {
-                if (attempt_stale(conn, att)) return;
-                reply_path(conn);
-              });
-            });
-          });
-        };
-        if (o.file_cache().lookup(conn->request.file)) {
-          send_back();
-        } else {
-          o.disk().read(file_bytes, [this, owner, conn, file_bytes, send_back, att]() {
-            if (attempt_stale(conn, att)) return;
-            nodes_[static_cast<std::size_t>(owner)]->file_cache().insert(conn->request.file,
-                                                                         file_bytes);
-            send_back();
-          });
-        }
-      });
-    });
-  });
 }
 
 void ClusterSimulation::reset_statistics() {
@@ -706,100 +150,7 @@ void ClusterSimulation::reset_statistics() {
   fabric_.reset_stats();
   via_.reset_stats();
   policy_->reset_counters();
-  completed_ = 0;
-  connections_ = 0;
-  forwarded_ = 0;
-  migrations_ = 0;
-  remote_fetches_ = 0;
-  failed_ = 0;
-  failed_deadline_ = 0;
-  failed_retries_ = 0;
-  failed_rejected_ = 0;
-  completed_after_retry_ = 0;
-  retry_attempts_ = 0;
-  response_times_.reset();
-  response_hist_ = stats::LogHistogram(0.01, 1.3, 64);
-  stage_entry_.reset();
-  stage_forward_.reset();
-  stage_disk_.reset();
-  stage_reply_.reset();
-  load_cov_.reset();
-  load_max_mean_.reset();
-}
-
-SimResult ClusterSimulation::collect(SimTime measure_start) const {
-  SimResult r;
-  r.policy = policy_->name();
-  r.trace = trace_.name();
-  r.nodes = config_.nodes;
-  r.completed = completed_;
-  const SimTime elapsed = sched_.now() - measure_start;
-  r.elapsed_seconds = simtime_to_seconds(elapsed);
-  r.throughput_rps =
-      r.elapsed_seconds > 0.0 ? static_cast<double>(completed_) / r.elapsed_seconds : 0.0;
-
-  cache::CacheStats cache_totals;
-  double idle_sum = 0.0;
-  for (const auto& n : nodes_) {
-    cache_totals.merge(n->file_cache().stats());
-    const double util = n->cpu().utilization(elapsed);
-    r.node_cpu_utilization.push_back(util);
-    idle_sum += 1.0 - util;
-  }
-  r.hit_rate = cache_totals.hit_rate();
-  r.miss_rate = cache_totals.miss_rate();
-  r.cpu_idle_fraction = idle_sum / static_cast<double>(config_.nodes);
-
-  r.forwarded = forwarded_;
-  r.forwarded_fraction =
-      completed_ == 0 ? 0.0
-                      : static_cast<double>(forwarded_) / static_cast<double>(completed_);
-  r.connections = connections_;
-  r.migrations = migrations_;
-  r.remote_fetches = remote_fetches_;
-  r.failed = failed_;
-  r.failed_deadline = failed_deadline_;
-  r.failed_retries_exhausted = failed_retries_;
-  r.failed_rejected = failed_rejected_;
-  r.completed_after_retry = completed_after_retry_;
-  r.retry_attempts = retry_attempts_;
-  const std::uint64_t requests = completed_ + failed_;
-  r.retry_amplification =
-      requests > 0
-          ? static_cast<double>(requests + retry_attempts_) / static_cast<double>(requests)
-          : 0.0;
-  r.via_dropped = via_.messages_dropped();
-  r.via_duplicated = via_.messages_duplicated();
-  r.via_delayed = via_.messages_delayed();
-  r.heartbeats = detector_ ? detector_->heartbeats_sent() : 0;
-  if (availability_.detection_latency_ms().count() > 0)
-    r.detection_latency_ms = availability_.detection_latency_ms().mean();
-  if (availability_.readmission_ms().count() > 0)
-    r.time_to_recover_ms = availability_.readmission_ms().mean();
-  r.goodput_interval_seconds = config_.goodput_interval_seconds;
-  r.goodput_rps = availability_.goodput_rps(sched_.now());
-
-  if (response_times_.count() > 0) {
-    r.mean_response_ms = response_times_.mean();
-    r.max_response_ms = response_times_.max();
-    r.p50_response_ms = response_hist_.quantile(0.50);
-    r.p95_response_ms = response_hist_.quantile(0.95);
-    r.p99_response_ms = response_hist_.quantile(0.99);
-    r.stage_entry_ms = stage_entry_.mean();
-    r.stage_forward_ms = stage_forward_.mean();
-    r.stage_disk_ms = stage_disk_.mean();
-    r.stage_reply_ms = stage_reply_.mean();
-  }
-  if (load_cov_.count() > 0) {
-    r.load_cov = load_cov_.mean();
-    r.load_max_over_mean = load_max_mean_.mean();
-  }
-  r.via_messages = via_.messages_sent();
-  r.load_broadcasts = policy_->counters().get("load_broadcasts");
-  r.locality_broadcasts =
-      policy_->counters().get("locality_broadcasts") + policy_->counters().get("set_create") +
-      policy_->counters().get("set_grow") + policy_->counters().get("set_shrink");
-  return r;
+  metrics_->reset();
 }
 
 }  // namespace l2s::core

@@ -1,0 +1,89 @@
+#include "l2sim/core/spec.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/model/trace_model.hpp"
+#include "l2sim/trace/clf_reader.hpp"
+
+namespace l2s::core {
+
+TraceSpec TraceSpec::paper(std::string name, double scale) {
+  TraceSpec spec;
+  spec.kind = Kind::kPaper;
+  spec.paper_name = std::move(name);
+  spec.scale = scale;
+  return spec;
+}
+
+TraceSpec TraceSpec::clf(std::string path) {
+  TraceSpec spec;
+  spec.kind = Kind::kClfFile;
+  spec.path = std::move(path);
+  return spec;
+}
+
+TraceSpec TraceSpec::synth(trace::SyntheticSpec synthetic) {
+  TraceSpec spec;
+  spec.kind = Kind::kSynthetic;
+  spec.synthetic = std::move(synthetic);
+  return spec;
+}
+
+trace::Trace TraceSpec::realize() const {
+  switch (kind) {
+    case Kind::kPaper: {
+      auto s = trace::paper_trace_spec(paper_name);
+      s.requests =
+          static_cast<std::uint64_t>(static_cast<double>(s.requests) * scale);
+      return trace::generate(s);
+    }
+    case Kind::kClfFile: {
+      std::ifstream in(path);
+      if (!in) throw_error("TraceSpec: cannot open trace file: " + path);
+      return trace::read_clf(in, path);
+    }
+    case Kind::kSynthetic:
+      return trace::generate(synthetic);
+  }
+  throw_error("TraceSpec: unknown trace kind");
+}
+
+SimResult run_simulation(const ExperimentSpec& spec) {
+  return run_simulation(spec, spec.trace.realize());
+}
+
+SimResult run_simulation(const ExperimentSpec& spec, const trace::Trace& trace) {
+  SimConfig sim = spec.sim;
+  if (!spec.output.timeline_csv_path.empty())
+    sim.timeline_csv_path = spec.output.timeline_csv_path;
+  return run_once(trace, sim, spec.policy, spec.set_shrink_seconds);
+}
+
+ModelResult run_model(const ExperimentSpec& spec) {
+  return run_model(spec, spec.trace.realize());
+}
+
+ModelResult run_model(const ExperimentSpec& spec, const trace::Trace& trace) {
+  ModelResult r;
+  r.characteristics = trace::characterize(trace);
+  model::ModelParams params;
+  params.cache_bytes = spec.sim.node.cache_bytes;
+  params.replication = spec.model_replication;
+  params.alpha = r.characteristics.alpha;
+  const model::TraceModel tm(params, r.characteristics.to_workload_stats());
+  r.throughput_rps = tm.bound(spec.sim.nodes).conscious.throughput;
+  r.hit_rate = tm.conscious_hit_rate(spec.sim.nodes);
+  return r;
+}
+
+ExperimentConfig to_experiment_config(const ExperimentSpec& spec) {
+  ExperimentConfig cfg;
+  cfg.sim = spec.sim;
+  cfg.model_replication = spec.model_replication;
+  cfg.set_shrink_seconds = spec.set_shrink_seconds;
+  return cfg;
+}
+
+}  // namespace l2s::core

@@ -28,7 +28,7 @@ SimConfig failing_config(int nodes, int dead_node, double at_seconds) {
   SimConfig cfg;
   cfg.nodes = nodes;
   cfg.node.cache_bytes = 4 * kMiB;
-  cfg.failures.push_back({dead_node, at_seconds});
+  cfg.fault_plan.crashes.push_back({dead_node, at_seconds});
   return cfg;
 }
 
@@ -119,20 +119,13 @@ TEST(Failures, NoFailuresMeansNoFailedRequests) {
   EXPECT_EQ(r.completed, tr.request_count());
 }
 
-TEST(Failures, LegacyFailuresShimMatchesFaultPlanCrash) {
-  // SimConfig::failures is deprecated in favour of fault_plan; the shim
-  // folds each entry into a plan crash, so the two spellings of the same
-  // fault must produce the identical run.
+TEST(Failures, CrashPlanRunsAreDeterministic) {
+  // A fault_plan crash is part of the deterministic event schedule: two
+  // simulations built from the same config must replay event-for-event
+  // (the property the golden-digest suite leans on under faults).
   const auto tr = workload();
-  const auto legacy = failing_config(8, 3, 0.2);
-
-  SimConfig planned;
-  planned.nodes = 8;
-  planned.node.cache_bytes = 4 * kMiB;
-  planned.fault_plan.crashes.push_back({3, 0.2});
-
-  ClusterSimulation a(legacy, tr, std::make_unique<policy::L2sPolicy>());
-  ClusterSimulation b(planned, tr, std::make_unique<policy::L2sPolicy>());
+  ClusterSimulation a(failing_config(8, 3, 0.2), tr, std::make_unique<policy::L2sPolicy>());
+  ClusterSimulation b(failing_config(8, 3, 0.2), tr, std::make_unique<policy::L2sPolicy>());
   const auto ra = a.run();
   const auto rb = b.run();
   EXPECT_EQ(ra.completed, rb.completed);
@@ -158,11 +151,11 @@ TEST(Failures, ConfigValidation) {
   const auto tr = workload(100);
   SimConfig bad;
   bad.nodes = 4;
-  bad.failures.push_back({9, 0.1});
+  bad.fault_plan.crashes.push_back({9, 0.1});
   EXPECT_THROW(ClusterSimulation(bad, tr, std::make_unique<policy::L2sPolicy>()), Error);
   bad = SimConfig{};
   bad.nodes = 4;
-  bad.failures.push_back({1, -0.5});
+  bad.fault_plan.crashes.push_back({1, -0.5});
   EXPECT_THROW(ClusterSimulation(bad, tr, std::make_unique<policy::L2sPolicy>()), Error);
 }
 

@@ -132,9 +132,9 @@ std::vector<Cell> matrix() {
                    ps.tag + (crash ? "|crash" : "|nofault");
           c.cfg.nodes = 4;
           c.cfg.node.cache_bytes = 2 * kMiB;
-          if (open_loop) c.cfg.open_loop_arrival_rate = 1500.0;
-          c.cfg.mean_requests_per_connection = ps.rpc;
-          c.cfg.persistent_mode = ps.mode;
+          if (open_loop) c.cfg.arrival.open_loop_rate = 1500.0;
+          c.cfg.persistence.mean_requests_per_connection = ps.rpc;
+          c.cfg.persistence.mode = ps.mode;
           if (crash) c.cfg.fault_plan.crashes.push_back({1, 0.15});
           cells.push_back(std::move(c));
         }

@@ -31,9 +31,9 @@ TEST(Interactions, PersistentConnectionsSurviveNodeFailure) {
     SimConfig cfg;
     cfg.nodes = 6;
     cfg.node.cache_bytes = 2 * kMiB;
-    cfg.mean_requests_per_connection = 5.0;
-    cfg.persistent_mode = mode;
-    cfg.failures.push_back({2, 0.1});
+    cfg.persistence.mean_requests_per_connection = 5.0;
+    cfg.persistence.mode = mode;
+    cfg.fault_plan.crashes.push_back({2, 0.1});
     ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
     const auto r = sim.run();
     EXPECT_EQ(r.completed + r.failed, tr.request_count());
@@ -52,8 +52,8 @@ TEST(Interactions, OpenLoopWithFailure) {
   SimConfig cfg;
   cfg.nodes = 4;
   cfg.node.cache_bytes = 2 * kMiB;
-  cfg.open_loop_arrival_rate = 1500.0;
-  cfg.failures.push_back({1, 0.5});
+  cfg.arrival.open_loop_rate = 1500.0;
+  cfg.fault_plan.crashes.push_back({1, 0.5});
   ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
   const auto r = sim.run();
   EXPECT_EQ(r.completed + r.failed, tr.request_count());
@@ -67,8 +67,8 @@ TEST(Interactions, SkewedDnsWithFailureOnTheHotNode) {
   SimConfig cfg;
   cfg.nodes = 4;
   cfg.node.cache_bytes = 2 * kMiB;
-  cfg.dns_entry_skew = 0.7;
-  cfg.failures.push_back({0, 0.2});
+  cfg.arrival.dns_entry_skew = 0.7;
+  cfg.fault_plan.crashes.push_back({0, 0.2});
   cfg.failure_detection_seconds = 0.1;
   ClusterSimulation sim(cfg, tr, std::make_unique<policy::RoundRobinPolicy>());
   const auto r = sim.run();
@@ -82,7 +82,7 @@ TEST(Interactions, ConsistentHashSurvivesFailureWithRemap) {
   SimConfig cfg;
   cfg.nodes = 8;
   cfg.node.cache_bytes = 2 * kMiB;
-  cfg.failures.push_back({3, 0.1});
+  cfg.fault_plan.crashes.push_back({3, 0.1});
   ClusterSimulation sim(cfg, tr, std::make_unique<policy::ConsistentHashPolicy>());
   const auto r = sim.run();
   EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
@@ -95,7 +95,7 @@ TEST(Interactions, PersistentPlusGdsf) {
   cfg.nodes = 4;
   cfg.node.cache_bytes = kMiB;
   cfg.node.cache_policy = cluster::CachePolicy::kGdsf;
-  cfg.mean_requests_per_connection = 3.0;
+  cfg.persistence.mean_requests_per_connection = 3.0;
   ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
   const auto r = sim.run();
   EXPECT_EQ(r.completed, tr.request_count());
@@ -108,7 +108,7 @@ TEST(Interactions, HeterogeneousWithFailureOfAFastNode) {
   cfg.nodes = 4;
   cfg.node.cache_bytes = 2 * kMiB;
   cfg.node_speed_factors = {2.0, 1.0, 1.0, 0.5};
-  cfg.failures.push_back({0, 0.2});  // lose the fastest node
+  cfg.fault_plan.crashes.push_back({0, 0.2});  // lose the fastest node
   ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
   const auto r = sim.run();
   EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
@@ -120,9 +120,9 @@ TEST(Interactions, DeterminismHoldsAcrossTheFeatureMatrix) {
   SimConfig cfg;
   cfg.nodes = 5;
   cfg.node.cache_bytes = kMiB;
-  cfg.mean_requests_per_connection = 3.0;
-  cfg.dns_entry_skew = 0.3;
-  cfg.failures.push_back({2, 0.3});
+  cfg.persistence.mean_requests_per_connection = 3.0;
+  cfg.arrival.dns_entry_skew = 0.3;
+  cfg.fault_plan.crashes.push_back({2, 0.3});
   auto run_it = [&] {
     ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
     return sim.run();

@@ -87,7 +87,7 @@ TEST(LardDispatcher, DispatcherCrashIsFatalButBackEndCrashIsNot) {
   core::SimConfig cfg;
   cfg.nodes = 8;
   cfg.node.cache_bytes = 4 * kMiB;
-  cfg.failures.push_back({LardDispatcherPolicy::dispatcher(), 0.2});
+  cfg.fault_plan.crashes.push_back({LardDispatcherPolicy::dispatcher(), 0.2});
   {
     core::ClusterSimulation sim(cfg, tr, std::make_unique<LardDispatcherPolicy>());
     const auto r = sim.run();
@@ -96,7 +96,7 @@ TEST(LardDispatcher, DispatcherCrashIsFatalButBackEndCrashIsNot) {
   core::SimConfig cfg2;
   cfg2.nodes = 8;
   cfg2.node.cache_bytes = 4 * kMiB;
-  cfg2.failures.push_back({3, 0.2});
+  cfg2.fault_plan.crashes.push_back({3, 0.2});
   {
     core::ClusterSimulation sim(cfg2, tr, std::make_unique<LardDispatcherPolicy>());
     const auto r = sim.run();

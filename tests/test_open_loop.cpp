@@ -29,8 +29,8 @@ SimConfig open_loop_config(double rate) {
   SimConfig cfg;
   cfg.nodes = 1;
   cfg.node.cache_bytes = 8 * kMiB;
-  cfg.open_loop_arrival_rate = rate;
-  cfg.buffer_slots_per_node = 1000;  // ample: we study latency, not loss
+  cfg.arrival.open_loop_rate = rate;
+  cfg.admission.buffer_slots_per_node = 1000;  // ample: we study latency, not loss
   return cfg;
 }
 
@@ -78,7 +78,7 @@ TEST(OpenLoop, LatencyBracketedByModel) {
 TEST(OpenLoop, OverloadDropsInsteadOfDiverging) {
   const auto tr = cached_workload(8000);
   SimConfig cfg = open_loop_config(5000.0);  // far beyond 1-node capacity
-  cfg.buffer_slots_per_node = 50;
+  cfg.admission.buffer_slots_per_node = 50;
   const auto r = run_once(tr, cfg, PolicyKind::kTraditional);
   EXPECT_GT(r.failed, 0u);
   EXPECT_EQ(r.completed + r.failed, tr.request_count());
@@ -100,7 +100,7 @@ TEST(OpenLoop, WorksWithL2sOnCluster) {
   SimConfig cfg;
   cfg.nodes = 4;
   cfg.node.cache_bytes = 8 * kMiB;
-  cfg.open_loop_arrival_rate = 800.0;
+  cfg.arrival.open_loop_rate = 800.0;
   const auto r = run_once(tr, cfg, PolicyKind::kL2s);
   EXPECT_EQ(r.completed + r.failed, tr.request_count());
   EXPECT_NEAR(r.throughput_rps, 800.0, 120.0);

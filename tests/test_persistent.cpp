@@ -28,8 +28,8 @@ SimConfig persistent_config(int nodes, double mean_rpc, PersistentMode mode) {
   SimConfig cfg;
   cfg.nodes = nodes;
   cfg.node.cache_bytes = 2 * kMiB;
-  cfg.mean_requests_per_connection = mean_rpc;
-  cfg.persistent_mode = mode;
+  cfg.persistence.mean_requests_per_connection = mean_rpc;
+  cfg.persistence.mode = mode;
   return cfg;
 }
 

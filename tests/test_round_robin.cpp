@@ -74,7 +74,7 @@ TEST(RoundRobinPolicy, DnsSkewConcentratesEntries) {
   balanced.nodes = 8;
   balanced.node.cache_bytes = 4 * kMiB;
   core::SimConfig skewed = balanced;
-  skewed.dns_entry_skew = 0.8;
+  skewed.arrival.dns_entry_skew = 0.8;
   const auto rb = [&] {
     core::ClusterSimulation sim(balanced, tr, std::make_unique<RoundRobinPolicy>());
     return sim.run();
@@ -100,7 +100,7 @@ TEST(RoundRobinPolicy, SkewDoesNotTouchNonDnsPolicies) {
   plain.nodes = 4;
   plain.node.cache_bytes = kMiB;
   core::SimConfig skewed = plain;
-  skewed.dns_entry_skew = 0.9;
+  skewed.arrival.dns_entry_skew = 0.9;
   const auto a = core::run_once(tr, plain, core::PolicyKind::kLard);
   const auto b = core::run_once(tr, skewed, core::PolicyKind::kLard);
   // LARD's front door is its front-end, not DNS: identical runs.

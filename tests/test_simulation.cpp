@@ -150,7 +150,7 @@ TEST(Simulation, ConfigValidation) {
   EXPECT_THROW(ClusterSimulation(bad, tr, std::make_unique<policy::TraditionalPolicy>()),
                Error);
   bad = small_config(2);
-  bad.buffer_slots_per_node = 0;
+  bad.admission.buffer_slots_per_node = 0;
   EXPECT_THROW(ClusterSimulation(bad, tr, std::make_unique<policy::TraditionalPolicy>()),
                Error);
   EXPECT_THROW(ClusterSimulation(small_config(2), tr, nullptr), Error);

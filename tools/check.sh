@@ -32,6 +32,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
+echo "== clang-tidy: core engine (skipped when clang-tidy is unavailable) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p build --quiet \
+    src/core/*.cpp src/core/engine/*.cpp
+else
+  echo "clang-tidy not installed; skipping static analysis"
+fi
+
 if [[ "$skip_bench" -eq 0 ]]; then
   echo "== DES kernel bench (speedup + zero-allocation gates) =="
   ./build/bench/des_kernel_bench --out build/BENCH_des_kernel.json

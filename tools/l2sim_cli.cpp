@@ -160,25 +160,42 @@ std::unique_ptr<policy::Policy> policy_by_name(const std::string& name, double s
 
 int cmd_run(const Args& args) {
   const auto tr = load_trace(args);
-  core::SimConfig cfg;
+  core::ExperimentSpec spec;
+  spec.name = tr.name();
+  core::SimConfig& cfg = spec.sim;
   cfg.nodes = args.get_int("nodes", 16);
   cfg.node.cache_bytes = static_cast<Bytes>(
       args.get_double("cache", 32.0) * static_cast<double>(kMiB));
   if (args.has("gdsf")) cfg.node.cache_policy = cluster::CachePolicy::kGdsf;
-  cfg.open_loop_arrival_rate = args.get_double("rate", 0.0);
-  cfg.mean_requests_per_connection = args.get_double("rpc", 1.0);
-  cfg.dns_entry_skew = args.get_double("skew", 0.0);
-  if (args.has("timeline")) cfg.timeline_csv_path = args.get("timeline");
+  cfg.arrival.open_loop_rate = args.get_double("rate", 0.0);
+  cfg.persistence.mean_requests_per_connection = args.get_double("rpc", 1.0);
+  cfg.arrival.dns_entry_skew = args.get_double("skew", 0.0);
+  if (args.has("timeline")) spec.output.timeline_csv_path = args.get("timeline");
   if (args.has("fail")) {
-    const std::string spec = args.get("fail");
-    const auto at = spec.find('@');
+    const std::string fail = args.get("fail");
+    const auto at = fail.find('@');
     if (at == std::string::npos) throw Error("--fail expects NODE@SECONDS");
-    cfg.failures.push_back(
-        {std::atoi(spec.substr(0, at).c_str()), std::atof(spec.substr(at + 1).c_str())});
+    cfg.fault_plan.crashes.push_back(
+        {std::atoi(fail.substr(0, at).c_str()), std::atof(fail.substr(at + 1).c_str())});
   }
-  const double shrink = args.get_double("shrink", 20.0 * args.get_double("scale", 0.1));
-  core::ClusterSimulation sim(cfg, tr, policy_by_name(args.get("policy", "l2s"), shrink));
-  const auto r = sim.run();
+  spec.set_shrink_seconds = args.get_double("shrink", 20.0 * args.get_double("scale", 0.1));
+  const std::string pname = args.get("policy", "l2s");
+  const auto r = [&]() -> core::SimResult {
+    if (pname == "l2s") spec.policy = core::PolicyKind::kL2s;
+    else if (pname == "lard") spec.policy = core::PolicyKind::kLard;
+    else if (pname == "trad" || pname == "traditional")
+      spec.policy = core::PolicyKind::kTraditional;
+    else {
+      // Policies outside PolicyKind (round robin) drive the simulator
+      // directly from the spec's SimConfig.
+      if (!spec.output.timeline_csv_path.empty())
+        cfg.timeline_csv_path = spec.output.timeline_csv_path;
+      core::ClusterSimulation sim(cfg, tr,
+                                  policy_by_name(pname, spec.set_shrink_seconds));
+      return sim.run();
+    }
+    return core::run_simulation(spec, tr);
+  }();
   std::cout << r.describe() << '\n';
   TextTable t({"metric", "value"});
   t.cell("throughput (req/s)").cell(r.throughput_rps, 1).end_row();
@@ -209,18 +226,20 @@ int cmd_run(const Args& args) {
 int cmd_figure(const Args& args) {
   if (!args.has("paper")) throw Error("figure: --paper NAME required");
   const double scale = args.get_double("scale", 0.1);
-  auto spec = trace::paper_trace_spec(args.get("paper"));
-  spec.requests = static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
-  const auto tr = trace::generate(spec);
+  core::ExperimentSpec spec;
+  spec.name = args.get("paper");
+  spec.trace = core::TraceSpec::paper(spec.name, scale);
+  spec.sim.node.cache_bytes = 32 * kMiB;
+  spec.set_shrink_seconds = 20.0 * scale;
 
-  core::ExperimentConfig cfg;
-  cfg.sim.node.cache_bytes = 32 * kMiB;
-  cfg.set_shrink_seconds = 20.0 * scale;
+  const auto tr = spec.trace.realize();
+  const auto cfg = core::to_experiment_config(spec);
   const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
   const auto fig = threads == 1 ? core::run_throughput_figure(tr, cfg)
                                 : core::run_throughput_figure_parallel(tr, cfg, threads);
   core::print_throughput_figure(std::cout, fig);
-  if (args.has("csv")) core::write_throughput_csv(fig, args.get("csv"), "figure_" + spec.name);
+  if (args.has("csv"))
+    core::write_throughput_csv(fig, args.get("csv"), "figure_" + tr.name());
   return 0;
 }
 
