@@ -1,0 +1,134 @@
+// Per-resource breakdown reconstructed from telemetry spans.
+//
+// The paper explains cluster throughput by asking where a request's time
+// goes: entry CPU work at the receiving node, the hand-off to the node
+// that owns the content, storage (cache or disk), and the reply on the
+// NIC. The engine accumulates those stages internally (SimResult
+// stage_*_ms); this study recomputes the same breakdown *from the
+// telemetry span stream alone* — fully sampled spans, the way a user
+// would from `l2sim_cli --spans-out` — and cross-checks the two views
+// against each other per cluster size and policy.
+//
+// Exits non-zero if the reconstruction diverges from the engine's own
+// accumulators, making the span pipeline itself a regression-tested
+// artifact. Optional: --csv <path> for the plottable series.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "l2sim/l2sim.hpp"
+
+using namespace l2s;
+
+namespace {
+
+struct Breakdown {
+  double entry = 0.0;
+  double forward = 0.0;
+  double disk = 0.0;
+  double reply = 0.0;
+};
+
+Breakdown from_spans(const telemetry::Snapshot& snap) {
+  Breakdown b;
+  std::size_t n = 0;
+  for (const telemetry::Span& s : snap.spans) {
+    if (s.failed()) continue;
+    b.entry += s.entry_ms();
+    b.forward += s.forward_ms();
+    b.disk += s.disk_ms();
+    b.reply += s.reply_ms();
+    ++n;
+  }
+  if (n == 0) throw_error("span_breakdown_study: no completed spans");
+  const auto d = static_cast<double>(n);
+  b.entry /= d;
+  b.forward /= d;
+  b.disk /= d;
+  b.reply /= d;
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--csv") csv_path = argv[i + 1];
+
+  const double scale = bench_scale();
+  auto spec = trace::paper_trace_spec("Calgary");
+  spec.requests = static_cast<std::uint64_t>(static_cast<double>(spec.requests) * scale);
+  const trace::Trace tr = trace::generate(spec);
+
+  std::cout << "Per-resource breakdown from telemetry spans (synthetic Calgary, "
+            << tr.request_count() << " requests, L2SIM_SCALE=" << scale << ")\n\n";
+
+  const std::vector<int> node_counts = {1, 2, 4, 8};
+  const std::vector<core::PolicyKind> kinds = {
+      core::PolicyKind::kTraditional, core::PolicyKind::kLard, core::PolicyKind::kL2s};
+
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    if (!csv) throw_error("span_breakdown_study: cannot open " + csv_path);
+    csv << "policy,nodes,entry_ms,forward_ms,disk_ms,reply_ms,total_ms\n";
+  }
+
+  TextTable t({"Policy", "Nodes", "Entry ms", "Hand-off ms", "Storage ms", "Reply ms",
+               "Engine total", "Span total"});
+  bool consistent = true;
+  for (const auto kind : kinds) {
+    for (const int nodes : node_counts) {
+      core::SimConfig cfg;
+      cfg.nodes = nodes;
+      cfg.node.cache_bytes = 16 * kMiB;
+      cfg.telemetry.enabled = true;
+      cfg.telemetry.span_sample_every = 1;  // full capture: exact reconstruction
+      cfg.telemetry.span_capacity = std::size_t{1} << 22;
+      cfg.telemetry.probe = false;
+      const auto r = core::run_once(tr, cfg, kind);
+      if (r.telemetry == nullptr) throw_error("span_breakdown_study: no telemetry");
+      const Breakdown b = from_spans(*r.telemetry);
+
+      const double engine_total =
+          r.stage_entry_ms + r.stage_forward_ms + r.stage_disk_ms + r.stage_reply_ms;
+      const double span_total = b.entry + b.forward + b.disk + b.reply;
+      // The engine averages the same four stage timestamps over the same
+      // completed requests; full sampling must reproduce it to rounding.
+      const double tol = 1e-6 * (1.0 + engine_total);
+      const bool ok = std::abs(b.entry - r.stage_entry_ms) <= tol &&
+                      std::abs(b.forward - r.stage_forward_ms) <= tol &&
+                      std::abs(b.disk - r.stage_disk_ms) <= tol &&
+                      std::abs(b.reply - r.stage_reply_ms) <= tol;
+      consistent = consistent && ok;
+
+      t.cell(r.policy)
+          .cell(static_cast<long long>(nodes))
+          .cell(b.entry, 4)
+          .cell(b.forward, 4)
+          .cell(b.disk, 4)
+          .cell(b.reply, 4)
+          .cell(engine_total, 4)
+          .cell(span_total, 4)
+          .end_row();
+      if (csv.is_open()) {
+        csv << r.policy << ',' << nodes << ',' << format_double(b.entry, 6) << ','
+            << format_double(b.forward, 6) << ',' << format_double(b.disk, 6) << ','
+            << format_double(b.reply, 6) << ',' << format_double(span_total, 6) << '\n';
+      }
+    }
+  }
+  t.print(std::cout);
+  if (!csv_path.empty()) std::cout << "\nwrote " << csv_path << "\n";
+
+  if (!consistent) {
+    std::cerr << "span_breakdown_study: span reconstruction diverged from the "
+                 "engine's stage accumulators\n";
+    return 1;
+  }
+  std::cout << "\nspan reconstruction matches the engine's stage accumulators\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Telemetry overhead gates.
+//
+// The telemetry subsystem rides the engine's lifecycle fan-out, so its cost
+// must be invisible when it is off and small when it is on. Four modes run
+// interleaved (min-of-N wall clock per mode, so transient machine noise
+// cannot charge one mode more than another):
+//
+//   off      telemetry.enabled = false — the null-object path; the only
+//            residual cost is the observer fan-out emit points themselves,
+//            which are part of the baseline by construction.
+//   counters telemetry on, probe off, span sampling off: registry counter
+//            and histogram bumps only. Gate: <= 1% over `off`.
+//   span64   telemetry on, probe on, 1-in-64 span sampling — the
+//            recommended production configuration. Gate: <= 5% over `off`.
+//   span1    every span recorded (full capture). Informational, no gate —
+//            this is the debugging configuration.
+//
+// Emits BENCH_telemetry.json (schema: docs/telemetry.md) and exits
+// non-zero when a gate fails so CI treats regressions as errors. Gates
+// carry a small absolute floor so a microscopic trace under L2SIM_SCALE
+// cannot fail on scheduler jitter.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "l2sim/l2sim.hpp"
+
+using namespace l2s;
+
+namespace {
+
+struct Mode {
+  std::string name;
+  std::function<void(core::SimConfig&)> apply;
+};
+
+double run_seconds(const trace::Trace& tr, const core::SimConfig& cfg) {
+  core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (r.completed == 0) throw_error("telemetry_bench: run completed nothing");
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_telemetry.json";
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+
+  const double scale = bench_scale();
+  const int reps = 7;
+
+  trace::SyntheticSpec spec;
+  spec.name = "telemetry-bench";
+  spec.files = 800;
+  spec.avg_file_kb = 10.0;
+  // Keep the per-mode run long enough (~0.1 s+) that a 1% gate measures
+  // overhead, not scheduler jitter — so the request count has a high floor
+  // even under a small L2SIM_SCALE.
+  spec.requests = static_cast<std::uint64_t>(200000.0 * scale);
+  if (spec.requests < 30000) spec.requests = 30000;
+  spec.avg_request_kb = 8.0;
+  spec.alpha = 0.9;
+  spec.seed = 4242;
+  const trace::Trace tr = trace::generate(spec);
+
+  core::SimConfig base;
+  base.nodes = 8;
+  base.node.cache_bytes = 16 * kMiB;
+
+  const std::vector<Mode> modes = {
+      {"off", [](core::SimConfig&) {}},
+      {"counters",
+       [](core::SimConfig& cfg) {
+         cfg.telemetry.enabled = true;
+         cfg.telemetry.probe = false;
+         cfg.telemetry.span_sample_every = 0;
+       }},
+      {"span64",
+       [](core::SimConfig& cfg) {
+         cfg.telemetry.enabled = true;
+         cfg.telemetry.span_sample_every = 64;
+       }},
+      {"span1",
+       [](core::SimConfig& cfg) {
+         cfg.telemetry.enabled = true;
+         cfg.telemetry.span_sample_every = 1;
+         cfg.telemetry.span_capacity = 1 << 16;
+       }},
+  };
+
+  std::cout << "Telemetry overhead bench (" << tr.request_count() << " requests, "
+            << base.nodes << " nodes, min of " << reps
+            << " interleaved reps, L2SIM_SCALE=" << scale << ")\n\n";
+
+  // Untimed warm-up pass (page in the trace, warm the allocator).
+  {
+    core::SimConfig cfg = base;
+    (void)run_seconds(tr, cfg);
+  }
+
+  std::vector<double> best(modes.size(), 1e300);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      core::SimConfig cfg = base;
+      modes[m].apply(cfg);
+      const double s = run_seconds(tr, cfg);
+      if (s < best[m]) best[m] = s;
+    }
+  }
+
+  const double off = best[0];
+  TextTable t({"Mode", "Best s", "Ratio vs off"});
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    t.cell(modes[m].name).cell(best[m], 4).cell(best[m] / off, 4).end_row();
+  }
+  t.print(std::cout);
+
+  // Absolute slack: below this delta a ratio is noise, not overhead.
+  const double floor_s = 0.002;
+
+  struct Gate {
+    std::string name;
+    double ratio;
+    double limit;
+    bool pass;
+  };
+  auto gate = [&](const std::string& name, double secs, double limit) {
+    const double ratio = secs / off;
+    const bool pass = ratio <= limit || (secs - off) <= floor_s;
+    return Gate{name, ratio, limit, pass};
+  };
+  std::vector<Gate> gates = {
+      gate("counters_overhead_le_1pct", best[1], 1.01),
+      gate("span64_overhead_le_5pct", best[2], 1.05),
+  };
+
+  std::cout << "\ngates:\n";
+  bool all_pass = true;
+  for (const auto& g : gates) {
+    std::cout << "  [" << (g.pass ? "PASS" : "FAIL") << "] " << g.name << ": ratio "
+              << format_double(g.ratio, 4) << " (limit " << format_double(g.limit, 2)
+              << ")\n";
+    all_pass = all_pass && g.pass;
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"telemetry\",\n"
+      << "  \"scale\": " << format_double(scale, 3) << ",\n"
+      << "  \"nodes\": " << base.nodes << ",\n"
+      << "  \"request_count\": " << tr.request_count() << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"modes\": [\n";
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    out << "    {\"mode\": \"" << modes[m].name << "\", \"best_seconds\": "
+        << format_double(best[m], 6) << ", \"ratio_vs_off\": "
+        << format_double(best[m] / off, 6) << "}"
+        << (m + 1 == modes.size() ? "\n" : ",\n");
+  }
+  out << "  ],\n"
+      << "  \"gates\": {\n";
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    out << "    \"" << gates[i].name << "\": " << (gates[i].pass ? "true" : "false")
+        << (i + 1 == gates.size() ? "\n" : ",\n");
+  out << "  },\n"
+      << "  \"all_gates_pass\": " << (all_pass ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+
+  if (!all_pass) {
+    std::cerr << "telemetry_bench: overhead gates FAILED\n";
+    return 1;
+  }
+  std::cout << "telemetry_bench: all gates pass\n";
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "l2sim/common/units.hpp"
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/net/params.hpp"
+#include "l2sim/telemetry/config.hpp"
 
 namespace l2s::core {
 
@@ -133,6 +134,11 @@ struct SimConfig {
 
   /// Goodput timeline bucket width for SimResult::goodput_rps (0 = off).
   double goodput_interval_seconds = 0.0;
+
+  /// Observability: metrics registry, span recorder, timeline probe and
+  /// exporters (off by default; enabling it must not change results — the
+  /// golden-digest suite pins that).
+  telemetry::TelemetryConfig telemetry;
   /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
   /// assumption). When set, the vector length must equal `nodes`.
   std::vector<double> node_speed_factors;

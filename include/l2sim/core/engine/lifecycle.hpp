@@ -42,11 +42,18 @@ class LifecycleObserver {
   // Request lifecycle.
   virtual void on_request_completed(const cluster::Connection& /*conn*/, SimTime /*now*/) {}
   virtual void on_connection_closed(const cluster::Connection& /*conn*/) {}
-  virtual void on_request_failed(FailureKind /*kind*/, SimTime /*now*/) {}
+  /// `conn` is null for admission rejects (the request never materialized a
+  /// connection); non-null for deadline / retries-exhausted failures.
+  virtual void on_request_failed(const cluster::Connection* /*conn*/, FailureKind /*kind*/,
+                                 SimTime /*now*/) {}
   virtual void on_retry_scheduled(SimTime /*now*/) {}
   virtual void on_forward() {}       ///< hand-off or remote fetch left the entry node
   virtual void on_migration() {}     ///< persistent connection migrated
   virtual void on_remote_fetch() {}  ///< back-end request forwarding used
+  /// The periodic load sampler ticked (MetricsCollector::sample_loads).
+  /// Telemetry probes ride this existing event instead of scheduling their
+  /// own, so enabling them cannot change the event stream.
+  virtual void on_load_sample(SimTime /*now*/) {}
 
   // Fault timeline (from the coordinator's fault arming / detection).
   virtual void on_node_crashed(int /*node*/, SimTime /*at*/) {}
@@ -67,11 +74,15 @@ class LifecycleFanout final : public LifecycleObserver {
   void on_connection_closed(const cluster::Connection& c) override {
     for (auto* o : observers_) o->on_connection_closed(c);
   }
-  void on_request_failed(FailureKind kind, SimTime now) override {
-    for (auto* o : observers_) o->on_request_failed(kind, now);
+  void on_request_failed(const cluster::Connection* conn, FailureKind kind,
+                         SimTime now) override {
+    for (auto* o : observers_) o->on_request_failed(conn, kind, now);
   }
   void on_retry_scheduled(SimTime now) override {
     for (auto* o : observers_) o->on_retry_scheduled(now);
+  }
+  void on_load_sample(SimTime now) override {
+    for (auto* o : observers_) o->on_load_sample(now);
   }
   void on_forward() override {
     for (auto* o : observers_) o->on_forward();

@@ -40,7 +40,8 @@ class MetricsCollector final : public LifecycleObserver {
   // --- LifecycleObserver --------------------------------------------------
   void on_request_completed(const cluster::Connection& conn, SimTime now) override;
   void on_connection_closed(const cluster::Connection& conn) override;
-  void on_request_failed(FailureKind kind, SimTime now) override;
+  void on_request_failed(const cluster::Connection* conn, FailureKind kind,
+                         SimTime now) override;
   void on_retry_scheduled(SimTime now) override;
   void on_forward() override { ++forwarded_; }
   void on_migration() override { ++migrations_; }

@@ -4,8 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+namespace l2s::telemetry {
+struct Snapshot;
+}  // namespace l2s::telemetry
 
 namespace l2s::core {
 
@@ -83,6 +88,11 @@ struct SimResult {
   std::uint64_t via_messages = 0;
   std::uint64_t load_broadcasts = 0;
   std::uint64_t locality_broadcasts = 0;
+
+  /// Detached telemetry of the measured pass (metrics registry, sampled
+  /// spans, fault timeline). Null unless SimConfig::telemetry.enabled;
+  /// shared so SimResult stays cheaply copyable.
+  std::shared_ptr<const telemetry::Snapshot> telemetry;
 
   /// One-paragraph human-readable summary.
   [[nodiscard]] std::string describe() const;

@@ -5,9 +5,14 @@
 // synchronized), so results are bit-identical to serial execution.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "l2sim/core/experiment.hpp"
+
+namespace l2s::telemetry {
+struct Snapshot;
+}  // namespace l2s::telemetry
 
 namespace l2s::core {
 
@@ -26,6 +31,15 @@ struct SimJob {
 /// std::rethrow_if_nested to reach the original exception.
 [[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs,
                                                   unsigned threads = 0);
+
+/// Merge the telemetry snapshots of a batch of results into one aggregate,
+/// always iterating in job-index order — each job owns a private registry
+/// during the run (no shared mutable state between workers), and the fixed
+/// merge order makes the aggregate identical regardless of which worker
+/// finished first. Results without telemetry are skipped; returns null when
+/// no result carried any.
+[[nodiscard]] std::shared_ptr<const telemetry::Snapshot> merge_telemetry(
+    const std::vector<SimResult>& results);
 
 /// Parallel variant of run_throughput_figure: identical results, wall
 /// clock divided by the usable cores.

@@ -35,6 +35,10 @@
 #include "l2sim/policy/policy.hpp"
 #include "l2sim/trace/trace.hpp"
 
+namespace l2s::telemetry {
+class SimTelemetry;
+}  // namespace l2s::telemetry
+
 namespace l2s::core {
 
 namespace engine {
@@ -59,6 +63,8 @@ class ClusterSimulation {
   [[nodiscard]] cluster::Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] des::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
+  /// The run's telemetry bridge (null unless config.telemetry.enabled).
+  [[nodiscard]] telemetry::SimTelemetry* telemetry() { return telemetry_.get(); }
 
  private:
   /// One pass: open an admission window, start arrivals (and the load
@@ -92,6 +98,10 @@ class ClusterSimulation {
   std::unique_ptr<engine::ServicePath> service_;
   std::unique_ptr<engine::PersistentPath> persistent_;
   std::unique_ptr<engine::MetricsCollector> metrics_;
+  /// Observability bridge; only constructed (and registered on the fan-out)
+  /// when config.telemetry.enabled — the disabled path has no telemetry
+  /// code at all.
+  std::unique_ptr<telemetry::SimTelemetry> telemetry_;
   bool ran_ = false;
 };
 

@@ -46,6 +46,19 @@ struct TraceSpec {
 struct OutputSpec {
   std::string csv_dir;           ///< figure CSV directory ("" = no CSV)
   std::string timeline_csv_path; ///< per-node load timeline ("" = off)
+
+  /// Telemetry exports ("" = off). Setting any of these force-enables
+  /// sim.telemetry for the run (there would be nothing to export
+  /// otherwise).
+  std::string trace_json_path;     ///< Chrome trace-event JSON (Perfetto)
+  std::string metrics_csv_path;    ///< scalar metrics CSV
+  std::string timeseries_csv_path; ///< probe/goodput time-series CSV
+  std::string spans_csv_path;      ///< sampled spans CSV
+
+  [[nodiscard]] bool wants_telemetry() const {
+    return !trace_json_path.empty() || !metrics_csv_path.empty() ||
+           !timeseries_csv_path.empty() || !spans_csv_path.empty();
+  }
 };
 
 /// The full experiment description. `sim` carries the cluster hardware,

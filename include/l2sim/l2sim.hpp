@@ -12,6 +12,7 @@
 //   * l2s::queueing  — M/M/1 and open Jackson networks
 //   * l2s::des       — discrete-event simulation kernel
 //   * l2s::fault     — deterministic fault injection & failure detection
+//   * l2s::telemetry — metrics registry, span recorder, trace exporters
 //   * l2s::net, l2s::storage, l2s::cache, l2s::cluster — substrates
 #pragma once
 
@@ -35,6 +36,13 @@
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/fault/runtime.hpp"
 #include "l2sim/stats/availability.hpp"
+#include "l2sim/telemetry/config.hpp"
+#include "l2sim/telemetry/exporters.hpp"
+#include "l2sim/telemetry/metrics.hpp"
+#include "l2sim/telemetry/probe.hpp"
+#include "l2sim/telemetry/registry.hpp"
+#include "l2sim/telemetry/sim_telemetry.hpp"
+#include "l2sim/telemetry/span.hpp"
 #include "l2sim/model/cluster_model.hpp"
 #include "l2sim/model/latency.hpp"
 #include "l2sim/model/parameters.hpp"

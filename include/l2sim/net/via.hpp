@@ -67,6 +67,14 @@ class ViaNetwork {
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t messages_duplicated() const { return duplicated_; }
   [[nodiscard]] std::uint64_t messages_delayed() const { return delayed_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  /// Messages sent but neither dropped nor yet handed to the receiver NIC —
+  /// the telemetry probe samples this. Clamped at 0 because a mid-flight
+  /// warm-up reset can make the counters momentarily inconsistent.
+  [[nodiscard]] std::uint64_t in_flight() const {
+    const std::uint64_t settled = dropped_ + delivered_;
+    return settled >= messages_ ? 0 : messages_ - settled;
+  }
   [[nodiscard]] int endpoints() const { return static_cast<int>(endpoints_.size()); }
 
   /// Zero every counter, including the fault-layer ones. (This used to
@@ -77,6 +85,7 @@ class ViaNetwork {
     dropped_ = 0;
     duplicated_ = 0;
     delayed_ = 0;
+    delivered_ = 0;
   }
 
  private:
@@ -89,6 +98,7 @@ class ViaNetwork {
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_ = 0;
+  std::uint64_t delivered_ = 0;
 };
 
 }  // namespace l2s::net

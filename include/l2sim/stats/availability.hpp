@@ -9,6 +9,7 @@
 
 #include "l2sim/common/units.hpp"
 #include "l2sim/stats/accumulator.hpp"
+#include "l2sim/telemetry/metrics.hpp"
 
 namespace l2s::stats {
 
@@ -41,13 +42,21 @@ class AvailabilityTracker {
   [[nodiscard]] std::vector<double> goodput_rps(SimTime end) const;
   [[nodiscard]] SimTime interval() const { return interval_; }
 
- private:
-  void bump(std::vector<std::uint64_t>& buckets, SimTime t);
+  /// The underlying timelines (telemetry::BucketSeries since the goodput
+  /// timeline migrated onto the telemetry metric types; the accessors above
+  /// are shims over these).
+  [[nodiscard]] const telemetry::BucketSeries& completion_series() const {
+    return completions_;
+  }
+  [[nodiscard]] const telemetry::BucketSeries& failure_series() const {
+    return failures_;
+  }
 
+ private:
   SimTime start_ = 0;
   SimTime interval_ = 0;
-  std::vector<std::uint64_t> completions_;
-  std::vector<std::uint64_t> failures_;
+  telemetry::BucketSeries completions_;
+  telemetry::BucketSeries failures_;
   std::uint64_t retries_ = 0;
   std::vector<SimTime> crash_at_;   ///< per node, -1 = none pending
   std::vector<SimTime> repair_at_;  ///< per node, -1 = none pending

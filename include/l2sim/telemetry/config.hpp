@@ -1,0 +1,39 @@
+// Telemetry configuration: one sub-config embedded in core::SimConfig (and
+// therefore in every ExperimentSpec). Telemetry is a null-object when
+// disabled — the simulation does not construct a recorder at all, so the
+// disabled path costs nothing beyond an untaken branch at wiring time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace l2s::telemetry {
+
+struct TelemetryConfig {
+  /// Master switch. When false no telemetry observer is registered and
+  /// SimResult::telemetry stays null.
+  bool enabled = false;
+
+  /// Deterministic 1-in-N span sampling keyed on the request id (see
+  /// SpanRecorder::sampled): 1 records every request, 64 records ~1/64 of
+  /// them, 0 disables span capture entirely while keeping the metrics
+  /// registry and timeline probe alive. The decision is a pure function of
+  /// the request id, so the sampled span set replays bit-identically.
+  std::uint64_t span_sample_every = 64;
+
+  /// Bounded span ring buffer: once full, the oldest span is overwritten
+  /// (and counted — see SpanRecorder::overwritten()).
+  std::size_t span_capacity = 8192;
+
+  /// Timeline probe: sample per-node queue depths, cache occupancy, CPU
+  /// utilization and in-flight VIA messages on every load-sampler tick.
+  /// The probe rides the engine's existing periodic load sampler (it
+  /// schedules no events of its own), so its cadence is
+  /// SimConfig::load_sample_interval and it is silent when that sampler is
+  /// off (interval 0 or a single-node cluster).
+  bool probe = true;
+
+  void validate() const;
+};
+
+}  // namespace l2s::telemetry

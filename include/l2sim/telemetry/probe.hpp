@@ -1,0 +1,64 @@
+// TimelineProbe: turns periodic cluster snapshots into Registry
+// time-series — per-node open connections, CPU/disk/NIC queue depths,
+// cache occupancy, CPU utilization (differentiated from cumulative busy
+// time) and cluster-wide in-flight VIA messages. The probe is passive
+// plumbing: whoever drives it (telemetry::SimTelemetry, riding the
+// engine's existing load-sampler tick) builds a ClusterSample and calls
+// record(); the probe never schedules events, so enabling it cannot
+// perturb the simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/telemetry/registry.hpp"
+
+namespace l2s::telemetry {
+
+/// One periodic observation of the simulated hardware.
+struct ClusterSample {
+  struct Node {
+    int open_connections = 0;
+    std::size_t cpu_queue = 0;
+    std::size_t disk_queue = 0;
+    std::size_t nic_tx_queue = 0;
+    Bytes cache_used = 0;
+    Bytes cache_capacity = 0;
+    SimTime cpu_busy = 0;  ///< cumulative busy time (probe differentiates)
+  };
+  SimTime now = 0;
+  std::vector<Node> nodes;
+  std::uint64_t via_in_flight = 0;
+};
+
+class TimelineProbe {
+ public:
+  TimelineProbe(Registry& registry, int nodes);
+
+  /// (Re)anchor utilization differentiation at the start of the measured
+  /// pass (cumulative busy counters are zeroed after warm-up).
+  void begin(SimTime start);
+
+  void record(const ClusterSample& sample);
+
+  void reset();
+
+ private:
+  Registry& registry_;
+  int nodes_;
+  SimTime last_now_ = 0;
+  std::vector<SimTime> last_busy_;
+
+  // Cached handles (Registry references are stable).
+  std::vector<SampleSeries*> open_connections_;
+  std::vector<SampleSeries*> cpu_queue_;
+  std::vector<SampleSeries*> disk_queue_;
+  std::vector<SampleSeries*> nic_tx_queue_;
+  std::vector<SampleSeries*> cache_used_;
+  std::vector<SampleSeries*> utilization_;
+  std::vector<Gauge*> peak_queue_;
+  SampleSeries* via_in_flight_ = nullptr;
+};
+
+}  // namespace l2s::telemetry

@@ -1,0 +1,86 @@
+// SimTelemetry: the bridge between the simulation engine and the
+// telemetry subsystem. It is one more LifecycleObserver on the engine's
+// fan-out — the engine neither knows nor cares that it exists — and owns
+// the run's Registry, SpanRecorder and TimelineProbe. The coordinator
+// registers it only when TelemetryConfig::enabled is set, which is the
+// whole null-object story: disabled telemetry is not a cheap code path,
+// it is no code path.
+//
+// Observation is strictly passive: handlers read engine state (connection
+// timestamps, node counters) and write telemetry state; they draw no
+// randomness from the simulation streams and schedule no events, so an
+// instrumented run replays bit-identically to an uninstrumented one (the
+// golden-digest suite pins this).
+#pragma once
+
+#include <memory>
+
+#include "l2sim/core/engine/context.hpp"
+#include "l2sim/telemetry/config.hpp"
+#include "l2sim/telemetry/probe.hpp"
+#include "l2sim/telemetry/registry.hpp"
+#include "l2sim/telemetry/span.hpp"
+
+namespace l2s::telemetry {
+
+class SimTelemetry final : public core::engine::LifecycleObserver {
+ public:
+  SimTelemetry(const core::engine::EngineContext& ctx, const TelemetryConfig& config);
+
+  /// Arm the measured pass: anchors the probe's utilization differentiation
+  /// and the goodput bucket series (interval from
+  /// SimConfig::goodput_interval_seconds; 0 keeps that series off).
+  void begin_measurement(SimTime measure_start);
+
+  /// End of warm-up: drop everything observed so far, keep registrations.
+  void reset();
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const SpanRecorder& spans() const { return spans_; }
+
+  /// Detach the run's telemetry: registry metrics + sampled spans + fault
+  /// timeline, ready for exporters or cross-job merging.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // --- LifecycleObserver --------------------------------------------------
+  void on_request_completed(const cluster::Connection& conn, SimTime now) override;
+  void on_request_failed(const cluster::Connection* conn,
+                         core::engine::FailureKind kind, SimTime now) override;
+  void on_retry_scheduled(SimTime now) override;
+  void on_forward() override;
+  void on_migration() override;
+  void on_remote_fetch() override;
+  void on_load_sample(SimTime now) override;
+  void on_node_crashed(int node, SimTime at) override;
+  void on_node_repaired(int node, SimTime at) override;
+  void on_node_detected(int node, SimTime at) override;
+  void on_node_readmitted(int node, SimTime at) override;
+
+ private:
+  void record_fault(FaultEvent::Kind kind, int node, SimTime at);
+
+  const core::engine::EngineContext& ctx_;
+  TelemetryConfig config_;
+  Registry registry_;
+  SpanRecorder spans_;
+  std::unique_ptr<TimelineProbe> probe_;
+  std::vector<FaultEvent> fault_events_;
+  std::uint32_t fault_epoch_ = 0;
+
+  // Cached handles into registry_ (stable for the registry's lifetime).
+  Counter* completed_ = nullptr;
+  Counter* completed_hits_ = nullptr;
+  Counter* completed_forwarded_ = nullptr;
+  Counter* failed_deadline_ = nullptr;
+  Counter* failed_retries_ = nullptr;
+  Counter* failed_rejected_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* forwards_ = nullptr;
+  Counter* migrations_ = nullptr;
+  Counter* remote_fetches_ = nullptr;
+  Histogram* response_ms_ = nullptr;
+  BucketSeries* goodput_completed_ = nullptr;
+  BucketSeries* goodput_failed_ = nullptr;
+};
+
+}  // namespace l2s::telemetry

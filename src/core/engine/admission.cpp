@@ -34,7 +34,7 @@ void AdmissionController::reject_overflow() {
   std::uint64_t seq = 0;
   trace::Request r{};
   if (injector_->try_take(seq, r))
-    ctx_.observers->on_request_failed(FailureKind::kRejected, ctx_.now());
+    ctx_.observers->on_request_failed(nullptr, FailureKind::kRejected, ctx_.now());
 }
 
 }  // namespace l2s::core::engine

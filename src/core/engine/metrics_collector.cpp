@@ -53,6 +53,8 @@ void MetricsCollector::sample_loads() {
     for (const auto& n : *ctx_.nodes) *timeline_ << ',' << n->open_connections();
     *timeline_ << '\n';
   }
+  // Let passive observers (the telemetry probe) piggyback on this tick.
+  ctx_.observers->on_load_sample(ctx_.now());
   ctx_.sched->after(ctx_.cfg().load_sample_interval, [this]() { sample_loads(); });
 }
 
@@ -74,7 +76,8 @@ void MetricsCollector::on_connection_closed(const cluster::Connection& /*conn*/)
   ++connections_;
 }
 
-void MetricsCollector::on_request_failed(FailureKind kind, SimTime now) {
+void MetricsCollector::on_request_failed(const cluster::Connection* /*conn*/,
+                                         FailureKind kind, SimTime now) {
   ++failed_;
   switch (kind) {
     case FailureKind::kDeadline: ++failed_deadline_; break;

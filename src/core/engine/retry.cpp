@@ -13,7 +13,7 @@ void RetryManager::fail_connection(const ConnPtr& conn, FailureKind kind,
   if (conn->state == ConnectionState::kDone) return;
   ctx_.service->release_service_count(conn);
   conn->state = ConnectionState::kDone;
-  ctx_.observers->on_request_failed(kind, ctx_.now());
+  ctx_.observers->on_request_failed(conn.get(), kind, ctx_.now());
   ctx_.admission->release_after(slot_hold);
 }
 

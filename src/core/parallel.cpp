@@ -7,8 +7,23 @@
 #include <thread>
 
 #include "l2sim/common/error.hpp"
+#include "l2sim/telemetry/registry.hpp"
 
 namespace l2s::core {
+
+std::shared_ptr<const telemetry::Snapshot> merge_telemetry(
+    const std::vector<SimResult>& results) {
+  std::shared_ptr<telemetry::Snapshot> merged;
+  for (const SimResult& r : results) {
+    if (r.telemetry == nullptr) continue;
+    if (merged == nullptr) {
+      merged = std::make_shared<telemetry::Snapshot>(*r.telemetry);
+    } else {
+      merged->merge(*r.telemetry);
+    }
+  }
+  return merged;
+}
 
 std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned threads) {
   for (const auto& job : jobs)

@@ -8,6 +8,7 @@
 #include "l2sim/core/engine/persistent_path.hpp"
 #include "l2sim/core/engine/retry.hpp"
 #include "l2sim/core/engine/service_path.hpp"
+#include "l2sim/telemetry/sim_telemetry.hpp"
 
 namespace l2s::core {
 
@@ -63,6 +64,10 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   ctx_.service = service_.get();
   ctx_.persistent = persistent_.get();
   fanout_.add(metrics_.get());
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<telemetry::SimTelemetry>(ctx_, config_.telemetry);
+    fanout_.add(telemetry_.get());
+  }
 }
 
 ClusterSimulation::~ClusterSimulation() = default;
@@ -80,9 +85,15 @@ SimResult ClusterSimulation::run() {
   const SimTime measure_start = sched_.now();
   policy_->on_pass_start(pass);
   metrics_->begin_measurement(measure_start);
+  if (telemetry_) telemetry_->begin_measurement(measure_start);
   arm_faults(measure_start);
   replay_trace();
-  return metrics_->collect(measure_start, detector_.get());
+  SimResult result = metrics_->collect(measure_start, detector_.get());
+  if (telemetry_) {
+    result.telemetry =
+        std::make_shared<const telemetry::Snapshot>(telemetry_->snapshot());
+  }
+  return result;
 }
 
 void ClusterSimulation::replay_trace() {
@@ -151,6 +162,7 @@ void ClusterSimulation::reset_statistics() {
   via_.reset_stats();
   policy_->reset_counters();
   metrics_->reset();
+  if (telemetry_) telemetry_->reset();
 }
 
 }  // namespace l2s::core

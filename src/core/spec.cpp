@@ -5,6 +5,7 @@
 
 #include "l2sim/common/error.hpp"
 #include "l2sim/model/trace_model.hpp"
+#include "l2sim/telemetry/exporters.hpp"
 #include "l2sim/trace/clf_reader.hpp"
 
 namespace l2s::core {
@@ -58,7 +59,20 @@ SimResult run_simulation(const ExperimentSpec& spec, const trace::Trace& trace) 
   SimConfig sim = spec.sim;
   if (!spec.output.timeline_csv_path.empty())
     sim.timeline_csv_path = spec.output.timeline_csv_path;
-  return run_once(trace, sim, spec.policy, spec.set_shrink_seconds);
+  if (spec.output.wants_telemetry()) sim.telemetry.enabled = true;
+  SimResult result = run_once(trace, sim, spec.policy, spec.set_shrink_seconds);
+  if (result.telemetry != nullptr) {
+    const telemetry::Snapshot& snap = *result.telemetry;
+    if (!spec.output.trace_json_path.empty())
+      telemetry::export_chrome_trace(spec.output.trace_json_path, snap);
+    if (!spec.output.metrics_csv_path.empty())
+      telemetry::export_metrics_csv(spec.output.metrics_csv_path, snap);
+    if (!spec.output.timeseries_csv_path.empty())
+      telemetry::export_timeseries_csv(spec.output.timeseries_csv_path, snap);
+    if (!spec.output.spans_csv_path.empty())
+      telemetry::export_spans_csv(spec.output.spans_csv_path, snap);
+  }
+  return result;
 }
 
 ModelResult run_model(const ExperimentSpec& spec) {

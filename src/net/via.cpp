@@ -37,7 +37,8 @@ void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_deliver
     const SimTime extra = fault.extra_delay;
     tx.submit(xfer, [this, &rx, xfer, dup, extra, done = std::move(on_delivered)]() mutable {
       fabric_.traverse([this, &rx, xfer, dup, extra, done = std::move(done)]() mutable {
-      auto deliver = [&rx, xfer, dup, done = std::move(done)]() mutable {
+      auto deliver = [this, &rx, xfer, dup, done = std::move(done)]() mutable {
+        ++delivered_;
         rx.submit(xfer, std::move(done));
         // Receiver-side dedup: the copy costs NIC time, nothing fires.
         if (dup) rx.submit(xfer, []() {});
@@ -54,7 +55,8 @@ void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_deliver
 
   // Healthy link: the original allocation-lean path, unchanged.
   tx.submit(xfer, [this, &rx, xfer, done = std::move(on_delivered)]() mutable {
-    fabric_.traverse([&rx, xfer, done = std::move(done)]() mutable {
+    fabric_.traverse([this, &rx, xfer, done = std::move(done)]() mutable {
+      ++delivered_;
       rx.submit(xfer, std::move(done));
     });
   });

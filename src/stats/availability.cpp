@@ -8,8 +8,10 @@ void AvailabilityTracker::begin(SimTime start, SimTime interval, int nodes) {
   L2S_REQUIRE(interval >= 0 && nodes >= 1);
   start_ = start;
   interval_ = interval;
-  completions_.clear();
-  failures_.clear();
+  // The timelines live in telemetry::BucketSeries, whose bucket indexing is
+  // the exact integer arithmetic this class used before the migration.
+  completions_.begin(start, interval);
+  failures_.begin(start, interval);
   retries_ = 0;
   crash_at_.assign(static_cast<std::size_t>(nodes), -1);
   repair_at_.assign(static_cast<std::size_t>(nodes), -1);
@@ -17,16 +19,9 @@ void AvailabilityTracker::begin(SimTime start, SimTime interval, int nodes) {
   readmit_ms_.reset();
 }
 
-void AvailabilityTracker::bump(std::vector<std::uint64_t>& buckets, SimTime t) {
-  if (interval_ <= 0 || t < start_) return;
-  const auto idx = static_cast<std::size_t>((t - start_) / interval_);
-  if (buckets.size() <= idx) buckets.resize(idx + 1, 0);
-  ++buckets[idx];
-}
+void AvailabilityTracker::record_completion(SimTime t) { completions_.bump(t); }
 
-void AvailabilityTracker::record_completion(SimTime t) { bump(completions_, t); }
-
-void AvailabilityTracker::record_failure(SimTime t) { bump(failures_, t); }
+void AvailabilityTracker::record_failure(SimTime t) { failures_.bump(t); }
 
 void AvailabilityTracker::record_crash(int node, SimTime t) {
   if (crash_at_.empty()) return;  // never armed (warm-up etc.)
@@ -58,14 +53,7 @@ void AvailabilityTracker::record_readmission(int node, SimTime t) {
 }
 
 std::vector<double> AvailabilityTracker::goodput_rps(SimTime end) const {
-  std::vector<double> rps;
-  if (interval_ <= 0 || end <= start_) return rps;
-  const auto buckets = static_cast<std::size_t>((end - start_ + interval_ - 1) / interval_);
-  const double per_bucket_s = simtime_to_seconds(interval_);
-  rps.assign(buckets, 0.0);
-  for (std::size_t i = 0; i < buckets && i < completions_.size(); ++i)
-    rps[i] = static_cast<double>(completions_[i]) / per_bucket_s;
-  return rps;
+  return completions_.rate_per_second(end);
 }
 
 }  // namespace l2s::stats

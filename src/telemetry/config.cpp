@@ -1,0 +1,11 @@
+#include "l2sim/telemetry/config.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::telemetry {
+
+void TelemetryConfig::validate() const {
+  if (span_capacity == 0) throw_error("telemetry: span_capacity must be > 0");
+}
+
+}  // namespace l2s::telemetry

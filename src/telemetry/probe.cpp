@@ -1,0 +1,65 @@
+#include "l2sim/telemetry/probe.hpp"
+
+#include <string>
+
+namespace l2s::telemetry {
+namespace {
+
+[[nodiscard]] Labels node_label(int node) {
+  return Labels{{"node", std::to_string(node)}};
+}
+
+}  // namespace
+
+TimelineProbe::TimelineProbe(Registry& registry, int nodes)
+    : registry_(registry), nodes_(nodes), last_busy_(static_cast<std::size_t>(nodes), 0) {
+  open_connections_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    const Labels labels = node_label(n);
+    open_connections_.push_back(&registry_.sample_series("node.open_connections", labels));
+    cpu_queue_.push_back(&registry_.sample_series("node.cpu_queue", labels));
+    disk_queue_.push_back(&registry_.sample_series("node.disk_queue", labels));
+    nic_tx_queue_.push_back(&registry_.sample_series("node.nic_tx_queue", labels));
+    cache_used_.push_back(&registry_.sample_series("node.cache_used_bytes", labels));
+    utilization_.push_back(&registry_.sample_series("node.cpu_utilization", labels));
+    peak_queue_.push_back(&registry_.gauge("node.peak_cpu_queue", labels));
+  }
+  via_in_flight_ = &registry_.sample_series("via.in_flight");
+}
+
+void TimelineProbe::begin(SimTime start) {
+  last_now_ = start;
+  last_busy_.assign(last_busy_.size(), 0);
+}
+
+void TimelineProbe::record(const ClusterSample& sample) {
+  const auto n = std::min(sample.nodes.size(), static_cast<std::size_t>(nodes_));
+  const SimTime window = sample.now - last_now_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClusterSample::Node& node = sample.nodes[i];
+    open_connections_[i]->add(sample.now, static_cast<double>(node.open_connections));
+    cpu_queue_[i]->add(sample.now, static_cast<double>(node.cpu_queue));
+    disk_queue_[i]->add(sample.now, static_cast<double>(node.disk_queue));
+    nic_tx_queue_[i]->add(sample.now, static_cast<double>(node.nic_tx_queue));
+    cache_used_[i]->add(sample.now, static_cast<double>(node.cache_used));
+    peak_queue_[i]->set(static_cast<double>(node.cpu_queue));
+
+    // Differentiate cumulative busy time into per-window utilization.
+    double util = 0.0;
+    if (window > 0) {
+      const SimTime busy_delta = node.cpu_busy - last_busy_[i];
+      util = static_cast<double>(busy_delta) / static_cast<double>(window);
+    }
+    utilization_[i]->add(sample.now, util);
+    last_busy_[i] = node.cpu_busy;
+  }
+  via_in_flight_->add(sample.now, static_cast<double>(sample.via_in_flight));
+  last_now_ = sample.now;
+}
+
+void TimelineProbe::reset() {
+  last_now_ = 0;
+  last_busy_.assign(last_busy_.size(), 0);
+}
+
+}  // namespace l2s::telemetry

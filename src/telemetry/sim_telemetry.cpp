@@ -1,0 +1,173 @@
+#include "l2sim/telemetry/sim_telemetry.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::telemetry {
+
+SimTelemetry::SimTelemetry(const core::engine::EngineContext& ctx,
+                           const TelemetryConfig& config)
+    : ctx_(ctx),
+      config_(config),
+      // sample_every 0 means "no spans": keep the recorder constructible and
+      // gate recording on config_.span_sample_every instead.
+      spans_(config.span_capacity, config.span_sample_every == 0 ? 1 : config.span_sample_every) {
+  config_.validate();
+  if (config_.probe) {
+    probe_ = std::make_unique<TimelineProbe>(registry_, ctx_.cfg().nodes);
+  }
+  completed_ = &registry_.counter("requests.completed");
+  completed_hits_ = &registry_.counter("requests.completed", {{"cache", "hit"}});
+  completed_forwarded_ = &registry_.counter("requests.completed", {{"path", "forwarded"}});
+  failed_deadline_ = &registry_.counter("requests.failed", {{"reason", "deadline"}});
+  failed_retries_ = &registry_.counter("requests.failed", {{"reason", "retries"}});
+  failed_rejected_ = &registry_.counter("requests.failed", {{"reason", "rejected"}});
+  retries_ = &registry_.counter("requests.retries_scheduled");
+  forwards_ = &registry_.counter("cluster.forwards");
+  migrations_ = &registry_.counter("cluster.migrations");
+  remote_fetches_ = &registry_.counter("cluster.remote_fetches");
+  response_ms_ = &registry_.histogram("requests.response_ms");
+  goodput_completed_ = &registry_.bucket_series("goodput.completed");
+  goodput_failed_ = &registry_.bucket_series("goodput.failed");
+}
+
+void SimTelemetry::begin_measurement(SimTime measure_start) {
+  const SimTime interval = seconds_to_simtime(ctx_.cfg().goodput_interval_seconds);
+  if (interval > 0) {
+    goodput_completed_->begin(measure_start, interval);
+    goodput_failed_->begin(measure_start, interval);
+  }
+  if (probe_) probe_->begin(measure_start);
+}
+
+void SimTelemetry::reset() {
+  registry_.reset();
+  spans_.reset();
+  fault_events_.clear();
+  fault_epoch_ = 0;
+  if (probe_) probe_->reset();
+}
+
+Snapshot SimTelemetry::snapshot() const {
+  Snapshot snap = registry_.snapshot();
+  snap.nodes = ctx_.cfg().nodes;
+  snap.spans = spans_.chronological();
+  snap.fault_events = fault_events_;
+  snap.span_sample_every = config_.span_sample_every;
+  snap.spans_recorded = spans_.recorded();
+  snap.spans_overwritten = spans_.overwritten();
+  return snap;
+}
+
+void SimTelemetry::on_request_completed(const cluster::Connection& conn, SimTime now) {
+  completed_->add();
+  if (conn.cache_hit) completed_hits_->add();
+  if (conn.forwarded()) completed_forwarded_->add();
+  response_ms_->add(simtime_to_seconds(now - conn.first_arrival) * 1e3);
+  goodput_completed_->bump(now);
+
+  if (config_.span_sample_every == 0 || !spans_.sampled(conn.id)) return;
+  Span span;
+  span.request_id = conn.id;
+  span.entry_node = conn.entry_node;
+  span.service_node = conn.service_node;
+  span.verdict = conn.forwarded() ? SpanVerdict::kForwarded : SpanVerdict::kLocal;
+  span.cache_hit = conn.cache_hit;
+  span.attempt = conn.attempt;
+  span.retries_used = conn.retries_used;
+  span.fault_epoch = fault_epoch_;
+  span.first_arrival = conn.first_arrival;
+  span.arrival = conn.arrival;
+  span.decided = conn.t_decided;
+  span.service = conn.t_service;
+  span.disk_done = conn.t_disk_done;
+  span.completion = now;
+  spans_.record(span);
+}
+
+void SimTelemetry::on_request_failed(const cluster::Connection* conn,
+                                     core::engine::FailureKind kind, SimTime now) {
+  switch (kind) {
+    case core::engine::FailureKind::kDeadline: failed_deadline_->add(); break;
+    case core::engine::FailureKind::kRetriesExhausted: failed_retries_->add(); break;
+    case core::engine::FailureKind::kRejected: failed_rejected_->add(); break;
+  }
+  goodput_failed_->bump(now);
+
+  // Admission rejects never materialize a connection (conn == nullptr), so
+  // rejected requests leave counters but no span.
+  if (conn == nullptr) return;
+  if (config_.span_sample_every == 0 || !spans_.sampled(conn->id)) return;
+  Span span;
+  span.request_id = conn->id;
+  span.entry_node = conn->entry_node;
+  span.service_node = conn->service_node;
+  span.verdict = kind == core::engine::FailureKind::kDeadline
+                     ? SpanVerdict::kDeadline
+                     : SpanVerdict::kRetriesExhausted;
+  span.cache_hit = conn->cache_hit;
+  span.attempt = conn->attempt;
+  span.retries_used = conn->retries_used;
+  span.fault_epoch = fault_epoch_;
+  span.first_arrival = conn->first_arrival;
+  span.arrival = conn->arrival;
+  span.decided = conn->t_decided;
+  span.service = conn->t_service;
+  span.disk_done = conn->t_disk_done;
+  span.completion = now;
+  spans_.record(span);
+}
+
+void SimTelemetry::on_retry_scheduled(SimTime /*now*/) { retries_->add(); }
+
+void SimTelemetry::on_forward() { forwards_->add(); }
+
+void SimTelemetry::on_migration() { migrations_->add(); }
+
+void SimTelemetry::on_remote_fetch() { remote_fetches_->add(); }
+
+void SimTelemetry::on_load_sample(SimTime now) {
+  if (!probe_) return;
+  ClusterSample sample;
+  sample.now = now;
+  sample.nodes.reserve(ctx_.nodes->size());
+  for (const auto& node : *ctx_.nodes) {
+    ClusterSample::Node ns;
+    ns.open_connections = node->open_connections();
+    ns.cpu_queue = node->cpu().queue_length();
+    ns.disk_queue = node->disk().resource().queue_length();
+    ns.nic_tx_queue = node->nic().tx().queue_length();
+    ns.cache_used = node->file_cache().used();
+    ns.cache_capacity = node->file_cache().capacity();
+    ns.cpu_busy = node->cpu().busy_time();
+    sample.nodes.push_back(ns);
+  }
+  sample.via_in_flight = ctx_.via->in_flight();
+  probe_->record(sample);
+}
+
+void SimTelemetry::on_node_crashed(int node, SimTime at) {
+  record_fault(FaultEvent::Kind::kCrash, node, at);
+}
+
+void SimTelemetry::on_node_repaired(int node, SimTime at) {
+  record_fault(FaultEvent::Kind::kRepair, node, at);
+}
+
+void SimTelemetry::on_node_detected(int node, SimTime at) {
+  record_fault(FaultEvent::Kind::kDetected, node, at);
+}
+
+void SimTelemetry::on_node_readmitted(int node, SimTime at) {
+  record_fault(FaultEvent::Kind::kReadmitted, node, at);
+}
+
+void SimTelemetry::record_fault(FaultEvent::Kind kind, int node, SimTime at) {
+  ++fault_epoch_;
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.at = at;
+  fault_events_.push_back(ev);
+}
+
+}  // namespace l2s::telemetry

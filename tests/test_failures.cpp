@@ -2,8 +2,11 @@
 // has no single point of failure, while LARD's front-end is one.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "l2sim/core/experiment.hpp"
 #include "l2sim/policy/l2s.hpp"
+#include "l2sim/telemetry/registry.hpp"
 #include "l2sim/policy/lard.hpp"
 #include "l2sim/policy/round_robin.hpp"
 #include "l2sim/policy/traditional.hpp"
@@ -145,6 +148,45 @@ TEST(Failures, FailureBucketsPartitionTheFailedCount) {
   EXPECT_EQ(r.failed, r.failed_deadline + r.failed_retries_exhausted + r.failed_rejected);
   // Fail-fast crashes with no retry budget land in the retries bucket.
   EXPECT_EQ(r.failed, r.failed_retries_exhausted);
+}
+
+TEST(Failures, GoodputTimelineMatchesTelemetrySeries) {
+  // The AvailabilityTracker goodput timeline now lives on
+  // telemetry::BucketSeries, and SimTelemetry keeps its own
+  // "goodput.completed"/"goodput.failed" series fed by the same lifecycle
+  // events. Under a crash plan the two must agree bucket-for-bucket — the
+  // shim accessors (SimResult::goodput_rps) and the registry are two views
+  // of identical integer-bucket arithmetic.
+  const auto tr = workload();
+  SimConfig cfg = failing_config(8, 3, 0.2);
+  cfg.goodput_interval_seconds = 0.1;
+  cfg.telemetry.enabled = true;
+  ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  ASSERT_NE(r.telemetry, nullptr);
+  ASSERT_FALSE(r.goodput_rps.empty());
+
+  const auto* completed = r.telemetry->find("goodput.completed");
+  ASSERT_NE(completed, nullptr);
+  const double bucket_s = simtime_to_seconds(completed->series_interval);
+  ASSERT_GT(bucket_s, 0.0);
+  ASSERT_LE(completed->series_buckets.size(), r.goodput_rps.size());
+  for (std::size_t i = 0; i < completed->series_buckets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(completed->series_buckets[i] / bucket_s, r.goodput_rps[i]) << i;
+  }
+  for (std::size_t i = completed->series_buckets.size(); i < r.goodput_rps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.goodput_rps[i], 0.0) << i;
+  }
+  // Bucket totals account for every outcome the scalar counters saw.
+  const double total_completed =
+      std::accumulate(completed->series_buckets.begin(),
+                      completed->series_buckets.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total_completed, static_cast<double>(r.completed));
+  const auto* failed = r.telemetry->find("goodput.failed");
+  ASSERT_NE(failed, nullptr);
+  const double total_failed = std::accumulate(failed->series_buckets.begin(),
+                                              failed->series_buckets.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total_failed, static_cast<double>(r.failed));
 }
 
 TEST(Failures, ConfigValidation) {

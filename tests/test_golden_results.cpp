@@ -20,6 +20,7 @@
 
 #include "l2sim/core/experiment.hpp"
 #include "l2sim/core/parallel.hpp"
+#include "l2sim/telemetry/registry.hpp"
 #include "l2sim/trace/synthetic.hpp"
 
 namespace l2s::core {
@@ -204,6 +205,37 @@ TEST(GoldenResults, MatrixMatchesRecordedDigests) {
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].first, kGolden[i].first);
     EXPECT_EQ(got[i].second, kGolden[i].second) << got[i].first;
+  }
+}
+
+TEST(GoldenResults, TelemetrySamplingDoesNotPerturbDigests) {
+  // Telemetry is a passive observer: it schedules no events and draws no
+  // random numbers, so enabling it — span capture, probe, registry and all
+  // — must leave every digested quantity bit-for-bit unchanged. Exercised
+  // on the densest cells (crash + goodput timeline, both arrival modes).
+  const auto tr = golden_trace();
+  for (const bool open_loop : {false, true}) {
+    Cell c;
+    c.kind = PolicyKind::kL2s;
+    c.cfg.nodes = 4;
+    c.cfg.node.cache_bytes = 2 * kMiB;
+    if (open_loop) c.cfg.arrival.open_loop_rate = 1500.0;
+    c.cfg.persistence.mean_requests_per_connection = 4.0;
+    c.cfg.fault_plan.crashes.push_back({1, 0.15});
+    c.cfg.goodput_interval_seconds = 0.1;
+    const auto plain = run_once(tr, c.cfg, c.kind);
+
+    SimConfig instrumented = c.cfg;
+    instrumented.telemetry.enabled = true;
+    instrumented.telemetry.span_sample_every = 1;  // record *every* span
+    instrumented.telemetry.span_capacity = 1 << 14;
+    const auto traced = run_once(tr, instrumented, c.kind);
+
+    EXPECT_EQ(hex(digest(plain)), hex(digest(traced)))
+        << (open_loop ? "open" : "replay");
+    ASSERT_NE(traced.telemetry, nullptr);
+    EXPECT_GT(traced.telemetry->spans.size(), 0u);
+    EXPECT_EQ(plain.telemetry, nullptr);
   }
 }
 

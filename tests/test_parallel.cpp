@@ -2,6 +2,7 @@
 
 #include "l2sim/common/error.hpp"
 #include "l2sim/core/parallel.hpp"
+#include "l2sim/telemetry/registry.hpp"
 #include "l2sim/trace/synthetic.hpp"
 
 namespace l2s::core {
@@ -98,6 +99,79 @@ TEST(Parallel, JobErrorsCarryJobContext) {
     }
     EXPECT_TRUE(found_cause);
   }
+}
+
+std::vector<SimJob> telemetry_jobs(const trace::Trace& tr) {
+  auto jobs = grid_jobs(tr);
+  for (auto& job : jobs) {
+    job.sim.telemetry.enabled = true;
+    job.sim.telemetry.span_sample_every = 8;
+  }
+  return jobs;
+}
+
+TEST(Parallel, TelemetryRidesEachJobWithoutSharing) {
+  // Each job owns a private registry (no shared mutable state between
+  // workers — this test runs under TSan in tools/check.sh), and parallel
+  // execution reproduces serial telemetry exactly.
+  const auto tr = workload();
+  const auto jobs = telemetry_jobs(tr);
+  const auto serial = run_parallel(jobs, 1);
+  const auto parallel = run_parallel(jobs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_NE(serial[i].telemetry, nullptr) << i;
+    ASSERT_NE(parallel[i].telemetry, nullptr) << i;
+    EXPECT_EQ(serial[i].telemetry->find("requests.completed")->count,
+              parallel[i].telemetry->find("requests.completed")->count)
+        << i;
+    ASSERT_EQ(serial[i].telemetry->spans.size(), parallel[i].telemetry->spans.size()) << i;
+    for (std::size_t j = 0; j < serial[i].telemetry->spans.size(); ++j) {
+      EXPECT_TRUE(serial[i].telemetry->spans[j] == parallel[i].telemetry->spans[j]);
+    }
+  }
+}
+
+TEST(Parallel, TelemetryMergeIsDeterministicAcrossSchedules) {
+  // merge_telemetry folds per-job snapshots in job-index order, so the
+  // aggregate is identical no matter which worker finished first.
+  const auto tr = workload();
+  const auto jobs = telemetry_jobs(tr);
+  const auto serial_merged = merge_telemetry(run_parallel(jobs, 1));
+  const auto parallel_merged = merge_telemetry(run_parallel(jobs, 4));
+  ASSERT_NE(serial_merged, nullptr);
+  ASSERT_NE(parallel_merged, nullptr);
+
+  // Scalars: the merged completed counter is the sum over all jobs.
+  const auto results = run_parallel(jobs, 4);
+  std::uint64_t total = 0;
+  for (const auto& r : results) total += r.completed;
+  EXPECT_EQ(serial_merged->find("requests.completed")->count, total);
+  EXPECT_EQ(parallel_merged->find("requests.completed")->count, total);
+
+  // Appends: spans concatenate in job-index order, bit-identically.
+  ASSERT_EQ(serial_merged->spans.size(), parallel_merged->spans.size());
+  for (std::size_t i = 0; i < serial_merged->spans.size(); ++i) {
+    EXPECT_TRUE(serial_merged->spans[i] == parallel_merged->spans[i]);
+  }
+  EXPECT_EQ(serial_merged->spans_recorded, parallel_merged->spans_recorded);
+}
+
+TEST(Parallel, MergeTelemetrySkipsJobsWithoutIt) {
+  const auto tr = workload();
+  auto jobs = telemetry_jobs(tr);
+  jobs[1].sim.telemetry.enabled = false;  // mixed batch
+  const auto results = run_parallel(jobs, 2);
+  const auto merged = merge_telemetry(results);
+  ASSERT_NE(merged, nullptr);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 1) total += results[i].completed;
+  }
+  EXPECT_EQ(merged->find("requests.completed")->count, total);
+
+  // And a batch with no telemetry at all merges to null.
+  EXPECT_EQ(merge_telemetry(run_parallel(grid_jobs(tr), 2)), nullptr);
 }
 
 TEST(Parallel, FigureMatchesSerialRunner) {

@@ -1,0 +1,352 @@
+// Exporter round-trips: the Chrome trace-event JSON must parse back with a
+// real (if small) JSON parser, and the CSV / summary writers must produce
+// the advertised shapes from a live simulation snapshot.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "l2sim/core/simulation.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/telemetry/exporters.hpp"
+#include "l2sim/telemetry/registry.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::telemetry {
+namespace {
+
+// --- a tiny recursive-descent JSON parser (tests only) ---------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v;
+
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  [[nodiscard]] const JsonObject& object() const { return std::get<JsonObject>(v); }
+  [[nodiscard]] const JsonArray& array() const { return std::get<JsonArray>(v); }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(v); }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      throw std::runtime_error("bad literal at " + std::to_string(pos_));
+    }
+    pos_ += word.size();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;  // tests never need the decoded code point
+            out += '?';
+            break;
+          default: throw std::runtime_error("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number at " + std::to_string(pos_));
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(items)};
+    }
+    while (true) {
+      items.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(items)};
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject members;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(members)};
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      members.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(members)};
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- fixtures ---------------------------------------------------------------
+
+Snapshot live_snapshot(int nodes = 4, bool with_crash = false) {
+  trace::SyntheticSpec spec;
+  spec.name = "export";
+  spec.files = 300;
+  spec.avg_file_kb = 8.0;
+  spec.requests = 4000;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 0.9;
+  spec.seed = 101;
+  const auto tr = trace::generate(spec);
+
+  core::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node.cache_bytes = 4 * kMiB;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.span_sample_every = 1;
+  cfg.telemetry.span_capacity = 1 << 14;
+  if (with_crash) cfg.fault_plan.crashes.push_back({1, 0.2});
+  core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  return *r.telemetry;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+// --- Chrome trace ------------------------------------------------------------
+
+TEST(TelemetryExport, ChromeTraceParsesBack) {
+  const Snapshot snap = live_snapshot();
+  std::ostringstream out;
+  write_chrome_trace(out, snap);
+  const std::string text = out.str();
+
+  const JsonValue root = JsonParser(text).parse();
+  ASSERT_TRUE(root.is_object());
+  const auto& top = root.object();
+  ASSERT_TRUE(top.contains("traceEvents"));
+  ASSERT_TRUE(top.at("traceEvents").is_array());
+  const JsonArray& events = top.at("traceEvents").array();
+  ASSERT_GT(events.size(), snap.spans.size());  // slices + metadata + counters
+
+  std::size_t slices = 0;
+  std::size_t metadata = 0;
+  std::size_t counters = 0;
+  for (const JsonValue& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    const auto& obj = ev.object();
+    ASSERT_TRUE(obj.contains("ph"));
+    const std::string& ph = obj.at("ph").str();
+    if (ph == "X") {
+      ++slices;
+      ASSERT_TRUE(obj.contains("ts"));
+      ASSERT_TRUE(obj.contains("dur"));
+      ASSERT_TRUE(obj.contains("pid"));
+      EXPECT_GE(obj.at("ts").num(), 0.0);
+      EXPECT_GE(obj.at("dur").num(), 0.0);
+      const double pid = obj.at("pid").num();
+      EXPECT_GE(pid, 0.0);
+      EXPECT_LT(pid, static_cast<double>(snap.nodes));
+    } else if (ph == "M") {
+      ++metadata;
+      EXPECT_TRUE(obj.contains("name"));
+    } else if (ph == "C") {
+      ++counters;
+      ASSERT_TRUE(obj.contains("args"));
+      EXPECT_TRUE(obj.at("args").is_object());
+    }
+  }
+  // Every node contributes one process-name record plus four track names.
+  EXPECT_EQ(metadata, static_cast<std::size_t>(snap.nodes) * 5u);
+  EXPECT_GT(slices, 0u);
+  EXPECT_GT(counters, 0u);  // probe series become counter tracks
+}
+
+TEST(TelemetryExport, ChromeTraceCarriesFaultInstants) {
+  const Snapshot snap = live_snapshot(8, /*with_crash=*/true);
+  ASSERT_FALSE(snap.fault_events.empty());
+  std::ostringstream out;
+  write_chrome_trace(out, snap);
+
+  const JsonValue root = JsonParser(out.str()).parse();
+  std::size_t instants = 0;
+  for (const JsonValue& ev : root.object().at("traceEvents").array()) {
+    if (ev.object().at("ph").str() == "i") ++instants;
+  }
+  EXPECT_GE(instants, snap.fault_events.size());
+}
+
+TEST(TelemetryExport, ChromeTraceEscapesStrings) {
+  Registry reg;
+  reg.sample_series("weird\"name\\with\nescapes").add(0, 1.0);
+  Snapshot snap = reg.snapshot();
+  snap.nodes = 1;
+  std::ostringstream out;
+  write_chrome_trace(out, snap);
+  EXPECT_NO_THROW(JsonParser(out.str()).parse());
+}
+
+// --- CSV + summary -----------------------------------------------------------
+
+TEST(TelemetryExport, MetricsCsvHasOneRowPerScalarMetric) {
+  const Snapshot snap = live_snapshot();
+  std::ostringstream out;
+  write_metrics_csv(out, snap);
+  const std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "name,labels,kind,count,value,min,max,p50,p95,p99");
+  std::size_t scalar = 0;
+  for (const auto& m : snap.metrics) {
+    if (m.kind == MetricKind::kCounter || m.kind == MetricKind::kGauge ||
+        m.kind == MetricKind::kHistogram) {
+      ++scalar;
+    }
+  }
+  EXPECT_GT(scalar, 0u);
+  EXPECT_EQ(count_lines(text), scalar + 1);  // header + one row each
+}
+
+TEST(TelemetryExport, TimeseriesCsvCoversEverySeriesPoint) {
+  const Snapshot snap = live_snapshot();
+  std::ostringstream out;
+  write_timeseries_csv(out, snap);
+  const std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "name,labels,time_s,value");
+  std::size_t points = 0;
+  for (const auto& m : snap.metrics) {
+    if (m.kind == MetricKind::kBucketSeries) points += m.series_buckets.size();
+    if (m.kind == MetricKind::kSampleSeries) points += m.samples.size();
+  }
+  EXPECT_GT(points, 0u);
+  EXPECT_EQ(count_lines(text), points + 1);
+}
+
+TEST(TelemetryExport, SpansCsvHasOneRowPerSpan) {
+  const Snapshot snap = live_snapshot();
+  std::ostringstream out;
+  write_spans_csv(out, snap);
+  const std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "request_id,entry_node,service_node,verdict,cache_hit,attempt,"
+            "retries_used,fault_epoch,arrival_s,entry_ms,forward_ms,disk_ms,"
+            "reply_ms,total_ms");
+  EXPECT_EQ(count_lines(text), snap.spans.size() + 1);
+}
+
+TEST(TelemetryExport, SummaryMentionsHeadlineSections) {
+  const Snapshot snap = live_snapshot();
+  std::ostringstream out;
+  write_summary(out, snap);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("telemetry summary"), std::string::npos);
+  EXPECT_NE(text.find("requests.completed"), std::string::npos);
+  EXPECT_NE(text.find("Response time"), std::string::npos);
+  EXPECT_NE(text.find("entry (cpu)"), std::string::npos);
+  EXPECT_NE(text.find("spans: kept"), std::string::npos);
+}
+
+TEST(TelemetryExport, PathWrapperThrowsOnUnwritablePath) {
+  const Snapshot snap;
+  EXPECT_THROW(export_chrome_trace("/nonexistent-dir/trace.json", snap),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace l2s::telemetry

@@ -1,0 +1,210 @@
+// Span capture: ring wraparound and overflow accounting, deterministic
+// 1-in-N sampling replay, and the end-to-end property that fully-sampled
+// spans reconstruct the engine's own per-stage breakdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "l2sim/core/simulation.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/telemetry/registry.hpp"
+#include "l2sim/telemetry/span.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::telemetry {
+namespace {
+
+Span make_span(std::uint64_t id) {
+  Span s;
+  s.request_id = id;
+  s.arrival = static_cast<SimTime>(id) * 10;
+  s.completion = s.arrival + 5;
+  return s;
+}
+
+TEST(SpanRecorder, RejectsDegenerateParameters) {
+  EXPECT_THROW(SpanRecorder(0, 1), std::invalid_argument);
+  EXPECT_THROW(SpanRecorder(8, 0), std::invalid_argument);
+}
+
+TEST(SpanRecorder, RingOverwritesOldestAndCountsIt) {
+  SpanRecorder rec(4, 1);
+  for (std::uint64_t id = 0; id < 10; ++id) rec.record(make_span(id));
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+  const auto spans = rec.chronological();
+  ASSERT_EQ(spans.size(), 4u);
+  // The survivors are the newest four, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].request_id, 6 + i);
+}
+
+TEST(SpanRecorder, PartialRingIsChronological) {
+  SpanRecorder rec(8, 1);
+  for (std::uint64_t id = 0; id < 3; ++id) rec.record(make_span(id));
+  EXPECT_EQ(rec.overwritten(), 0u);
+  const auto spans = rec.chronological();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].request_id, 0u);
+  EXPECT_EQ(spans[2].request_id, 2u);
+}
+
+TEST(SpanRecorder, SamplingIsDeterministicAndRoughlyUniform) {
+  const std::uint64_t every = 64;
+  SpanRecorder a(16, every);
+  SpanRecorder b(16, every);
+  std::uint64_t sampled = 0;
+  for (std::uint64_t id = 0; id < 100000; ++id) {
+    EXPECT_EQ(a.sampled(id), b.sampled(id));  // pure function of the id
+    if (a.sampled(id)) ++sampled;
+  }
+  // splitmix64 mixing keeps 1-in-64 sampling of consecutive ids near 1/64.
+  const double rate = static_cast<double>(sampled) / 100000.0;
+  EXPECT_NEAR(rate, 1.0 / 64.0, 0.005);
+}
+
+TEST(SpanRecorder, SampleEveryOneTakesAll) {
+  SpanRecorder rec(4, 1);
+  for (std::uint64_t id = 0; id < 1000; ++id) EXPECT_TRUE(rec.sampled(id));
+}
+
+TEST(SpanRecorder, ResetClearsContentsKeepsShape) {
+  SpanRecorder rec(4, 2);
+  for (std::uint64_t id = 0; id < 6; ++id) rec.record(make_span(id));
+  rec.reset();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.sample_every(), 2u);
+  EXPECT_TRUE(rec.chronological().empty());
+}
+
+// --- end-to-end against the simulation engine -----------------------------
+
+trace::Trace workload(std::uint64_t requests = 6000) {
+  trace::SyntheticSpec spec;
+  spec.name = "spans";
+  spec.files = 300;
+  spec.avg_file_kb = 8.0;
+  spec.requests = requests;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 0.9;
+  spec.seed = 77;
+  return trace::generate(spec);
+}
+
+core::SimConfig telemetry_config(std::uint64_t sample_every, std::size_t capacity) {
+  core::SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 4 * kMiB;
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.span_sample_every = sample_every;
+  cfg.telemetry.span_capacity = capacity;
+  return cfg;
+}
+
+TEST(TelemetrySpans, FullSamplingReconstructsStageBreakdown) {
+  const auto tr = workload();
+  core::ClusterSimulation sim(telemetry_config(1, 1 << 14), tr,
+                              std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  ASSERT_NE(r.telemetry, nullptr);
+  const Snapshot& snap = *r.telemetry;
+
+  // Every completed request left a span (capacity exceeds the trace).
+  EXPECT_EQ(snap.spans.size(), r.completed);
+  EXPECT_EQ(snap.spans_overwritten, 0u);
+  EXPECT_EQ(snap.find("requests.completed")->count, r.completed);
+
+  // The per-resource stage means reconstructed from the spans equal the
+  // engine's own SimResult stage accumulators (same timestamps, same math).
+  double entry = 0.0;
+  double forward = 0.0;
+  double disk = 0.0;
+  double reply = 0.0;
+  for (const Span& s : snap.spans) {
+    EXPECT_FALSE(s.failed());
+    entry += s.entry_ms();
+    forward += s.forward_ms();
+    disk += s.disk_ms();
+    reply += s.reply_ms();
+  }
+  const auto n = static_cast<double>(snap.spans.size());
+  EXPECT_NEAR(entry / n, r.stage_entry_ms, 1e-9);
+  EXPECT_NEAR(forward / n, r.stage_forward_ms, 1e-9);
+  EXPECT_NEAR(disk / n, r.stage_disk_ms, 1e-9);
+  EXPECT_NEAR(reply / n, r.stage_reply_ms, 1e-9);
+}
+
+TEST(TelemetrySpans, SampledSpanSetReplaysBitIdentically) {
+  const auto tr = workload();
+  core::ClusterSimulation a(telemetry_config(64, 1024), tr,
+                            std::make_unique<policy::L2sPolicy>());
+  core::ClusterSimulation b(telemetry_config(64, 1024), tr,
+                            std::make_unique<policy::L2sPolicy>());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_NE(ra.telemetry, nullptr);
+  ASSERT_NE(rb.telemetry, nullptr);
+  ASSERT_EQ(ra.telemetry->spans.size(), rb.telemetry->spans.size());
+  EXPECT_GT(ra.telemetry->spans.size(), 0u);
+  for (std::size_t i = 0; i < ra.telemetry->spans.size(); ++i) {
+    EXPECT_TRUE(ra.telemetry->spans[i] == rb.telemetry->spans[i]);
+  }
+}
+
+TEST(TelemetrySpans, SamplingIsASubsetOfFullCapture) {
+  // 1-in-N sampling must select exactly the requests whose id passes the
+  // pure sampling function — i.e. the sampled run's spans are a subset of
+  // the fully-sampled run's spans with identical contents.
+  const auto tr = workload(3000);
+  core::ClusterSimulation full_sim(telemetry_config(1, 1 << 14), tr,
+                                   std::make_unique<policy::L2sPolicy>());
+  core::ClusterSimulation sampled_sim(telemetry_config(16, 1 << 14), tr,
+                                      std::make_unique<policy::L2sPolicy>());
+  const auto full = full_sim.run();
+  const auto sampled = sampled_sim.run();
+  ASSERT_NE(full.telemetry, nullptr);
+  ASSERT_NE(sampled.telemetry, nullptr);
+
+  SpanRecorder probe(1, 16);
+  std::size_t expected = 0;
+  for (const Span& s : full.telemetry->spans) {
+    if (probe.sampled(s.request_id)) ++expected;
+  }
+  EXPECT_EQ(sampled.telemetry->spans.size(), expected);
+  std::size_t j = 0;
+  for (const Span& s : full.telemetry->spans) {
+    if (!probe.sampled(s.request_id)) continue;
+    ASSERT_LT(j, sampled.telemetry->spans.size());
+    EXPECT_TRUE(sampled.telemetry->spans[j] == s);
+    ++j;
+  }
+}
+
+TEST(TelemetrySpans, FailedRequestsLeaveFailureSpans) {
+  const auto tr = workload();
+  core::SimConfig cfg = telemetry_config(1, 1 << 14);
+  cfg.nodes = 8;
+  cfg.fault_plan.crashes.push_back({3, 0.2});
+  core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  const auto r = sim.run();
+  ASSERT_NE(r.telemetry, nullptr);
+  std::uint64_t failed_spans = 0;
+  std::uint64_t nonzero_epoch = 0;
+  for (const Span& s : r.telemetry->spans) {
+    if (s.failed()) ++failed_spans;
+    if (s.fault_epoch > 0) ++nonzero_epoch;
+  }
+  // Every failure materialized a connection (no open-loop rejects here), so
+  // span capture at 1-in-1 sees all of them.
+  EXPECT_EQ(failed_spans, r.failed);
+  EXPECT_GT(nonzero_epoch, 0u);  // spans after the crash carry the epoch
+  EXPECT_FALSE(r.telemetry->fault_events.empty());
+}
+
+}  // namespace
+}  // namespace l2s::telemetry

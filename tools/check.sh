@@ -5,11 +5,15 @@
 #      heap allocations in the inline kernel)
 #   3. fault bench (gates: crash/failover/loss acceptance criteria from
 #      docs/bench_fault.md, plus bit-reproducibility)
-#   4. AddressSanitizer build, running the fault-injection suites
+#   4. telemetry bench (gates: <=1% overhead with spans off, <=5% at 1/64
+#      span sampling; schema in docs/telemetry.md)
+#   5. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
-#      lifetime bugs would hide
-#   5. ThreadSanitizer build, running the scheduler/event-kernel,
-#      run_parallel and fault-determinism tests (the concurrent code path)
+#      lifetime bugs would hide — and the telemetry suites (`-L telemetry`:
+#      the span ring and exporter buffers)
+#   6. ThreadSanitizer build, running the scheduler/event-kernel,
+#      run_parallel (including per-job telemetry + merge) and
+#      fault-determinism tests, plus the fault and telemetry labels
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
@@ -46,22 +50,24 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/des_kernel_bench --out build/BENCH_des_kernel.json
   echo "== fault bench (availability acceptance gates) =="
   ./build/bench/fault_bench --out build/BENCH_fault.json
+  echo "== telemetry bench (overhead gates) =="
+  ./build/bench/telemetry_bench --out build/BENCH_telemetry.json
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault-injection suites (ctest -L fault) =="
+  echo "== AddressSanitizer: fault + telemetry suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests
-  ctest --test-dir build-asan --output-on-failure -j -L fault
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler + parallel + fault tests =="
+  echo "== ThreadSanitizer: scheduler + parallel + fault + telemetry tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests
   ctest --test-dir build-tsan --output-on-failure -j \
     -R 'Scheduler|Parallel|Determinism'
-  ctest --test-dir build-tsan --output-on-failure -j -L fault
+  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry'
 fi
 
 echo "check.sh: all green"

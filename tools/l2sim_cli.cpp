@@ -42,6 +42,9 @@ int usage() {
       "  run            (--trace FILE | --paper NAME [--scale S]) [--policy P]\n"
       "                 [--nodes N] [--cache MB] [--rate R] [--rpc K]\n"
       "                 [--gdsf] [--fail NODE@SEC] [--skew S] [--shrink SEC]\n"
+      "                 [--trace-out T.json] [--metrics-out M.csv]\n"
+      "                 [--timeseries-out TS.csv] [--spans-out S.csv]\n"
+      "                 [--span-sample N]\n"
       "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n";
   return 2;
 }
@@ -171,6 +174,17 @@ int cmd_run(const Args& args) {
   cfg.persistence.mean_requests_per_connection = args.get_double("rpc", 1.0);
   cfg.arrival.dns_entry_skew = args.get_double("skew", 0.0);
   if (args.has("timeline")) spec.output.timeline_csv_path = args.get("timeline");
+  // Telemetry: any export flag enables the recorder for the run.
+  if (args.has("trace-out")) spec.output.trace_json_path = args.get("trace-out");
+  if (args.has("metrics-out")) spec.output.metrics_csv_path = args.get("metrics-out");
+  if (args.has("timeseries-out"))
+    spec.output.timeseries_csv_path = args.get("timeseries-out");
+  if (args.has("spans-out")) spec.output.spans_csv_path = args.get("spans-out");
+  if (args.has("span-sample")) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.span_sample_every =
+        static_cast<std::uint64_t>(args.get_int("span-sample", 64));
+  }
   if (args.has("fail")) {
     const std::string fail = args.get("fail");
     const auto at = fail.find('@');
@@ -190,12 +204,26 @@ int cmd_run(const Args& args) {
       // directly from the spec's SimConfig.
       if (!spec.output.timeline_csv_path.empty())
         cfg.timeline_csv_path = spec.output.timeline_csv_path;
+      if (spec.output.wants_telemetry()) cfg.telemetry.enabled = true;
       core::ClusterSimulation sim(cfg, tr,
                                   policy_by_name(pname, spec.set_shrink_seconds));
-      return sim.run();
+      core::SimResult result = sim.run();
+      if (result.telemetry != nullptr) {
+        if (!spec.output.trace_json_path.empty())
+          telemetry::export_chrome_trace(spec.output.trace_json_path, *result.telemetry);
+        if (!spec.output.metrics_csv_path.empty())
+          telemetry::export_metrics_csv(spec.output.metrics_csv_path, *result.telemetry);
+        if (!spec.output.timeseries_csv_path.empty())
+          telemetry::export_timeseries_csv(spec.output.timeseries_csv_path,
+                                           *result.telemetry);
+        if (!spec.output.spans_csv_path.empty())
+          telemetry::export_spans_csv(spec.output.spans_csv_path, *result.telemetry);
+      }
+      return result;
     }
     return core::run_simulation(spec, tr);
   }();
+  if (r.telemetry != nullptr) telemetry::write_summary(std::cout, *r.telemetry);
   std::cout << r.describe() << '\n';
   TextTable t({"metric", "value"});
   t.cell("throughput (req/s)").cell(r.throughput_rps, 1).end_row();
