@@ -27,6 +27,8 @@
 #include "l2sim/core/engine/context.hpp"
 #include "l2sim/core/metrics.hpp"
 #include "l2sim/des/scheduler.hpp"
+#include "l2sim/des/shard_map.hpp"
+#include "l2sim/des/sharded_scheduler.hpp"
 #include "l2sim/fault/detector.hpp"
 #include "l2sim/fault/runtime.hpp"
 #include "l2sim/net/router.hpp"
@@ -61,7 +63,15 @@ class ClusterSimulation {
   // --- component access (tests, custom analyses) -------------------------
   [[nodiscard]] policy::Policy& policy() { return *policy_; }
   [[nodiscard]] cluster::Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  /// The front-end scheduler: the single heap of the serial engine, or
+  /// shard 0 of the sharded engine (where the shared front-end components
+  /// — router, switch fabric, arrival source — live).
   [[nodiscard]] des::Scheduler& scheduler() { return sched_; }
+  /// The sharded engine, or null when config.engine.shards == 0 (serial).
+  [[nodiscard]] des::ShardedScheduler* sharded_engine() { return sharded_.get(); }
+  /// The node -> shard partition (one entity per node; a single shard
+  /// when the serial engine is active).
+  [[nodiscard]] const des::ShardMap& shard_map() const { return shard_map_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
   /// The run's telemetry bridge (null unless config.telemetry.enabled).
   [[nodiscard]] telemetry::SimTelemetry* telemetry() { return telemetry_.get(); }
@@ -77,7 +87,15 @@ class ClusterSimulation {
 
   SimConfig config_;
   const trace::Trace& trace_;
-  des::Scheduler sched_;
+  // Engine selection (config.engine.shards): nodes partition across the
+  // shard map, each node's components schedule on its shard's heap, and
+  // the front-end shares shard 0. Serial runs keep the single solo heap;
+  // sched_ aliases whichever is active (declaration order matters: the
+  // hardware below binds sched_ in its constructors).
+  des::ShardMap shard_map_;
+  std::unique_ptr<des::ShardedScheduler> sharded_;
+  des::Scheduler solo_sched_;
+  des::Scheduler& sched_;
   net::SwitchFabric fabric_;
   net::Router router_;
   net::ViaNetwork via_;

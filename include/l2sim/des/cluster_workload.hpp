@@ -1,0 +1,57 @@
+// A shard-confined cluster forwarding workload for the sharded DES kernel.
+//
+// This is the kernel-level stand-in for a saturated cluster: every node
+// carries a population of requests that alternate service (node-local
+// compute) with forwarding to a hashed-random peer, paying the fixed
+// cross-node network latency — exactly the communication shape of the
+// cluster engine, but with handlers that touch only shard-local state, so
+// it satisfies the ShardedScheduler threaded-mode contract and measures
+// the window protocol's real concurrency.
+//
+// Determinism is schedule-independent by construction:
+//   * all randomness is counter-based — a splitmix64 hash of
+//     (seed, request, hop) — so a draw never depends on execution order;
+//   * per-shard accumulators fold commutatively (xor for the digest, sum
+//     for counts, max for the makespan), so merged results are invariant
+//     under any event interleaving;
+//   * timestamps are pure functions of the request history, so the serial
+//     reference, the merge-mode run, and any threaded shard count produce
+//     identical folds. The tests pin this equivalence.
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/des/sharded_scheduler.hpp"
+
+namespace l2s::des {
+
+struct WorkloadParams {
+  int nodes = 256;
+  int requests_per_node = 4;  ///< closed-loop population per node
+  int hops = 64;              ///< forwards before a request completes
+  SimTime latency = 10'000;   ///< cross-node latency (ns) == lookahead
+  SimTime mean_service = 16'000;  ///< per-hop service, uniform [m/2, 3m/2)
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadResult {
+  std::uint64_t events = 0;  ///< hop handlers executed
+  std::uint64_t digest = 0;  ///< order-insensitive fold over every hop
+  SimTime makespan = 0;      ///< latest request completion time
+  std::uint64_t windows = 0; ///< threaded-mode synchronization windows
+};
+
+/// Run on a single PR-1 Scheduler — the serial reference engine.
+[[nodiscard]] WorkloadResult run_cluster_workload_serial(
+    const WorkloadParams& p);
+
+/// Run on a ShardedScheduler with `shards` shards (clamped to [1, nodes])
+/// in the given mode; `threads` as in ShardedScheduler::run. The result
+/// folds (events, digest, makespan) are identical to the serial reference
+/// for every shard count, mode, and thread count.
+[[nodiscard]] WorkloadResult run_cluster_workload_sharded(
+    const WorkloadParams& p, int shards, ShardedScheduler::Mode mode,
+    unsigned threads = 0);
+
+}  // namespace l2s::des

@@ -1,0 +1,58 @@
+// ShardMap: the static partition of simulated entities (cluster nodes)
+// across DES shards.
+//
+// Entities are assigned in contiguous blocks — node i and node i+1 land on
+// the same shard unless a block boundary falls between them — because the
+// cluster's locality structure is index-contiguous too (rack-aware and
+// fat-tree topologies, when they arrive, will partition the same way).
+// Blocks differ in size by at most one entity, so no shard carries more
+// than ceil(entities / shards) nodes.
+#pragma once
+
+#include <utility>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::des {
+
+class ShardMap {
+ public:
+  /// Partition `entities` (>= 1) across `shards` (clamped to
+  /// [1, entities]): more shards than entities would leave empty shards
+  /// paying synchronization cost for nothing.
+  ShardMap(int entities, int shards)
+      : entities_(entities),
+        shards_(shards < 1 ? 1 : (shards > entities ? entities : shards)) {
+    L2S_REQUIRE(entities >= 1);
+    base_ = entities_ / shards_;
+    extra_ = entities_ % shards_;  // the first `extra_` blocks get one more
+  }
+
+  [[nodiscard]] int entities() const { return entities_; }
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// Which shard owns entity `e`.
+  [[nodiscard]] int shard_of(int e) const {
+    L2S_REQUIRE(e >= 0 && e < entities_);
+    const int fat = extra_ * (base_ + 1);  // entities in the oversized blocks
+    if (e < fat) return e / (base_ + 1);
+    return extra_ + (e - fat) / base_;
+  }
+
+  /// The [begin, end) entity range of shard `s`.
+  [[nodiscard]] std::pair<int, int> range(int s) const {
+    L2S_REQUIRE(s >= 0 && s < shards_);
+    const int fat = s < extra_ ? s : extra_;
+    const int begin = s * base_ + fat;
+    const int size = base_ + (s < extra_ ? 1 : 0);
+    return {begin, begin + size};
+  }
+
+ private:
+  int entities_;
+  int shards_;
+  int base_ = 0;
+  int extra_ = 0;
+};
+
+}  // namespace l2s::des

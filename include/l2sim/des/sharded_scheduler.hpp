@@ -1,0 +1,137 @@
+// Sharded DES kernel: the event space split across per-shard replicas of
+// the PR-1 kernel (InlineEvent arena + 4-ary indexed heap, one l2s::des::
+// Scheduler per shard), synchronized conservatively.
+//
+// The cluster interconnect gives every cross-node interaction a fixed
+// minimum latency — a VIA message pays 3 us sender CPU + 6 us sender NIC +
+// 1 us switch before anything can happen at the receiver (net/params.hpp;
+// NetParams::min_cross_node_latency() derives the constant). That latency
+// is guaranteed *lookahead* in the PDES sense: an event executing at time t
+// on one shard cannot affect another shard before t + L, so a shard may
+// safely run ahead of its neighbors by up to L without ever receiving a
+// message in its past. This class exploits that bound with the classic
+// bounded-window (null-message family) conservative protocol:
+//
+//   repeat:
+//     barrier; M := min over shards of next-event time      (global floor)
+//     window  := [M, M + L)
+//     each shard runs its events in the window, in parallel; cross-shard
+//     hand-offs (post) carry a stamp >= sender-now + L >= M + L, so they
+//     can only land in FUTURE windows — never the one executing
+//     barrier; mailboxes drain, sorted by (time, src shard, send seq)
+//
+// Determinism is by construction, not by luck: within a window each shard
+// executes its own heap order (time, seq); the set of mailbox messages
+// observable at a barrier is exactly the sends of the previous window (the
+// barrier is the happens-before edge), and they enter the heap in the
+// deterministic (time, src, seq) sort order. No outcome depends on which
+// worker thread ran which shard when. Two execution modes share the data
+// structures:
+//
+//   kSequentialMerge  all shards drained by one thread in exact global
+//                     (time, seq) order — the shards share one sequence
+//                     counter, so execution is bit-identical to a single
+//                     Scheduler no matter how events are partitioned.
+//                     This is the mode the cluster engine runs today (its
+//                     components still share front-end state across
+//                     shards); the golden-digest net pins the equivalence.
+//   kThreaded         the windowed protocol on a worker pool, for event
+//                     graphs whose handlers touch only shard-local state
+//                     (the des-level cluster workload, large-N studies).
+//
+// Threaded-mode application contract:
+//   * a handler running on shard s touches only shard-s state, the shard-s
+//     Scheduler (local events), and post() for everything cross-shard;
+//   * post() stamps must be >= sender now + lookahead (checked);
+//   * post() callables must fit InlineEvent's inline buffer (checked) —
+//     cross-shard messages are small, like real packets; the restriction
+//     keeps the thread-local spill arenas out of cross-thread traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/des/scheduler.hpp"
+
+namespace l2s::des {
+
+class ShardedScheduler {
+ public:
+  enum class Mode { kSequentialMerge, kThreaded };
+
+  /// `lookahead` is the guaranteed minimum cross-shard latency (> 0 in
+  /// threaded mode; the window width). `shards` >= 1.
+  ShardedScheduler(int shards, SimTime lookahead, Mode mode);
+  ~ShardedScheduler();
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// Shard `s`'s kernel: local scheduling (at/after), now(), stats. In
+  /// threaded mode, only the worker currently executing shard `s` (or the
+  /// single setup thread before run()) may touch it.
+  [[nodiscard]] Scheduler& shard(int s) {
+    L2S_REQUIRE(s >= 0 && s < shards());
+    return *shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Cross-shard hand-off: run `fn` on shard `dst`'s timeline at absolute
+  /// time `t`, with t >= shard(src).now() + lookahead (the conservative
+  /// promise that makes the window protocol sound; checked in both modes).
+  /// Messages from one source drain at the destination in (time, src, seq)
+  /// order, so results are independent of thread schedule.
+  void post(int src, int dst, SimTime t, EventFn fn);
+
+  /// Drain every shard. kSequentialMerge ignores `threads` and executes on
+  /// the caller in exact global (time, seq) order. kThreaded runs the
+  /// bounded-window protocol on min(shards, threads) workers; threads == 0
+  /// takes the process thread budget (L2SIM_THREADS / hardware
+  /// concurrency). May be called repeatedly as new events are scheduled.
+  void run(unsigned threads = 0);
+
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] std::uint64_t messages_posted() const { return posted_; }
+  /// Windows executed by threaded runs (merge mode leaves it at 0).
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
+
+ private:
+  struct Msg {
+    SimTime time = 0;
+    std::uint32_t src = 0;
+    std::uint64_t seq = 0;  ///< per-source send counter: FIFO per link
+    EventFn fn;
+  };
+  /// One inbox per shard. Senders append under the lock (many writers);
+  /// the owner swaps the vector out at a barrier (single reader, never
+  /// concurrent with a send — sends only happen inside a window).
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Msg> msgs;
+  };
+
+  void run_merge();
+  void run_windows(unsigned threads);
+  /// Move every pending inbox message of shard `s` into its heap, in
+  /// (time, src, seq) order. Caller must be the shard's current owner.
+  void drain_inbox(int s);
+
+  std::vector<std::unique_ptr<Scheduler>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> inbox_;
+  std::vector<std::uint64_t> msg_seq_;  ///< per-source send counters
+  SimTime lookahead_;
+  Mode mode_;
+  std::uint64_t global_seq_ = 0;  ///< merge mode: shared by all shards
+  std::uint64_t posted_ = 0;      ///< merge-mode increments are unsynchronized;
+                                  ///< threaded mode counts via msg_seq_ sum
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace l2s::des

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "l2sim/common/error.hpp"
 
@@ -23,6 +24,14 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   const long long v = std::strtoll(raw, &end, 10);
   if (end == raw) throw_error(std::string(name) + " is not an integer: " + raw);
   return v;
+}
+
+unsigned thread_budget() {
+  const std::int64_t v = env_int("L2SIM_THREADS", 0);
+  if (v < 0) throw_error("L2SIM_THREADS must be >= 0 (0 = auto)");
+  if (v > 0) return static_cast<unsigned>(v);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 double bench_scale() {

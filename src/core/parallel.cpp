@@ -6,10 +6,27 @@
 #include <sstream>
 #include <thread>
 
+#include "l2sim/common/env.hpp"
 #include "l2sim/common/error.hpp"
 #include "l2sim/telemetry/registry.hpp"
 
 namespace l2s::core {
+
+unsigned engine_threads(const SimConfig& sim) {
+  // Sequential-merge sharding executes on the calling thread; when the
+  // threaded cluster engine arrives this becomes the shard-worker count.
+  (void)sim;
+  return 1;
+}
+
+unsigned compute_worker_threads(std::size_t jobs, unsigned per_job_threads,
+                                unsigned budget) {
+  if (jobs == 0) return 0;
+  per_job_threads = std::max(1u, per_job_threads);
+  budget = std::max(1u, budget);
+  const unsigned fit = std::max(1u, budget / per_job_threads);
+  return std::min<unsigned>(fit, static_cast<unsigned>(jobs));
+}
 
 std::shared_ptr<const telemetry::Snapshot> merge_telemetry(
     const std::vector<SimResult>& results) {
@@ -32,8 +49,14 @@ std::vector<SimResult> run_parallel(const std::vector<SimJob>& jobs, unsigned th
   std::vector<SimResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
+  // Shared thread budget: a worker running a simulation that itself uses
+  // k engine threads occupies k slots, so jobs x k never exceeds the
+  // budget (the pre-budget code oversubscribed as soon as jobs used
+  // internal parallelism).
+  unsigned per_job = 1;
+  for (const auto& job : jobs) per_job = std::max(per_job, engine_threads(job.sim));
+  if (threads == 0) threads = thread_budget();
+  threads = compute_worker_threads(jobs.size(), per_job, threads);
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};

@@ -1,5 +1,8 @@
 #include "l2sim/core/simulation.hpp"
 
+#include <algorithm>
+
+#include "l2sim/common/env.hpp"
 #include "l2sim/common/error.hpp"
 #include "l2sim/core/engine/admission.hpp"
 #include "l2sim/core/engine/arrival.hpp"
@@ -12,10 +15,36 @@
 
 namespace l2s::core {
 
+namespace {
+
+/// How many shards config.engine.shards resolves to: 0 keeps the serial
+/// engine, kAutoShards takes the thread budget, anything else is clamped
+/// to [1, nodes]. (nodes is re-validated later; the max(1, ...) keeps the
+/// shard map constructible until SimConfig::validate() reports it.)
+int resolved_shard_count(const SimConfig& config) {
+  if (config.engine.shards == 0) return 0;
+  const int nodes = std::max(1, config.nodes);
+  const int requested = config.engine.shards == EngineConfig::kAutoShards
+                            ? static_cast<int>(thread_budget())
+                            : config.engine.shards;
+  return std::clamp(requested, 1, nodes);
+}
+
+}  // namespace
+
 ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace,
                                      std::unique_ptr<policy::Policy> policy)
     : config_(config),
       trace_(trace),
+      shard_map_(std::max(1, config.nodes),
+                 std::max(1, resolved_shard_count(config))),
+      sharded_(resolved_shard_count(config) > 0
+                   ? std::make_unique<des::ShardedScheduler>(
+                         shard_map_.shards(),
+                         config.net.min_cross_node_latency(),
+                         des::ShardedScheduler::Mode::kSequentialMerge)
+                   : nullptr),
+      sched_(sharded_ != nullptr ? sharded_->shard(0) : solo_sched_),
       fabric_(sched_, config.net.switch_latency()),
       router_(sched_, config_.net),
       via_(sched_, fabric_, config_.net),
@@ -33,7 +62,12 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
     const double speed = config_.node_speed_factors.empty()
                              ? 1.0
                              : config_.node_speed_factors[static_cast<std::size_t>(i)];
-    nodes_.push_back(std::make_unique<cluster::Node>(sched_, i, config_.node, speed));
+    // Under the sharded engine each node's hardware schedules on its own
+    // shard's heap; node-local events never leave the shard.
+    des::Scheduler& node_sched =
+        sharded_ != nullptr ? sharded_->shard(shard_map_.shard_of(i)) : sched_;
+    nodes_.push_back(
+        std::make_unique<cluster::Node>(node_sched, i, config_.node, speed));
     via_.add_endpoint({&nodes_.back()->cpu(), &nodes_.back()->nic()});
     pctx.nodes.push_back(nodes_.back().get());
   }
@@ -100,7 +134,14 @@ void ClusterSimulation::replay_trace() {
   admission_->open();
   arrival_->start();
   metrics_->start_sampling();
-  sched_.run();
+  if (sharded_ != nullptr) {
+    // Sequential merge: global (time, seq) order, bit-identical to the
+    // serial drain below — the golden-digest suite holds both to the same
+    // pinned digests.
+    sharded_->run();
+  } else {
+    sched_.run();
+  }
   L2S_REQUIRE(admission_->drained());
 }
 

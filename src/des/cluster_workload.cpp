@@ -1,0 +1,160 @@
+#include "l2sim/des/cluster_workload.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/des/shard_map.hpp"
+
+namespace l2s::des {
+
+namespace {
+
+// splitmix64 finalizer: the workload's only source of randomness, applied
+// to (seed, request, hop) counters so draws are execution-order-free.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t draw(std::uint64_t seed, std::uint64_t request, int hop) {
+  constexpr std::uint64_t kReqMul = 0x632be59bd9b4e019;
+  constexpr std::uint64_t kHopMul = 0x9e3779b97f4a7c15;
+  return mix(seed ^ mix(request * kReqMul +
+                        kHopMul * static_cast<std::uint64_t>(hop)));
+}
+
+// Per-shard accumulators, cache-line-isolated so threaded shards never
+// false-share. Every fold is commutative: merge order cannot matter.
+struct alignas(64) ShardState {
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+  SimTime makespan = 0;
+};
+
+struct Ctx {
+  WorkloadParams p;
+  ShardMap map;
+  ShardedScheduler* sharded = nullptr;  // exactly one of these is set
+  Scheduler* solo = nullptr;
+  std::vector<ShardState> state;
+};
+
+void hop(Ctx* c, std::uint64_t request, int h, int node);
+
+void schedule_hop(Ctx* c, int from_node, std::uint64_t request, int h, int node,
+                  SimTime t) {
+  EventFn fn = [c, request, h, node] { hop(c, request, h, node); };
+  if (c->solo != nullptr) {
+    c->solo->at(t, std::move(fn));
+    return;
+  }
+  const int src = c->map.shard_of(from_node);
+  const int dst = c->map.shard_of(node);
+  if (src == dst) {
+    // Node-local (or shard-internal) hand-off: stays in the shard's own
+    // heap, invisible to the synchronization protocol.
+    c->sharded->shard(dst).at(t, std::move(fn));
+  } else {
+    c->sharded->post(src, dst, t, std::move(fn));
+  }
+}
+
+void hop(Ctx* c, std::uint64_t request, int h, int node) {
+  const int s = c->solo != nullptr ? 0 : c->map.shard_of(node);
+  Scheduler& sched = c->solo != nullptr ? *c->solo : c->sharded->shard(s);
+  ShardState& st = c->state[static_cast<std::size_t>(s)];
+  const SimTime now = sched.now();
+  ++st.events;
+  st.digest ^= mix(request ^ mix(static_cast<std::uint64_t>(h) ^
+                                 mix(static_cast<std::uint64_t>(now) ^
+                                     mix(static_cast<std::uint64_t>(node)))));
+  if (h >= c->p.hops) {
+    st.makespan = std::max(st.makespan, now);
+    return;
+  }
+  const std::uint64_t u = draw(c->p.seed, request, h);
+  const int next = static_cast<int>(u % static_cast<std::uint64_t>(c->p.nodes));
+  const SimTime service =
+      c->p.mean_service / 2 +
+      static_cast<SimTime>(mix(u) %
+                           static_cast<std::uint64_t>(c->p.mean_service));
+  SimTime t = now + service;
+  // A forward to a different node rides the interconnect: it pays the
+  // fixed latency whether or not the peer shares this shard, so the event
+  // timeline is independent of the partition.
+  if (next != node) t += c->p.latency;
+  schedule_hop(c, node, request, h + 1, next, t);
+}
+
+void seed_requests(Ctx* c) {
+  for (int n = 0; n < c->p.nodes; ++n) {
+    for (int k = 0; k < c->p.requests_per_node; ++k) {
+      const std::uint64_t request =
+          static_cast<std::uint64_t>(n) *
+              static_cast<std::uint64_t>(c->p.requests_per_node) +
+          static_cast<std::uint64_t>(k);
+      // Staggered starts (hop index -1 in draw-space) so the cluster does
+      // not fire in lockstep at t = 0.
+      const SimTime t0 = 1 + static_cast<SimTime>(
+                                 draw(c->p.seed, request, c->p.hops + 1) %
+                                 static_cast<std::uint64_t>(c->p.mean_service));
+      EventFn fn = [c, request, n] { hop(c, request, 0, n); };
+      if (c->solo != nullptr) {
+        c->solo->at(t0, std::move(fn));
+      } else {
+        c->sharded->shard(c->map.shard_of(n)).at(t0, std::move(fn));
+      }
+    }
+  }
+}
+
+WorkloadResult merge(const Ctx& c) {
+  WorkloadResult r;
+  for (const ShardState& st : c.state) {  // shard-index order; folds commute
+    r.events += st.events;
+    r.digest ^= st.digest;
+    r.makespan = std::max(r.makespan, st.makespan);
+  }
+  return r;
+}
+
+void validate(const WorkloadParams& p) {
+  L2S_REQUIRE(p.nodes >= 1);
+  L2S_REQUIRE(p.requests_per_node >= 1);
+  L2S_REQUIRE(p.hops >= 0);
+  L2S_REQUIRE(p.latency > 0);
+  L2S_REQUIRE(p.mean_service >= 2);
+}
+
+}  // namespace
+
+WorkloadResult run_cluster_workload_serial(const WorkloadParams& p) {
+  validate(p);
+  Scheduler sched;
+  Ctx c{p, ShardMap(p.nodes, 1), nullptr, &sched, {}};
+  c.state.resize(1);
+  seed_requests(&c);
+  sched.run();
+  return merge(c);
+}
+
+WorkloadResult run_cluster_workload_sharded(const WorkloadParams& p,
+                                            int shards,
+                                            ShardedScheduler::Mode mode,
+                                            unsigned threads) {
+  validate(p);
+  ShardMap map(p.nodes, shards);
+  ShardedScheduler engine(map.shards(), p.latency, mode);
+  Ctx c{p, map, &engine, nullptr, {}};
+  c.state.resize(static_cast<std::size_t>(map.shards()));
+  seed_requests(&c);
+  engine.run(threads);
+  WorkloadResult r = merge(c);
+  r.windows = engine.windows_executed();
+  return r;
+}
+
+}  // namespace l2s::des

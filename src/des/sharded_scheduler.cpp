@@ -1,0 +1,189 @@
+#include "l2sim/des/sharded_scheduler.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <thread>
+
+#include "l2sim/common/env.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::des {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(int shards, SimTime lookahead, Mode mode)
+    : lookahead_(lookahead), mode_(mode) {
+  L2S_REQUIRE(shards >= 1);
+  L2S_REQUIRE(lookahead >= 0);
+  // Threaded windows are [M, M + lookahead): a zero-width window would
+  // never make progress.
+  if (mode == Mode::kThreaded) L2S_REQUIRE(lookahead > 0);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  inbox_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Scheduler>());
+    inbox_.push_back(std::make_unique<Mailbox>());
+    if (mode == Mode::kSequentialMerge)
+      shards_.back()->share_sequence(&global_seq_);
+  }
+  msg_seq_.assign(static_cast<std::size_t>(shards), 0);
+}
+
+ShardedScheduler::~ShardedScheduler() = default;
+
+void ShardedScheduler::post(int src, int dst, SimTime t, EventFn fn) {
+  L2S_REQUIRE(src >= 0 && src < shards());
+  L2S_REQUIRE(dst >= 0 && dst < shards());
+  // The conservative promise: nothing crosses shards faster than the
+  // lookahead. Checked in both modes so merge-mode development catches
+  // violations before anything runs threaded.
+  L2S_REQUIRE(t >= shards_[static_cast<std::size_t>(src)]->now() + lookahead_);
+  if (mode_ == Mode::kSequentialMerge) {
+    // Single thread, shared sequence counter: a direct insert lands in the
+    // same global (time, seq) position a mailbox round-trip would.
+    ++posted_;
+    shards_[static_cast<std::size_t>(dst)]->at(t, std::move(fn));
+    return;
+  }
+  // Cross-thread messages must not drag a sender-thread arena block to a
+  // receiver thread; packets are small, so the inline buffer suffices.
+  L2S_REQUIRE(fn.is_inline());
+  Msg m;
+  m.time = t;
+  m.src = static_cast<std::uint32_t>(src);
+  m.seq = msg_seq_[static_cast<std::size_t>(src)]++;  // owner-thread only
+  m.fn = std::move(fn);
+  Mailbox& box = *inbox_[static_cast<std::size_t>(dst)];
+  const std::scoped_lock lock(box.mu);
+  box.msgs.push_back(std::move(m));
+}
+
+void ShardedScheduler::drain_inbox(int s) {
+  Mailbox& box = *inbox_[static_cast<std::size_t>(s)];
+  std::vector<Msg> taken;
+  {
+    const std::scoped_lock lock(box.mu);
+    taken.swap(box.msgs);
+  }
+  if (taken.empty()) return;
+  // The set of messages visible here is exactly the previous window's sends
+  // (the barrier orders them before this drain), and this sort makes their
+  // heap insertion order — hence their tie-break against each other — a
+  // pure function of message identity, not of thread schedule.
+  std::stable_sort(taken.begin(), taken.end(), [](const Msg& a, const Msg& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  Scheduler& sh = *shards_[static_cast<std::size_t>(s)];
+  for (Msg& m : taken) sh.at(m.time, std::move(m.fn));
+}
+
+void ShardedScheduler::run(unsigned threads) {
+  if (mode_ == Mode::kSequentialMerge) {
+    run_merge();
+  } else {
+    run_windows(threads);
+  }
+}
+
+void ShardedScheduler::run_merge() {
+  const int n = shards();
+  while (true) {
+    int best = -1;
+    Scheduler::PeekKey bk{};
+    for (int s = 0; s < n; ++s) {
+      Scheduler& sh = *shards_[static_cast<std::size_t>(s)];
+      if (sh.empty()) continue;
+      const Scheduler::PeekKey k = sh.peek();
+      if (best < 0 || k.time < bk.time ||
+          (k.time == bk.time && k.seq < bk.seq)) {
+        best = s;
+        bk = k;
+      }
+    }
+    if (best < 0) return;
+    // Every shard's clock tracks the global event clock, so handlers that
+    // reach a *different* shard's scheduler (the cluster engine's front-end
+    // components do) see exactly the time a single-heap run would.
+    for (auto& sh : shards_) sh->advance_now(bk.time);
+    shards_[static_cast<std::size_t>(best)]->step();
+  }
+}
+
+void ShardedScheduler::run_windows(unsigned threads) {
+  const int n = shards();
+  unsigned workers = threads == 0 ? thread_budget() : threads;
+  workers = std::min<unsigned>(std::max(1u, workers), static_cast<unsigned>(n));
+
+  std::vector<SimTime> next_time(static_cast<std::size_t>(n), kNever);
+  std::atomic<int> claim{0};
+  std::atomic<SimTime> window_end{0};
+  std::atomic<bool> done{false};
+  int phase = 0;  // completion-step private: runs on exactly one thread
+
+  auto on_phase = [&]() noexcept {
+    if (phase == 0) {
+      // All shards drained their inboxes and published their next event
+      // time; compute the global floor M and open the window [M, M + L).
+      SimTime m = kNever;
+      for (const SimTime v : next_time) m = std::min(m, v);
+      if (m == kNever) {
+        done.store(true, std::memory_order_relaxed);
+      } else {
+        window_end.store(m + lookahead_, std::memory_order_relaxed);
+        ++windows_;
+      }
+      phase = 1;
+    } else {
+      phase = 0;
+    }
+    claim.store(0, std::memory_order_relaxed);
+  };
+  std::barrier sync(static_cast<std::ptrdiff_t>(workers), on_phase);
+
+  auto worker = [&]() {
+    while (true) {
+      // Phase A: adopt shards dynamically (workers <= shards), deliver
+      // mail, publish each shard's next-event time.
+      for (int s = claim.fetch_add(1, std::memory_order_relaxed); s < n;
+           s = claim.fetch_add(1, std::memory_order_relaxed)) {
+        drain_inbox(s);
+        Scheduler& sh = *shards_[static_cast<std::size_t>(s)];
+        next_time[static_cast<std::size_t>(s)] =
+            sh.empty() ? kNever : sh.peek().time;
+      }
+      sync.arrive_and_wait();
+      if (done.load(std::memory_order_relaxed)) return;
+      // Phase B: run the window. Sends stamp >= now + L >= M + L, so they
+      // target future windows only; the barrier below publishes them.
+      const SimTime w = window_end.load(std::memory_order_relaxed);
+      for (int s = claim.fetch_add(1, std::memory_order_relaxed); s < n;
+           s = claim.fetch_add(1, std::memory_order_relaxed)) {
+        shards_[static_cast<std::size_t>(s)]->run_window(w);
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+}
+
+std::uint64_t ShardedScheduler::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->events_processed();
+  return total;
+}
+
+}  // namespace l2s::des

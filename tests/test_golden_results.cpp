@@ -11,7 +11,6 @@
 //       --gtest_filter='GoldenResults.*' 2>&1 | grep GOLDEN
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,65 +25,9 @@
 namespace l2s::core {
 namespace {
 
-std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  return h * 0x100000001B3ULL;
-}
-
-std::uint64_t fold(std::uint64_t h, double v) {
-  return fold(h, std::bit_cast<std::uint64_t>(v));
-}
-
-/// Bit-exact digest of everything a run reports: completion and failure
-/// buckets, throughput, latency quantiles, stage breakdown, imbalance
-/// statistics, per-node utilizations and the VIA message counters.
-std::uint64_t digest(const SimResult& r) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  h = fold(h, r.completed);
-  h = fold(h, r.connections);
-  h = fold(h, r.forwarded);
-  h = fold(h, r.migrations);
-  h = fold(h, r.remote_fetches);
-  h = fold(h, r.failed);
-  h = fold(h, r.failed_deadline);
-  h = fold(h, r.failed_retries_exhausted);
-  h = fold(h, r.failed_rejected);
-  h = fold(h, r.completed_after_retry);
-  h = fold(h, r.retry_attempts);
-  h = fold(h, r.via_messages);
-  h = fold(h, r.via_dropped);
-  h = fold(h, r.via_duplicated);
-  h = fold(h, r.via_delayed);
-  h = fold(h, r.heartbeats);
-  h = fold(h, r.load_broadcasts);
-  h = fold(h, r.locality_broadcasts);
-  h = fold(h, r.elapsed_seconds);
-  h = fold(h, r.throughput_rps);
-  h = fold(h, r.hit_rate);
-  h = fold(h, r.miss_rate);
-  h = fold(h, r.forwarded_fraction);
-  h = fold(h, r.cpu_idle_fraction);
-  h = fold(h, r.retry_amplification);
-  h = fold(h, r.mean_response_ms);
-  h = fold(h, r.max_response_ms);
-  h = fold(h, r.p50_response_ms);
-  h = fold(h, r.p95_response_ms);
-  h = fold(h, r.p99_response_ms);
-  h = fold(h, r.stage_entry_ms);
-  h = fold(h, r.stage_forward_ms);
-  h = fold(h, r.stage_disk_ms);
-  h = fold(h, r.stage_reply_ms);
-  h = fold(h, r.load_cov);
-  h = fold(h, r.load_max_over_mean);
-  for (const double u : r.node_cpu_utilization) h = fold(h, u);
-  return h;
-}
-
-std::string hex(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
+// The digest itself lives in core (metrics.cpp) so the parallel-DES bench
+// gates on exactly the fold this suite pins.
+std::string digest_hex(const SimResult& r) { return result_digest_hex(r); }
 
 trace::Trace golden_trace() {
   trace::SyntheticSpec spec;
@@ -194,7 +137,7 @@ TEST(GoldenResults, MatrixMatchesRecordedDigests) {
   std::vector<std::pair<std::string, std::string>> got;
   for (const auto& c : cells) {
     const auto r = run_once(tr, c.cfg, c.kind);
-    got.emplace_back(c.name, hex(digest(r)));
+    got.emplace_back(c.name, digest_hex(r));
   }
   if (print) {
     for (const auto& [name, d] : got)
@@ -231,11 +174,33 @@ TEST(GoldenResults, TelemetrySamplingDoesNotPerturbDigests) {
     instrumented.telemetry.span_capacity = 1 << 14;
     const auto traced = run_once(tr, instrumented, c.kind);
 
-    EXPECT_EQ(hex(digest(plain)), hex(digest(traced)))
+    EXPECT_EQ(digest_hex(plain), digest_hex(traced))
         << (open_loop ? "open" : "replay");
     ASSERT_NE(traced.telemetry, nullptr);
     EXPECT_GT(traced.telemetry->spans.size(), 0u);
     EXPECT_EQ(plain.telemetry, nullptr);
+  }
+}
+
+TEST(GoldenResults, ShardedEngineMatchesSerialDigests) {
+  // The sharded engine (engine.shards != 0) partitions each cell's nodes
+  // across per-shard heaps and drains them in sequential-merge order; it
+  // must reproduce the serial engine's pinned digest on EVERY golden cell
+  // for one shard, two shards, and the auto (thread-budget) shard count.
+  // These runs pin the sharded engine to the same goldens as serial, so a
+  // partitioning or merge-order bug in the engine restructuring cannot
+  // hide behind "serial still passes".
+  const auto tr = golden_trace();
+  const auto cells = matrix();
+  for (const auto& c : cells) {
+    const std::string expected = digest_hex(run_once(tr, c.cfg, c.kind));
+    for (const int shards : {1, 2, EngineConfig::kAutoShards}) {
+      SimConfig cfg = c.cfg;
+      cfg.engine.shards = shards;
+      const auto r = run_once(tr, cfg, c.kind);
+      EXPECT_EQ(expected, digest_hex(r))
+          << c.name << " shards=" << shards;
+    }
   }
 }
 
@@ -255,7 +220,7 @@ TEST(GoldenResults, RunParallelIsBitIdenticalToSerial) {
   ASSERT_EQ(parallel.size(), cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto serial = run_once(tr, cells[i].cfg, cells[i].kind);
-    EXPECT_EQ(hex(digest(serial)), hex(digest(parallel[i]))) << cells[i].name;
+    EXPECT_EQ(digest_hex(serial), digest_hex(parallel[i])) << cells[i].name;
   }
 }
 

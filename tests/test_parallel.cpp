@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "l2sim/common/env.hpp"
 #include "l2sim/common/error.hpp"
 #include "l2sim/core/parallel.hpp"
 #include "l2sim/telemetry/registry.hpp"
@@ -188,6 +191,52 @@ TEST(Parallel, FigureMatchesSerialRunner) {
     EXPECT_DOUBLE_EQ(serial.traditional[i].throughput_rps,
                      parallel.traditional[i].throughput_rps);
     EXPECT_DOUBLE_EQ(serial.model_rps[i], parallel.model_rps[i]);
+  }
+}
+
+TEST(Parallel, WorkerCountRespectsTheSharedThreadBudget) {
+  // jobs x per-job-threads must never exceed the budget: a sweep of
+  // sharded simulations on an 8-way machine gets 8/k workers, not 8.
+  EXPECT_EQ(compute_worker_threads(16, 1, 8), 8u);
+  EXPECT_EQ(compute_worker_threads(16, 2, 8), 4u);
+  EXPECT_EQ(compute_worker_threads(16, 3, 8), 2u);
+  EXPECT_EQ(compute_worker_threads(16, 8, 8), 1u);
+  // A single job may overshoot the budget alone (progress beats strictness).
+  EXPECT_EQ(compute_worker_threads(16, 9, 8), 1u);
+  // Never more workers than jobs.
+  EXPECT_EQ(compute_worker_threads(3, 1, 8), 3u);
+  EXPECT_EQ(compute_worker_threads(0, 1, 8), 0u);
+  // Degenerate inputs are clamped rather than dividing by zero.
+  EXPECT_EQ(compute_worker_threads(4, 0, 0), 1u);
+}
+
+TEST(Parallel, EngineThreadsIsOneForTheMergeModeClusterEngine) {
+  // The sharded cluster engine executes in sequential-merge mode, so a
+  // sharded job still occupies a single budget slot; this pin documents
+  // the contract the threaded cluster engine will have to update.
+  SimConfig serial;
+  SimConfig sharded;
+  sharded.engine.shards = EngineConfig::kAutoShards;
+  EXPECT_EQ(engine_threads(serial), 1u);
+  EXPECT_EQ(engine_threads(sharded), 1u);
+}
+
+TEST(Parallel, ThreadBudgetEnvOverrideBoundsTheWorkerPool) {
+  // With L2SIM_THREADS=2, an auto-threaded run_parallel over many jobs is
+  // still bit-identical to serial (the budget changes scheduling, never
+  // results).
+  ASSERT_EQ(setenv("L2SIM_THREADS", "2", 1), 0);
+  EXPECT_EQ(thread_budget(), 2u);
+  const auto tr = workload();
+  auto jobs = grid_jobs(tr);
+  jobs.resize(4);
+  const auto budgeted = run_parallel(jobs, 0);  // 0 = take the budget
+  ASSERT_EQ(unsetenv("L2SIM_THREADS"), 0);
+  const auto serial = run_parallel(jobs, 1);
+  ASSERT_EQ(budgeted.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].throughput_rps, budgeted[i].throughput_rps);
+    EXPECT_EQ(serial[i].completed, budgeted[i].completed);
   }
 }
 

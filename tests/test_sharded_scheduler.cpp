@@ -1,0 +1,215 @@
+// Sharded conservative-lookahead DES kernel tests: the ShardMap partition,
+// both ShardedScheduler execution modes, the windowed protocol's
+// synchronization accounting, and the schedule-independence guarantees
+// (serial == merge == threaded for every shard/thread count). This suite
+// is the one tools/check.sh repeats under TSan — the threaded cases
+// exercise the mailbox locking and barrier protocol under real threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "l2sim/common/env.hpp"
+#include "l2sim/common/error.hpp"
+#include "l2sim/des/cluster_workload.hpp"
+#include "l2sim/des/shard_map.hpp"
+#include "l2sim/des/sharded_scheduler.hpp"
+
+namespace l2s::des {
+namespace {
+
+TEST(ShardMap, PartitionsContiguouslyWithBalancedBlocks) {
+  for (const int entities : {1, 2, 5, 7, 16, 256, 1000}) {
+    for (const int shards : {1, 2, 3, 7, 8, 64, 300}) {
+      const ShardMap map(entities, shards);
+      EXPECT_EQ(map.entities(), entities);
+      EXPECT_LE(map.shards(), entities);  // never an empty shard
+      EXPECT_GE(map.shards(), 1);
+
+      int covered = 0;
+      int prev_end = 0;
+      int max_size = 0;
+      int min_size = entities + 1;
+      for (int s = 0; s < map.shards(); ++s) {
+        const auto [begin, end] = map.range(s);
+        EXPECT_EQ(begin, prev_end);  // contiguous, in order
+        EXPECT_LT(begin, end);
+        prev_end = end;
+        covered += end - begin;
+        max_size = std::max(max_size, end - begin);
+        min_size = std::min(min_size, end - begin);
+        for (int e = begin; e < end; ++e) EXPECT_EQ(map.shard_of(e), s);
+      }
+      EXPECT_EQ(covered, entities);
+      EXPECT_LE(max_size - min_size, 1);  // balanced to within one entity
+    }
+  }
+}
+
+TEST(ShardMap, RejectsBadArguments) {
+  EXPECT_THROW(ShardMap(0, 1), Error);
+  const ShardMap map(4, 2);
+  EXPECT_THROW((void)map.shard_of(-1), Error);
+  EXPECT_THROW((void)map.shard_of(4), Error);
+  EXPECT_THROW((void)map.range(2), Error);
+}
+
+TEST(ShardedScheduler, MergeModeExecutesInGlobalTimeSeqOrder) {
+  // Interleave events across three shards, including cross-shard posts and
+  // same-time ties; the observed execution order must equal what a single
+  // Scheduler produces: time-ordered, submission-ordered at ties.
+  ShardedScheduler engine(3, /*lookahead=*/10, ShardedScheduler::Mode::kSequentialMerge);
+  std::vector<int> order;
+  engine.shard(0).at(100, [&] { order.push_back(0); });
+  engine.shard(1).at(100, [&] { order.push_back(1); });  // tie: after 0
+  engine.shard(2).at(50, [&] {
+    order.push_back(2);
+    // Handler on shard 2 posts to shard 0 at a future time.
+    engine.post(2, 0, 100, [&] { order.push_back(3); });  // tie: after 0, 1
+  });
+  engine.shard(0).at(40, [&] { order.push_back(4); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{4, 2, 0, 1, 3}));
+  EXPECT_EQ(engine.events_processed(), 5u);
+  EXPECT_EQ(engine.messages_posted(), 1u);
+  EXPECT_EQ(engine.windows_executed(), 0u);  // merge mode has no windows
+  // Merge keeps every shard's clock on the global event clock.
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(engine.shard(s).now(), 100);
+}
+
+TEST(ShardedScheduler, PostEnforcesTheLookaheadContract) {
+  ShardedScheduler engine(2, /*lookahead=*/100, ShardedScheduler::Mode::kSequentialMerge);
+  EXPECT_THROW(engine.post(0, 1, 99, [] {}), Error);   // inside the horizon
+  engine.post(0, 1, 100, [] {});                       // exactly at it: ok
+  EXPECT_THROW(engine.post(0, 2, 200, [] {}), Error);  // bad shard
+  engine.run();
+}
+
+TEST(ShardedScheduler, ThreadedPostRequiresInlineCallables) {
+  ShardedScheduler engine(2, /*lookahead=*/10, ShardedScheduler::Mode::kThreaded);
+  struct Fat {
+    char pad[64] = {};
+    void operator()() const {}
+  };
+  EXPECT_THROW(engine.post(0, 1, 10, EventFn(Fat{})), Error);
+  engine.post(0, 1, 10, [] {});  // small capture: fine
+  engine.run(1);
+}
+
+TEST(ShardedScheduler, ThreadedRunCountsWindows) {
+  const WorkloadParams p{/*nodes=*/8, /*requests_per_node=*/2, /*hops=*/16,
+                         /*latency=*/10'000, /*mean_service=*/16'000,
+                         /*seed=*/7};
+  const auto r = run_cluster_workload_sharded(
+      p, /*shards=*/4, ShardedScheduler::Mode::kThreaded, /*threads=*/2);
+  EXPECT_GT(r.windows, 0u);
+  // Every request executes hops + 1 handlers (hop 0 .. hops).
+  EXPECT_EQ(r.events, static_cast<std::uint64_t>(p.nodes) *
+                          static_cast<std::uint64_t>(p.requests_per_node) *
+                          static_cast<std::uint64_t>(p.hops + 1));
+}
+
+TEST(ShardedScheduler, WorkloadFoldsAreScheduleIndependent) {
+  // The core determinism guarantee: the serial reference, merge-mode runs
+  // at several shard counts, and threaded runs at several shard x thread
+  // combinations all produce identical (events, digest, makespan) folds.
+  WorkloadParams p;
+  p.nodes = 32;
+  p.requests_per_node = 3;
+  p.hops = 24;
+  p.seed = 2026;
+  const auto ref = run_cluster_workload_serial(p);
+  EXPECT_GT(ref.events, 0u);
+  EXPECT_GT(ref.makespan, 0);
+
+  for (const int shards : {1, 2, 5, 8, 32}) {
+    const auto merge = run_cluster_workload_sharded(
+        p, shards, ShardedScheduler::Mode::kSequentialMerge);
+    EXPECT_EQ(merge.digest, ref.digest) << "merge shards=" << shards;
+    EXPECT_EQ(merge.events, ref.events) << "merge shards=" << shards;
+    EXPECT_EQ(merge.makespan, ref.makespan) << "merge shards=" << shards;
+  }
+  for (const int shards : {2, 4, 8}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      const auto thr = run_cluster_workload_sharded(
+          p, shards, ShardedScheduler::Mode::kThreaded, threads);
+      EXPECT_EQ(thr.digest, ref.digest)
+          << "threaded shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(thr.events, ref.events)
+          << "threaded shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(thr.makespan, ref.makespan)
+          << "threaded shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedScheduler, ThreadedRunsAreRepeatable) {
+  // Same parameters, fresh engines, full thread budget: bit-identical
+  // folds every time (no dependence on scheduling luck).
+  WorkloadParams p;
+  p.nodes = 16;
+  p.requests_per_node = 2;
+  p.hops = 20;
+  p.seed = 99;
+  const auto first = run_cluster_workload_sharded(
+      p, /*shards=*/8, ShardedScheduler::Mode::kThreaded);
+  for (int i = 0; i < 3; ++i) {
+    const auto again = run_cluster_workload_sharded(
+        p, /*shards=*/8, ShardedScheduler::Mode::kThreaded);
+    EXPECT_EQ(again.digest, first.digest);
+    EXPECT_EQ(again.events, first.events);
+    EXPECT_EQ(again.makespan, first.makespan);
+  }
+}
+
+TEST(SchedulerHooks, PeekAdvanceAndWindowedExecution) {
+  Scheduler s;
+  std::vector<int> ran;
+  s.at(10, [&] { ran.push_back(10); });
+  s.at(20, [&] { ran.push_back(20); });
+  s.at(20, [&] { ran.push_back(21); });
+  EXPECT_EQ(s.peek().time, 10);
+
+  s.run_window(20);  // strictly-below bound: the t=20 events stay put
+  EXPECT_EQ(ran, std::vector<int>{10});
+  EXPECT_EQ(s.now(), 10);  // run_window does not advance past the last event
+  EXPECT_EQ(s.peek().time, 20);
+
+  s.advance_now(15);
+  EXPECT_EQ(s.now(), 15);
+  EXPECT_THROW(s.advance_now(14), Error);  // no travelling backwards
+  EXPECT_THROW(s.at(14, [] {}), Error);    // the clock moved: 14 is the past
+
+  s.run_window(21);
+  EXPECT_EQ(ran, (std::vector<int>{10, 20, 21}));  // ties in submission order
+}
+
+TEST(SchedulerHooks, SharedSequenceCountersMakeCrossHeapTiesOrderable) {
+  std::uint64_t counter = 0;
+  Scheduler a;
+  Scheduler b;
+  a.share_sequence(&counter);
+  b.share_sequence(&counter);
+  a.at(5, [] {});
+  b.at(5, [] {});
+  // Submission order is globally visible through the shared counter.
+  EXPECT_LT(a.peek().seq, b.peek().seq);
+  b.share_sequence(nullptr);  // restores the private counter
+  b.at(6, [] {});
+  a.run();
+  b.run();
+  EXPECT_EQ(counter, 2u);
+}
+
+TEST(ThreadBudget, EnvOverrideAndDefault) {
+  ASSERT_EQ(setenv("L2SIM_THREADS", "3", 1), 0);
+  EXPECT_EQ(thread_budget(), 3u);
+  ASSERT_EQ(setenv("L2SIM_THREADS", "-1", 1), 0);
+  EXPECT_THROW((void)thread_budget(), Error);
+  ASSERT_EQ(unsetenv("L2SIM_THREADS"), 0);
+  EXPECT_GE(thread_budget(), 1u);  // hardware concurrency, floored at 1
+}
+
+}  // namespace
+}  // namespace l2s::des

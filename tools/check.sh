@@ -7,13 +7,19 @@
 #      docs/bench_fault.md, plus bit-reproducibility)
 #   4. telemetry bench (gates: <=1% overhead with spans off, <=5% at 1/64
 #      span sampling; schema in docs/telemetry.md)
-#   5. AddressSanitizer build, running the fault-injection suites
+#   5. parallel DES bench (gates: serial/sharded digest equality on the
+#      kernel folds, the golden 36-cell matrix and a 256-node cluster run;
+#      >= 4x threaded speedup when >= 8 threads are usable; see
+#      docs/parallel_des.md)
+#   6. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
-#      lifetime bugs would hide — and the telemetry suites (`-L telemetry`:
-#      the span ring and exporter buffers)
-#   6. ThreadSanitizer build, running the scheduler/event-kernel,
-#      run_parallel (including per-job telemetry + merge) and
-#      fault-determinism tests, plus the fault and telemetry labels
+#      lifetime bugs would hide — the telemetry suites (`-L telemetry`:
+#      the span ring and exporter buffers), and the large-N sharded-engine
+#      suite (`-L largen`)
+#   7. ThreadSanitizer build, running the scheduler/event-kernel (sharded
+#      kernel + mailboxes + windowed barriers included), run_parallel
+#      (including per-job telemetry + merge) and fault-determinism tests,
+#      plus the fault, telemetry and largen labels
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
@@ -52,22 +58,24 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/fault_bench --out build/BENCH_fault.json
   echo "== telemetry bench (overhead gates) =="
   ./build/bench/telemetry_bench --out build/BENCH_telemetry.json
+  echo "== parallel DES bench (speedup + digest-equality gates) =="
+  ./build/bench/parallel_des_bench --out build/BENCH_parallel_des.json
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault + telemetry suites =="
+  echo "== AddressSanitizer: fault + telemetry + largen suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests
-  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry'
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|largen'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler + parallel + fault + telemetry tests =="
+  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests
   ctest --test-dir build-tsan --output-on-failure -j \
-    -R 'Scheduler|Parallel|Determinism'
-  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry'
+    -R 'Scheduler|ShardMap|ShardedScheduler|SchedulerHooks|ThreadBudget|Parallel|Determinism'
+  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|largen'
 fi
 
 echo "check.sh: all green"
