@@ -79,6 +79,9 @@ struct Connection {
   /// the per-request deadline across retries.
   std::uint32_t attempt = 0;
   std::uint32_t retries_used = 0;
+  /// Hedged (speculative backup) attempts launched for the current request
+  /// (overload.hedge_delay_seconds); reset per request like retries_used.
+  std::uint32_t hedges_used = 0;
   SimTime first_arrival = 0;
   SimTime deadline_at = 0;  ///< 0 = no deadline armed
 

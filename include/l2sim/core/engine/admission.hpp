@@ -45,6 +45,12 @@ class AdmissionController {
   /// (finite-buffer semantics above saturation).
   void reject_overflow();
 
+  /// The overload shedder turned an open-loop arrival away before it could
+  /// occupy a slot: consume its request from the trace and count it under
+  /// FailureKind::kShed (the deliberate-drop bucket, distinct from the
+  /// buffer-overflow reject above).
+  void shed_arrival();
+
   /// A window has been opened for the current pass.
   [[nodiscard]] bool active() const { return injector_ != nullptr; }
   /// The trace cursor has run off the end.

@@ -5,6 +5,11 @@
 //   * open-loop Poisson arrivals at a configured rate, for
 //     latency-vs-load studies; arrivals finding the window full are
 //     dropped and counted as rejected.
+// Open-loop arrivals can be non-stationary (ArrivalConfig::shape — flash
+// crowd trapezoid, diurnal sinusoid) via Lewis-Shedler thinning against
+// the peak rate, and either mode can rotate file popularity over time
+// (popularity churn). Shedding (OverloadController) is consulted per
+// open-loop arrival before the admission window.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,12 @@ class ArrivalSource {
   /// first Poisson arrival (open loop). The window must be open.
   void start();
 
+  /// Popularity churn: rotate the request's file id by the churn stride
+  /// accumulated since the pass started (identity when churn is off).
+  /// Applied to every request as it's pulled off the trace cursor —
+  /// arrivals and persistent-connection pulls alike.
+  void apply_churn(trace::Request& r) const;
+
  private:
   void open_loop_arrival();
   /// Admit one trace request: build the connection, launch its first
@@ -29,8 +40,11 @@ class ArrivalSource {
   /// Geometric on {1, 2, ...} with mean
   /// persistence.mean_requests_per_connection.
   [[nodiscard]] std::uint32_t sample_connection_length();
+  /// Seconds since the current pass started (shape/churn clock).
+  [[nodiscard]] double pass_seconds() const;
 
   EngineContext& ctx_;
+  SimTime pass_start_ = 0;
 };
 
 }  // namespace l2s::core::engine

@@ -30,6 +30,7 @@ class Dispatcher;
 class RetryManager;
 class ServicePath;
 class PersistentPath;
+class OverloadController;
 
 struct EngineContext {
   // Simulated hardware and configuration (owned by the coordinator).
@@ -52,8 +53,18 @@ struct EngineContext {
   RetryManager* retry = nullptr;
   ServicePath* service = nullptr;
   PersistentPath* persistent = nullptr;
+  /// Overload defenses (admission shedding, retry budget, brownout); always
+  /// wired, inert unless SimConfig::overload enables a defense.
+  OverloadController* overload = nullptr;
   /// All lifecycle events go through this fan-out (metrics, availability).
   LifecycleFanout* observers = nullptr;
+
+  /// False during the warm-up pass, true for the measured pass. Warm-up is
+  /// the paper's cache-warming protocol — nominal stationary load, no
+  /// faults (arm_faults already waits for the measured pass), no arrival
+  /// shaping and no overload defenses — so the measured pass starts from
+  /// the warm steady state the chaos is supposed to disrupt.
+  bool measured_pass = false;
 
   [[nodiscard]] const SimConfig& cfg() const { return *config; }
   [[nodiscard]] SimTime now() const { return sched->now(); }

@@ -22,6 +22,7 @@ enum class FailureKind {
   kDeadline,          ///< the per-request deadline expired
   kRetriesExhausted,  ///< every attempt died (includes fail-fast aborts)
   kRejected,          ///< open-loop arrival found the admission buffers full
+  kShed,              ///< the overload shedder turned the arrival away
 };
 
 /// A callback belongs to a superseded attempt (or a finished request).
@@ -47,6 +48,11 @@ class LifecycleObserver {
   virtual void on_request_failed(const cluster::Connection* /*conn*/, FailureKind /*kind*/,
                                  SimTime /*now*/) {}
   virtual void on_retry_scheduled(SimTime /*now*/) {}
+  /// A hedged (speculative backup) attempt was dispatched for a request.
+  virtual void on_hedge(SimTime /*now*/) {}
+  /// The overload controller changed the brownout level (0 = healthy,
+  /// 1 = shed forwarding, 2 = shed service).
+  virtual void on_brownout(int /*level*/, SimTime /*now*/) {}
   virtual void on_forward() {}       ///< hand-off or remote fetch left the entry node
   virtual void on_migration() {}     ///< persistent connection migrated
   virtual void on_remote_fetch() {}  ///< back-end request forwarding used
@@ -80,6 +86,12 @@ class LifecycleFanout final : public LifecycleObserver {
   }
   void on_retry_scheduled(SimTime now) override {
     for (auto* o : observers_) o->on_retry_scheduled(now);
+  }
+  void on_hedge(SimTime now) override {
+    for (auto* o : observers_) o->on_hedge(now);
+  }
+  void on_brownout(int level, SimTime now) override {
+    for (auto* o : observers_) o->on_brownout(level, now);
   }
   void on_load_sample(SimTime now) override {
     for (auto* o : observers_) o->on_load_sample(now);

@@ -43,6 +43,11 @@ class MetricsCollector final : public LifecycleObserver {
   void on_request_failed(const cluster::Connection* conn, FailureKind kind,
                          SimTime now) override;
   void on_retry_scheduled(SimTime now) override;
+  void on_hedge(SimTime /*now*/) override { ++hedge_attempts_; }
+  void on_brownout(int level, SimTime /*now*/) override {
+    ++brownout_transitions_;
+    brownout_level_ = level;
+  }
   void on_forward() override { ++forwarded_; }
   void on_migration() override { ++migrations_; }
   void on_remote_fetch() override { ++remote_fetches_; }
@@ -73,8 +78,12 @@ class MetricsCollector final : public LifecycleObserver {
   std::uint64_t failed_deadline_ = 0;
   std::uint64_t failed_retries_ = 0;
   std::uint64_t failed_rejected_ = 0;
+  std::uint64_t failed_shed_ = 0;
   std::uint64_t completed_after_retry_ = 0;
   std::uint64_t retry_attempts_ = 0;
+  std::uint64_t hedge_attempts_ = 0;
+  std::uint64_t brownout_transitions_ = 0;
+  int brownout_level_ = 0;
   stats::AvailabilityTracker availability_;
   stats::Accumulator response_times_;
   stats::LogHistogram response_hist_{0.01, 1.3, 64};  ///< ms buckets

@@ -3,6 +3,15 @@
 // deadline, and the final transition of a request into one of the failure
 // buckets. Owns every path that marks a connection kDone without a
 // completed reply.
+//
+// Overload integration: every retry and every hedge must buy a token from
+// the OverloadController's bucket first (retries earn budget only as
+// admitted requests arrive, so a failure storm cannot amplify itself), and
+// arm_hedge() speculatively re-dispatches a request that lingers past the
+// hedge delay — backup-request-with-cancellation adapted to the engine's
+// one-live-attempt invariant: the straggler attempt is abandoned (its
+// events go stale via the attempt counter) and the hedge becomes the one
+// live attempt.
 #pragma once
 
 #include "l2sim/core/engine/context.hpp"
@@ -30,6 +39,13 @@ class RetryManager {
   /// attempt that hangs (lost hand-off, dead node, glacial queue) is
   /// abandoned and retried or failed. No-op when not configured.
   void arm_attempt_timeout(const ConnPtr& conn);
+
+  /// Arm the hedge timer for the current request: if it is still the same
+  /// request and attempt after overload.hedge_delay_seconds, abandon the
+  /// straggling attempt and re-dispatch (spending a retry token). Armed
+  /// per request (arrival and each persistent pull); re-arms itself up to
+  /// overload.max_hedges times. No-op when hedging is off.
+  void arm_hedge(const ConnPtr& conn);
 
   /// Final failure: mark kDone, count it under `kind`, free the admission
   /// slot after `slot_hold` (0 = immediately).

@@ -35,17 +35,24 @@ struct SimResult {
   std::uint64_t remote_fetches = 0;  ///< back-end request forwardings
 
   /// Requests the cluster failed to serve (availability studies). The
-  /// total always equals the sum of the three buckets below.
+  /// total always equals the sum of the four buckets below.
   std::uint64_t failed = 0;
   std::uint64_t failed_deadline = 0;   ///< client deadline expired
   std::uint64_t failed_retries_exhausted = 0;  ///< every attempt died
   std::uint64_t failed_rejected = 0;   ///< open-loop arrival found buffers full
+  std::uint64_t failed_shed = 0;       ///< overload shedder turned it away
 
   /// Client-side retry accounting (all zero unless SimConfig::retry is on).
   std::uint64_t completed_after_retry = 0;  ///< completions needing >= 1 retry
   std::uint64_t retry_attempts = 0;         ///< re-submissions performed
   /// Mean attempts per request: 1.0 = no retries anywhere.
   double retry_amplification = 0.0;
+
+  /// Overload-defense accounting (all zero unless SimConfig::overload
+  /// enables a defense — the golden digests rely on that).
+  std::uint64_t hedge_attempts = 0;        ///< speculative backup dispatches
+  std::uint64_t brownout_transitions = 0;  ///< brownout level changes
+  int brownout_final_level = 0;            ///< level at end of measured pass
 
   /// Fault-layer message accounting (VIA).
   std::uint64_t via_dropped = 0;

@@ -8,6 +8,7 @@
 //   ServicePath          cache/disk service, reply path, completion
 //   PersistentPath       HTTP/1.1 requests: migration or remote fetch
 //   RetryManager         backoff, attempt timeout, deadline, failure
+//   OverloadController   shedding, retry budget, hedging, brownout
 //   MetricsCollector     every statistic, behind LifecycleObserver
 //
 // The coordinator owns the simulated hardware (scheduler, nodes, router,
@@ -115,6 +116,9 @@ class ClusterSimulation {
   std::unique_ptr<engine::RetryManager> retry_;
   std::unique_ptr<engine::ServicePath> service_;
   std::unique_ptr<engine::PersistentPath> persistent_;
+  /// Overload defenses (SimConfig::overload); always wired, schedules
+  /// nothing and touches nothing unless a defense is enabled.
+  std::unique_ptr<engine::OverloadController> overload_;
   std::unique_ptr<engine::MetricsCollector> metrics_;
   /// Observability bridge; only constructed (and registered on the fan-out)
   /// when config.telemetry.enabled — the disabled path has no telemetry

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "l2sim/common/cli_args.hpp"
 #include "l2sim/core/experiment.hpp"
 #include "l2sim/trace/characterize.hpp"
 #include "l2sim/trace/synthetic.hpp"
@@ -98,5 +99,26 @@ struct ModelResult {
 /// The ExperimentConfig (node-count sweep) implied by a spec — the bridge
 /// to run_throughput_figure for the Figure 7-10 benches.
 [[nodiscard]] ExperimentConfig to_experiment_config(const ExperimentSpec& spec);
+
+/// Apply the overload/chaos command-line flags to a spec (shared by the
+/// l2sim CLI and any downstream driver):
+///
+///   --arrival stationary|flash|diurnal   arrival shape
+///   --flash-at S --flash-factor F        flash-crowd step (onset, multiplier)
+///   --flash-ramp S --flash-hold S        optional ramp and hold durations
+///   --diurnal-period S --diurnal-amp A   sinusoidal rate modulation
+///   --churn-period S --churn-stride K    popularity churn rotation
+///   --chaos-seed N                       simulation seed (chaos replay handle)
+///   --shedder none|static|codel|aimd     admission shedder
+///   --static-cap N                       kStaticCap in-flight cap
+///   --target-delay S                     CoDel-style queue-delay target
+///   --retry-budget R [--retry-burst B]   retry/hedge token-bucket earn ratio
+///   --hedge-delay S [--max-hedges K]     hedged attempts after S seconds
+///   --brownout                           delay-triggered brownout levels
+///
+/// Flags not present leave the spec untouched. Throws l2s::Error on an
+/// unknown --arrival or --shedder name; range validation happens later in
+/// SimConfig::validate().
+void apply_overload_cli(const CliArgs& args, ExperimentSpec& spec);
 
 }  // namespace l2s::core

@@ -3,8 +3,10 @@
 // Every alive node broadcasts a small heartbeat each period; receivers
 // stamp the sender's last-heard time. A monitor sweep, also once per
 // period, suspects a node once nothing has been heard from it for K
-// consecutive periods, and readmits a suspected node as soon as a fresh
-// heartbeat lands (a recovered node resumes broadcasting by itself).
+// consecutive periods, and readmits a suspected node after
+// DetectionParams::readmit_after_fresh consecutive sweeps that each saw a
+// fresh heartbeat (a recovered node resumes broadcasting by itself; the
+// streak requirement damps flapping over lossy links).
 //
 // Simplification (documented in DESIGN.md §7): the last-heard table is a
 // shared membership view — any receiver hearing node n refreshes n for the
@@ -62,6 +64,7 @@ class FailureDetector {
   NotifyFn on_readmit_;
   std::vector<SimTime> last_heard_;
   std::vector<bool> suspected_;
+  std::vector<int> fresh_streak_;  // consecutive fresh sweeps while suspected
   std::uint64_t heartbeats_ = 0;
 };
 

@@ -91,6 +91,12 @@ struct DetectionParams {
   bool heartbeats = false;
   double period_seconds = 0.05;  ///< heartbeat broadcast period
   int suspect_after_missed = 3;  ///< K missed periods before suspicion
+  /// Flapping hysteresis: a suspected node is readmitted only after M
+  /// consecutive monitor periods with a fresh heartbeat. 1 reproduces the
+  /// original readmit-on-first-fresh-sweep behaviour; larger values stop
+  /// a lossy link from oscillating a node in and out of the cluster (each
+  /// readmission resets policy state, so flapping is expensive).
+  int readmit_after_fresh = 1;
 
   [[nodiscard]] SimTime suspicion_window() const {
     return seconds_to_simtime(period_seconds * suspect_after_missed);

@@ -71,6 +71,12 @@ class L2sPolicy final : public Policy {
   /// view of it and DNS resumes routing clients there.
   void on_node_recovered(int node) override;
 
+  /// Brownout level >= 1 sheds forwarding: requests are serviced at their
+  /// entry node, skipping the server-set machinery entirely (no hand-offs,
+  /// no set growth, no set-change broadcasts) — locality is sacrificed to
+  /// shed the distribution overhead while the cluster is overloaded.
+  void on_brownout(int level) override { brownout_level_ = level; }
+
   /// Node `owner`'s view of node `target`'s load (for tests).
   [[nodiscard]] int view_of(int owner, int target) const;
   /// Node `owner`'s replica of the file's server set (for tests).
@@ -104,6 +110,7 @@ class L2sPolicy final : public Policy {
   std::vector<int> alive_entries_;  ///< DNS rotation after failures (empty = all)
   std::uint64_t rng_state_ = 0x2545f4914f6cdd1dULL;
   SimTime shrink_ns_ = 0;
+  int brownout_level_ = 0;
 };
 
 }  // namespace l2s::policy

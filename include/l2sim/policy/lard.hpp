@@ -68,6 +68,12 @@ class LardPolicy final : public Policy {
   /// the front-end: the promoted replacement keeps the role.
   void on_node_recovered(int node) override;
 
+  /// Brownout level >= 1 sheds the locality machinery's churn: server sets
+  /// stop growing and shrinking, and persistent connections stop migrating
+  /// — the front-end still forwards (it services nothing itself) but each
+  /// connection stays where it is until the overload clears.
+  void on_brownout(int level) override { brownout_level_ = level; }
+
   /// Initial front-end (node 0). The role can migrate under failover; see
   /// current_front_end().
   [[nodiscard]] static constexpr int front_end() { return 0; }
@@ -90,6 +96,7 @@ class LardPolicy final : public Policy {
   std::vector<int> completions_since_update_;
   SimTime shrink_ns_ = 0;
   int front_end_ = 0;
+  int brownout_level_ = 0;
 };
 
 }  // namespace l2s::policy

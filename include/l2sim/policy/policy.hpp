@@ -101,6 +101,14 @@ class Policy {
   /// it. Default: no-op.
   virtual void on_node_recovered(int node);
 
+  /// The overload controller changed the brownout level. Policies should
+  /// shed their own overhead progressively: at level >= 1 drop
+  /// locality-driven forwarding (serve where the request lands, stop
+  /// replicating/migrating), level 2 additionally has the controller shed
+  /// arrivals outright. Level 0 restores normal operation. Default: no-op
+  /// — a policy that ignores brownout just keeps paying forwarding costs.
+  virtual void on_brownout(int level);
+
   /// Policy-level counters (broadcasts sent, set changes, ...).
   [[nodiscard]] const stats::CounterSet& counters() const { return counters_; }
   void reset_counters() { counters_.reset(); }

@@ -47,6 +47,8 @@ class SimTelemetry final : public core::engine::LifecycleObserver {
   void on_request_failed(const cluster::Connection* conn,
                          core::engine::FailureKind kind, SimTime now) override;
   void on_retry_scheduled(SimTime now) override;
+  void on_hedge(SimTime now) override;
+  void on_brownout(int level, SimTime now) override;
   void on_forward() override;
   void on_migration() override;
   void on_remote_fetch() override;
@@ -74,7 +76,10 @@ class SimTelemetry final : public core::engine::LifecycleObserver {
   Counter* failed_deadline_ = nullptr;
   Counter* failed_retries_ = nullptr;
   Counter* failed_rejected_ = nullptr;
+  Counter* failed_shed_ = nullptr;
   Counter* retries_ = nullptr;
+  Counter* hedges_ = nullptr;
+  Counter* brownout_transitions_ = nullptr;
   Counter* forwards_ = nullptr;
   Counter* migrations_ = nullptr;
   Counter* remote_fetches_ = nullptr;

@@ -37,4 +37,11 @@ void AdmissionController::reject_overflow() {
     ctx_.observers->on_request_failed(nullptr, FailureKind::kRejected, ctx_.now());
 }
 
+void AdmissionController::shed_arrival() {
+  std::uint64_t seq = 0;
+  trace::Request r{};
+  if (injector_->try_take(seq, r))
+    ctx_.observers->on_request_failed(nullptr, FailureKind::kShed, ctx_.now());
+}
+
 }  // namespace l2s::core::engine

@@ -83,6 +83,7 @@ void MetricsCollector::on_request_failed(const cluster::Connection* /*conn*/,
     case FailureKind::kDeadline: ++failed_deadline_; break;
     case FailureKind::kRetriesExhausted: ++failed_retries_; break;
     case FailureKind::kRejected: ++failed_rejected_; break;
+    case FailureKind::kShed: ++failed_shed_; break;
   }
   availability_.record_failure(now);
 }
@@ -102,8 +103,12 @@ void MetricsCollector::reset() {
   failed_deadline_ = 0;
   failed_retries_ = 0;
   failed_rejected_ = 0;
+  failed_shed_ = 0;
   completed_after_retry_ = 0;
   retry_attempts_ = 0;
+  hedge_attempts_ = 0;
+  brownout_transitions_ = 0;
+  brownout_level_ = 0;
   response_times_.reset();
   response_hist_ = stats::LogHistogram(0.01, 1.3, 64);
   stage_entry_.reset();
@@ -149,8 +154,12 @@ SimResult MetricsCollector::collect(SimTime measure_start,
   r.failed_deadline = failed_deadline_;
   r.failed_retries_exhausted = failed_retries_;
   r.failed_rejected = failed_rejected_;
+  r.failed_shed = failed_shed_;
   r.completed_after_retry = completed_after_retry_;
   r.retry_attempts = retry_attempts_;
+  r.hedge_attempts = hedge_attempts_;
+  r.brownout_transitions = brownout_transitions_;
+  r.brownout_final_level = brownout_level_;
   const std::uint64_t requests = completed_ + failed_;
   r.retry_amplification =
       requests > 0

@@ -25,6 +25,7 @@ void PersistentPath::continue_connection(const ConnPtr& conn) {
       conn->arrival = ctx_.now();
       conn->first_arrival = conn->arrival;
       ctx_.retry->arm_deadline(conn);
+      ctx_.retry->arm_hedge(conn);
       conn->state = ConnectionState::kParsing;
       node.cpu().submit(node.parse_time(), [this, conn, att]() {
         if (attempt_stale(conn, att)) return;

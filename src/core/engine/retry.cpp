@@ -4,6 +4,7 @@
 
 #include "l2sim/core/engine/admission.hpp"
 #include "l2sim/core/engine/dispatch.hpp"
+#include "l2sim/core/engine/overload.hpp"
 #include "l2sim/core/engine/service_path.hpp"
 
 namespace l2s::core::engine {
@@ -13,13 +14,15 @@ void RetryManager::fail_connection(const ConnPtr& conn, FailureKind kind,
   if (conn->state == ConnectionState::kDone) return;
   ctx_.service->release_service_count(conn);
   conn->state = ConnectionState::kDone;
+  ctx_.overload->note_failure(conn.get(), kind, ctx_.now());
   ctx_.observers->on_request_failed(conn.get(), kind, ctx_.now());
   ctx_.admission->release_after(slot_hold);
 }
 
 void RetryManager::abort_connection(const ConnPtr& conn) {
   if (conn->state == ConnectionState::kDone) return;
-  if (conn->retries_used < static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries)) {
+  if (conn->retries_used < static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries) &&
+      ctx_.overload->try_spend_retry_token()) {
     ctx_.service->release_service_count(conn);
     schedule_retry(conn);
     return;
@@ -68,12 +71,41 @@ void RetryManager::arm_attempt_timeout(const ConnPtr& conn) {
                       // queue): abandon it and retry or give up.
                       ctx_.service->release_service_count(conn);
                       if (conn->retries_used <
-                          static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries)) {
+                              static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries) &&
+                          ctx_.overload->try_spend_retry_token()) {
                         schedule_retry(conn);
                       } else {
                         fail_connection(conn, FailureKind::kRetriesExhausted, 0);
                       }
                     });
+}
+
+void RetryManager::arm_hedge(const ConnPtr& conn) {
+  const auto& ov = ctx_.cfg().overload;
+  if (!ctx_.measured_pass || !ov.hedging_enabled()) return;
+  if (conn->hedges_used >= static_cast<std::uint32_t>(ov.max_hedges)) return;
+  const auto att = conn->attempt;
+  const auto id = conn->id;
+  ctx_.sched->after(
+      seconds_to_simtime(ov.hedge_delay_seconds), [this, conn, att, id]() {
+        // Still the same request (persistent connections reuse the struct)
+        // and still the same live attempt (not completed, failed, retried
+        // or waiting out a backoff)?
+        if (conn->id != id) return;
+        if (attempt_stale(conn, att)) return;
+        if (!ctx_.overload->try_spend_retry_token()) return;
+        // Hedge: abandon the straggling attempt (its queued events go
+        // stale via the attempt counter) and re-dispatch. The engine's
+        // one-live-attempt invariant makes this
+        // backup-request-with-cancellation rather than true tied requests:
+        // the straggler is cancelled the moment the backup launches.
+        ++conn->hedges_used;
+        ctx_.service->release_service_count(conn);
+        ++conn->attempt;
+        ctx_.observers->on_hedge(ctx_.now());
+        ctx_.dispatcher->start_attempt(conn);
+        arm_hedge(conn);
+      });
 }
 
 }  // namespace l2s::core::engine

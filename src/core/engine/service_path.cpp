@@ -1,6 +1,8 @@
 #include "l2sim/core/engine/service_path.hpp"
 
 #include "l2sim/core/engine/admission.hpp"
+#include "l2sim/core/engine/arrival.hpp"
+#include "l2sim/core/engine/overload.hpp"
 #include "l2sim/core/engine/persistent_path.hpp"
 #include "l2sim/core/engine/retry.hpp"
 
@@ -30,15 +32,25 @@ void ServicePath::begin_service(const ConnPtr& conn, bool opening) {
   }
   // Miss: read the whole file from disk, make it resident, then reply.
   const auto att = conn->attempt;
+  const int read_node = conn->service_node;
+  const int read_epoch = n.epoch();
   const Bytes file_bytes = ctx_.trace->files().size_of(conn->request.file);
-  n.disk().read(file_bytes, [this, conn, file_bytes, att]() {
+  n.disk().read(file_bytes, [this, conn, file_bytes, att, read_node,
+                             read_epoch]() {
+    // The read happened, so the file is resident whether or not the
+    // requesting attempt is still around — the page cache outlives a
+    // hung-up client. Skipping this insert for abandoned attempts makes
+    // retry storms self-sustaining: timed-out reads never warm the cache,
+    // so every retry misses again, forever. Only a crash/restart in
+    // between voids the fill (that memory is gone).
+    cluster::Node& node = ctx_.node(read_node);
+    if (node.alive() && node.epoch() == read_epoch)
+      node.file_cache().insert(conn->request.file, file_bytes);
     if (attempt_stale(conn, att)) return;
     if (!service_current(conn)) {
       ctx_.retry->abort_connection(conn);
       return;
     }
-    cluster::Node& node = ctx_.node(conn->service_node);
-    node.file_cache().insert(conn->request.file, file_bytes);
     conn->t_disk_done = ctx_.now();
     reply_path(conn);
   });
@@ -71,6 +83,7 @@ void ServicePath::request_finished(const ConnPtr& conn) {
   if (conn->state == ConnectionState::kDone) return;
   conn->completion = ctx_.now();
   ++conn->requests_served;
+  ctx_.overload->note_completion(*conn, conn->completion);
   ctx_.observers->on_request_completed(*conn, conn->completion);
 
   if (conn->remaining_requests > 0) {
@@ -80,11 +93,14 @@ void ServicePath::request_finished(const ConnPtr& conn) {
       --conn->remaining_requests;
       conn->id = seq;
       conn->request = next;
+      ctx_.arrival->apply_churn(conn->request);
+      ctx_.overload->earn_token();
       // A fresh request on the same connection: new attempt id (stale
       // timers from the previous request must not touch it) and a fresh
       // retry budget.
       ++conn->attempt;
       conn->retries_used = 0;
+      conn->hedges_used = 0;
       ctx_.persistent->continue_connection(conn);
       return;
     }

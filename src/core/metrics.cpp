@@ -63,6 +63,15 @@ std::uint64_t result_digest(const SimResult& r) {
   h = fold(h, r.load_cov);
   h = fold(h, r.load_max_over_mean);
   for (const double u : r.node_cpu_utilization) h = fold(h, u);
+  // Overload-defense extension block: folded ONLY when an overload defense
+  // actually fired, so every pre-overload digest (defenses off — all three
+  // counters structurally zero) is preserved bit-for-bit. With a defense
+  // on, the counters join the digest and chaos replays pin them too.
+  if (r.failed_shed != 0 || r.hedge_attempts != 0 || r.brownout_transitions != 0) {
+    h = fold(h, r.failed_shed);
+    h = fold(h, r.hedge_attempts);
+    h = fold(h, r.brownout_transitions);
+  }
   return h;
 }
 
@@ -85,11 +94,15 @@ std::string SimResult::describe() const {
   if (failed > 0) {
     os << ", FAILED " << failed << " requests (" << failed_deadline << " deadline, "
        << failed_retries_exhausted << " retries exhausted, " << failed_rejected
-       << " rejected)";
+       << " rejected, " << failed_shed << " shed)";
   }
   if (retry_attempts > 0)
     os << ", " << retry_attempts << " retries (" << completed_after_retry
        << " requests completed after retry)";
+  if (hedge_attempts > 0) os << ", " << hedge_attempts << " hedges";
+  if (brownout_transitions > 0)
+    os << ", " << brownout_transitions << " brownout transition(s), final level "
+       << brownout_final_level;
   if (detection_latency_ms > 0.0)
     os << ", detection latency " << format_double(detection_latency_ms, 1) << " ms";
   if (time_to_recover_ms > 0.0)

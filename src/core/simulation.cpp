@@ -8,6 +8,7 @@
 #include "l2sim/core/engine/arrival.hpp"
 #include "l2sim/core/engine/dispatch.hpp"
 #include "l2sim/core/engine/metrics_collector.hpp"
+#include "l2sim/core/engine/overload.hpp"
 #include "l2sim/core/engine/persistent_path.hpp"
 #include "l2sim/core/engine/retry.hpp"
 #include "l2sim/core/engine/service_path.hpp"
@@ -90,6 +91,7 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   retry_ = std::make_unique<engine::RetryManager>(ctx_);
   service_ = std::make_unique<engine::ServicePath>(ctx_);
   persistent_ = std::make_unique<engine::PersistentPath>(ctx_);
+  overload_ = std::make_unique<engine::OverloadController>(ctx_);
   metrics_ = std::make_unique<engine::MetricsCollector>(ctx_);
   ctx_.admission = admission_.get();
   ctx_.arrival = arrival_.get();
@@ -97,6 +99,7 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   ctx_.retry = retry_.get();
   ctx_.service = service_.get();
   ctx_.persistent = persistent_.get();
+  ctx_.overload = overload_.get();
   fanout_.add(metrics_.get());
   if (config_.telemetry.enabled) {
     telemetry_ = std::make_unique<telemetry::SimTelemetry>(ctx_, config_.telemetry);
@@ -112,10 +115,15 @@ SimResult ClusterSimulation::run() {
 
   int pass = 0;
   if (config_.warmup) {
+    // Warm-up replays at nominal stationary load with every chaos source
+    // quiet — no faults (armed below), no arrival shaping, no overload
+    // defenses (ctx_.measured_pass gates them) — so measurement starts
+    // from the warm steady state the chaos is supposed to disrupt.
     policy_->on_pass_start(pass++);
     replay_trace();
     reset_statistics();
   }
+  ctx_.measured_pass = true;
   const SimTime measure_start = sched_.now();
   policy_->on_pass_start(pass);
   metrics_->begin_measurement(measure_start);
@@ -132,7 +140,9 @@ SimResult ClusterSimulation::run() {
 
 void ClusterSimulation::replay_trace() {
   admission_->open();
+  overload_->begin_pass();
   arrival_->start();
+  overload_->start();
   metrics_->start_sampling();
   if (sharded_ != nullptr) {
     // Sequential merge: global (time, seq) order, bit-identical to the

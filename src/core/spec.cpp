@@ -100,4 +100,58 @@ ExperimentConfig to_experiment_config(const ExperimentSpec& spec) {
   return cfg;
 }
 
+void apply_overload_cli(const CliArgs& args, ExperimentSpec& spec) {
+  ArrivalConfig& arrival = spec.sim.arrival;
+  if (args.has("arrival")) {
+    const std::string shape = args.get("arrival");
+    if (shape == "stationary") arrival.shape = ArrivalShape::kStationary;
+    else if (shape == "flash") arrival.shape = ArrivalShape::kFlashCrowd;
+    else if (shape == "diurnal") arrival.shape = ArrivalShape::kDiurnal;
+    else
+      throw_error("--arrival: unknown shape '" + shape +
+                  "' (expected stationary, flash or diurnal)");
+  }
+  if (args.has("flash-at")) arrival.flash_at_seconds = args.get_double("flash-at", 0.0);
+  if (args.has("flash-factor"))
+    arrival.flash_factor = args.get_double("flash-factor", 3.0);
+  if (args.has("flash-ramp"))
+    arrival.flash_ramp_seconds = args.get_double("flash-ramp", 0.0);
+  if (args.has("flash-hold"))
+    arrival.flash_hold_seconds = args.get_double("flash-hold", 0.0);
+  if (args.has("diurnal-period"))
+    arrival.diurnal_period_seconds = args.get_double("diurnal-period", 10.0);
+  if (args.has("diurnal-amp"))
+    arrival.diurnal_amplitude = args.get_double("diurnal-amp", 0.5);
+  if (args.has("churn-period"))
+    arrival.churn_period_seconds = args.get_double("churn-period", 0.0);
+  if (args.has("churn-stride"))
+    arrival.churn_stride = static_cast<std::uint64_t>(args.get_int("churn-stride", 0));
+  if (args.has("chaos-seed"))
+    spec.sim.seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+
+  OverloadConfig& ov = spec.sim.overload;
+  if (args.has("shedder")) {
+    const std::string shedder = args.get("shedder");
+    if (shedder == "none") ov.shedder = ShedderKind::kNone;
+    else if (shedder == "static") ov.shedder = ShedderKind::kStaticCap;
+    else if (shedder == "codel") ov.shedder = ShedderKind::kQueueDelay;
+    else if (shedder == "aimd") ov.shedder = ShedderKind::kAimd;
+    else
+      throw_error("--shedder: unknown kind '" + shedder +
+                  "' (expected none, static, codel or aimd)");
+  }
+  if (args.has("static-cap"))
+    ov.static_cap = static_cast<std::uint64_t>(args.get_int("static-cap", 0));
+  if (args.has("target-delay"))
+    ov.target_delay_seconds = args.get_double("target-delay", 0.05);
+  if (args.has("retry-budget"))
+    ov.retry_budget_ratio = args.get_double("retry-budget", -1.0);
+  if (args.has("retry-burst"))
+    ov.retry_budget_burst = args.get_double("retry-burst", 16.0);
+  if (args.has("hedge-delay"))
+    ov.hedge_delay_seconds = args.get_double("hedge-delay", 0.0);
+  if (args.has("max-hedges")) ov.max_hedges = args.get_int("max-hedges", 1);
+  if (args.has("brownout")) ov.brownout = true;
+}
+
 }  // namespace l2s::core

@@ -24,6 +24,7 @@ void FailureDetector::start(std::function<bool()> active, NotifyFn on_suspect,
   on_readmit_ = std::move(on_readmit);
   last_heard_.assign(nodes_.size(), sched_.now());
   suspected_.assign(nodes_.size(), false);
+  fresh_streak_.assign(nodes_.size(), 0);
   const SimTime period = seconds_to_simtime(params_.period_seconds);
   // Staggered first beats (i+1 ns apart) keep same-instant broadcast bursts
   // ordered but are far below any service time, so timing is unaffected.
@@ -56,10 +57,18 @@ void FailureDetector::monitor_round() {
     const bool stale = now - last_heard_[i] > window;
     if (!suspected_[i] && stale) {
       suspected_[i] = true;
+      fresh_streak_[i] = 0;
       if (on_suspect_) on_suspect_(static_cast<int>(i), now);
-    } else if (suspected_[i] && !stale) {
-      suspected_[i] = false;
-      if (on_readmit_) on_readmit_(static_cast<int>(i), now);
+    } else if (suspected_[i]) {
+      // Flapping hysteresis: readmission needs readmit_after_fresh
+      // *consecutive* fresh sweeps, so one lucky heartbeat over a lossy
+      // link cannot oscillate the node in and out of the cluster.
+      fresh_streak_[i] = stale ? 0 : fresh_streak_[i] + 1;
+      if (fresh_streak_[i] >= params_.readmit_after_fresh) {
+        suspected_[i] = false;
+        fresh_streak_[i] = 0;
+        if (on_readmit_) on_readmit_(static_cast<int>(i), now);
+      }
     }
   }
   sched_.after(seconds_to_simtime(params_.period_seconds), [this]() { monitor_round(); });

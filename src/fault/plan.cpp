@@ -70,6 +70,8 @@ void DetectionParams::validate() const {
     throw_error("DetectionParams: heartbeat period must be positive");
   if (suspect_after_missed < 1)
     throw_error("DetectionParams: suspect_after_missed must be >= 1");
+  if (readmit_after_fresh < 1)
+    throw_error("DetectionParams: readmit_after_fresh must be >= 1");
 }
 
 }  // namespace l2s::fault

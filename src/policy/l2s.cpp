@@ -105,6 +105,11 @@ int L2sPolicy::pick_low_all(const cluster::LoadView& view) {
 }
 
 int L2sPolicy::select_service_node(int entry, const trace::Request& r) {
+  // Brownout: shed forwarding — serve where the request landed, pay the
+  // (possible) cache miss locally instead of hand-off + remote service.
+  // The server sets are neither consulted nor grown, so no set-change
+  // broadcasts go out either.
+  if (brownout_level_ >= 1 && ctx_.node(entry).alive()) return entry;
   NodeState& me = state(entry);
   const SimTime now = ctx_.sched->now();
   const storage::FileId file = r.file;

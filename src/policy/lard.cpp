@@ -79,6 +79,10 @@ int LardPolicy::select_service_node(int entry, const trace::Request& r) {
 }
 
 int LardPolicy::select_next_in_connection(int current, const trace::Request& r) {
+  // Brownout: shed migration — the persistent connection stays put (disk
+  // can serve anything; only locality suffers), sparing the hand-off CPU
+  // and VIA traffic while the cluster is overloaded.
+  if (brownout_level_ >= 1 && ctx_.node(current).alive()) return current;
   const int chosen = decide(r);
   // decide() counts a new assignment at the chosen node; if the connection
   // stays where it is, no load moved.
@@ -105,9 +109,13 @@ int LardPolicy::decide(const trace::Request& r) {
     counters_.add("set_create");
   } else {
     chosen = view_.least_loaded_of(set);
+    // Brownout freezes replication churn: no set growth (which would pull
+    // cold copies onto already-busy nodes) and no shrink (which would
+    // evict warm copies mid-overload) — just the least-loaded member.
     const bool overloaded =
-        (view_.get(chosen) > params_.t_high && any_backend_below(params_.t_low)) ||
-        view_.get(chosen) >= 2 * params_.t_high;
+        brownout_level_ < 1 &&
+        ((view_.get(chosen) > params_.t_high && any_backend_below(params_.t_low)) ||
+         view_.get(chosen) >= 2 * params_.t_high);
     if (overloaded) {
       const int extra = least_loaded_backend();
       if (!sets_.contains(file, extra)) {
@@ -115,7 +123,8 @@ int LardPolicy::decide(const trace::Request& r) {
         counters_.add("set_grow");
       }
       chosen = extra;
-    } else if (set.size() > 1 && now - sets_.last_modified(file) > shrink_ns_) {
+    } else if (brownout_level_ < 1 && set.size() > 1 &&
+               now - sets_.last_modified(file) > shrink_ns_) {
       // Replication decayed: drop the most loaded member.
       const int victim = view_.most_loaded_of(set);
       if (victim != chosen) {

@@ -22,6 +22,8 @@ void Policy::on_node_suspected(int node) { on_node_failed(node); }
 
 void Policy::on_node_recovered(int /*node*/) {}
 
+void Policy::on_brownout(int /*level*/) {}
+
 void Policy::select_service_node_async(int entry, const trace::Request& r,
                                        std::function<void(int)> done) {
   done(select_service_node(entry, r));

@@ -115,10 +115,14 @@ void BucketSeries::bump(SimTime t, double delta) {
 std::vector<double> BucketSeries::rate_per_second(SimTime end) const {
   std::vector<double> rates;
   if (interval_ <= 0 || end <= start_) return rates;
+  // Cover [start, end) — and never drop a populated bucket: an event at
+  // exactly `end` (a completion stamped at the final event time the caller
+  // passes as `end`) lands in bucket floor((end-start)/interval), one past
+  // the ceil() count, and used to vanish from the timeline.
   const auto n = static_cast<std::size_t>((end - start_ + interval_ - 1) / interval_);
-  rates.resize(n, 0.0);
+  rates.resize(std::max(n, buckets_.size()), 0.0);
   const double seconds = simtime_to_seconds(interval_);
-  for (std::size_t i = 0; i < n && i < buckets_.size(); ++i) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
     rates[i] = buckets_[i] / seconds;
   }
   return rates;

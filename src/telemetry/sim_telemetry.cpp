@@ -21,7 +21,10 @@ SimTelemetry::SimTelemetry(const core::engine::EngineContext& ctx,
   failed_deadline_ = &registry_.counter("requests.failed", {{"reason", "deadline"}});
   failed_retries_ = &registry_.counter("requests.failed", {{"reason", "retries"}});
   failed_rejected_ = &registry_.counter("requests.failed", {{"reason", "rejected"}});
+  failed_shed_ = &registry_.counter("requests.failed", {{"reason", "shed"}});
   retries_ = &registry_.counter("requests.retries_scheduled");
+  hedges_ = &registry_.counter("requests.hedges");
+  brownout_transitions_ = &registry_.counter("overload.brownout_transitions");
   forwards_ = &registry_.counter("cluster.forwards");
   migrations_ = &registry_.counter("cluster.migrations");
   remote_fetches_ = &registry_.counter("cluster.remote_fetches");
@@ -90,11 +93,12 @@ void SimTelemetry::on_request_failed(const cluster::Connection* conn,
     case core::engine::FailureKind::kDeadline: failed_deadline_->add(); break;
     case core::engine::FailureKind::kRetriesExhausted: failed_retries_->add(); break;
     case core::engine::FailureKind::kRejected: failed_rejected_->add(); break;
+    case core::engine::FailureKind::kShed: failed_shed_->add(); break;
   }
   goodput_failed_->bump(now);
 
-  // Admission rejects never materialize a connection (conn == nullptr), so
-  // rejected requests leave counters but no span.
+  // Admission rejects and sheds never materialize a connection
+  // (conn == nullptr), so those requests leave counters but no span.
   if (conn == nullptr) return;
   if (config_.span_sample_every == 0 || !spans_.sampled(conn->id)) return;
   Span span;
@@ -118,6 +122,12 @@ void SimTelemetry::on_request_failed(const cluster::Connection* conn,
 }
 
 void SimTelemetry::on_retry_scheduled(SimTime /*now*/) { retries_->add(); }
+
+void SimTelemetry::on_hedge(SimTime /*now*/) { hedges_->add(); }
+
+void SimTelemetry::on_brownout(int /*level*/, SimTime /*now*/) {
+  brownout_transitions_->add();
+}
 
 void SimTelemetry::on_forward() { forwards_->add(); }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "l2sim/common/cli_args.hpp"
+#include "l2sim/common/error.hpp"
+#include "l2sim/core/spec.hpp"
 
 namespace l2s {
 namespace {
@@ -68,6 +70,70 @@ TEST(CliArgs, NegativeNumbersAsValues) {
 TEST(CliArgs, LastOccurrenceWins) {
   const auto a = parse({"--nodes", "4", "--nodes", "8"});
   EXPECT_EQ(a.get_int("nodes", 0), 8);
+}
+
+TEST(OverloadCli, FlashArrivalAndChaosSeed) {
+  const auto a = parse({"--arrival", "flash", "--flash-at", "5", "--flash-factor",
+                        "4.5", "--flash-ramp", "1.5", "--flash-hold", "10",
+                        "--chaos-seed", "777"});
+  core::ExperimentSpec spec;
+  core::apply_overload_cli(a, spec);
+  EXPECT_EQ(spec.sim.arrival.shape, core::ArrivalShape::kFlashCrowd);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.flash_at_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.flash_factor, 4.5);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.flash_ramp_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.flash_hold_seconds, 10.0);
+  EXPECT_EQ(spec.sim.seed, 777u);
+}
+
+TEST(OverloadCli, DiurnalChurnAndDefenses) {
+  const auto a = parse({"--arrival=diurnal", "--diurnal-period=30",
+                        "--diurnal-amp=0.25", "--churn-period=8",
+                        "--churn-stride=3", "--shedder=codel",
+                        "--target-delay=0.02", "--retry-budget=0.1",
+                        "--retry-burst=8", "--hedge-delay=0.05",
+                        "--max-hedges=2", "--brownout"});
+  core::ExperimentSpec spec;
+  core::apply_overload_cli(a, spec);
+  EXPECT_EQ(spec.sim.arrival.shape, core::ArrivalShape::kDiurnal);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.diurnal_period_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.diurnal_amplitude, 0.25);
+  EXPECT_DOUBLE_EQ(spec.sim.arrival.churn_period_seconds, 8.0);
+  EXPECT_EQ(spec.sim.arrival.churn_stride, 3u);
+  EXPECT_EQ(spec.sim.overload.shedder, core::ShedderKind::kQueueDelay);
+  EXPECT_DOUBLE_EQ(spec.sim.overload.target_delay_seconds, 0.02);
+  EXPECT_DOUBLE_EQ(spec.sim.overload.retry_budget_ratio, 0.1);
+  EXPECT_DOUBLE_EQ(spec.sim.overload.retry_budget_burst, 8.0);
+  EXPECT_DOUBLE_EQ(spec.sim.overload.hedge_delay_seconds, 0.05);
+  EXPECT_EQ(spec.sim.overload.max_hedges, 2);
+  EXPECT_TRUE(spec.sim.overload.brownout);
+  EXPECT_TRUE(spec.sim.overload.any_on());
+}
+
+TEST(OverloadCli, NoFlagsLeaveSpecUntouched) {
+  const auto a = parse({"--nodes", "8"});
+  core::ExperimentSpec spec;
+  const auto seed = spec.sim.seed;
+  core::apply_overload_cli(a, spec);
+  EXPECT_EQ(spec.sim.arrival.shape, core::ArrivalShape::kStationary);
+  EXPECT_EQ(spec.sim.overload.shedder, core::ShedderKind::kNone);
+  EXPECT_FALSE(spec.sim.overload.any_on());
+  EXPECT_EQ(spec.sim.seed, seed);
+}
+
+TEST(OverloadCli, StaticAndAimdShedderNames) {
+  core::ExperimentSpec spec;
+  core::apply_overload_cli(parse({"--shedder=static", "--static-cap=64"}), spec);
+  EXPECT_EQ(spec.sim.overload.shedder, core::ShedderKind::kStaticCap);
+  EXPECT_EQ(spec.sim.overload.static_cap, 64);
+  core::apply_overload_cli(parse({"--shedder=aimd"}), spec);
+  EXPECT_EQ(spec.sim.overload.shedder, core::ShedderKind::kAimd);
+}
+
+TEST(OverloadCli, UnknownNamesThrow) {
+  core::ExperimentSpec spec;
+  EXPECT_THROW(core::apply_overload_cli(parse({"--arrival=bursty"}), spec), Error);
+  EXPECT_THROW(core::apply_overload_cli(parse({"--shedder=drop-tail"}), spec), Error);
 }
 
 }  // namespace

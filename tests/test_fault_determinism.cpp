@@ -54,8 +54,12 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.failed_deadline, b.failed_deadline);
   EXPECT_EQ(a.failed_retries_exhausted, b.failed_retries_exhausted);
   EXPECT_EQ(a.failed_rejected, b.failed_rejected);
+  EXPECT_EQ(a.failed_shed, b.failed_shed);
   EXPECT_EQ(a.completed_after_retry, b.completed_after_retry);
   EXPECT_EQ(a.retry_attempts, b.retry_attempts);
+  EXPECT_EQ(a.hedge_attempts, b.hedge_attempts);
+  EXPECT_EQ(a.brownout_transitions, b.brownout_transitions);
+  EXPECT_EQ(a.brownout_final_level, b.brownout_final_level);
   EXPECT_EQ(a.via_dropped, b.via_dropped);
   EXPECT_EQ(a.via_duplicated, b.via_duplicated);
   EXPECT_EQ(a.via_delayed, b.via_delayed);
@@ -163,10 +167,74 @@ TEST(FaultDeterminism, EveryRequestLandsInExactlyOneBucket) {
     const auto r = sim.run();
     EXPECT_EQ(r.completed + r.failed, tr.request_count())
         << "scenario " << scenario << " policy " << policy_kind_name(kind);
-    EXPECT_EQ(r.failed,
-              r.failed_deadline + r.failed_retries_exhausted + r.failed_rejected)
+    EXPECT_EQ(r.failed, r.failed_deadline + r.failed_retries_exhausted +
+                            r.failed_rejected + r.failed_shed)
         << "scenario " << scenario;
     EXPECT_GE(r.retry_amplification, 1.0);
+  }
+}
+
+TEST(FaultDeterminism, RetryBudgetBoundsAmplificationUnderAnyPlan) {
+  // Property test: under randomly generated fault plans AND randomly
+  // generated overload defenses, total re-dispatch work (retries + hedges)
+  // never exceeds what the token bucket can have issued — the initial
+  // burst plus ratio tokens per admitted request — and plain retries never
+  // exceed max_retries per offered request. This is the anti-retry-storm
+  // guarantee: no plan can make the cluster amplify load past the budget.
+  const auto tr = seeded_trace(2000);
+  for (std::uint64_t scenario = 0; scenario < 8; ++scenario) {
+    Rng gen(0x5107 + scenario);
+    const int nodes = 3 + static_cast<int>(gen.next_u64() % 4);  // 3..6
+    SimConfig cfg;
+    cfg.nodes = nodes;
+    cfg.node.cache_bytes = 2 * kMiB;
+    cfg.seed = 0xCAFE00 + scenario;
+
+    // Random faults: a crash, maybe a recovery, lossy links.
+    const int crash_node =
+        static_cast<int>(gen.next_below(static_cast<std::uint64_t>(nodes)));
+    const double crash_at = 0.02 + 0.2 * gen.next_double();
+    cfg.fault_plan.crashes.push_back({crash_node, crash_at});
+    if (gen.next_u64() % 2 == 0)
+      cfg.fault_plan.recoveries.push_back(
+          {crash_node, crash_at + 0.1 + 0.2 * gen.next_double()});
+    cfg.fault_plan.message_faults.push_back(
+        {.loss_prob = 0.05 * gen.next_double(),
+         .extra_delay_seconds = 0.001 * gen.next_double(),
+         .duplicate_prob = 0.05 * gen.next_double()});
+    cfg.detection.heartbeats = gen.next_u64() % 2 == 0;
+    cfg.detection.readmit_after_fresh = 1 + static_cast<int>(gen.next_u64() % 3);
+
+    // Retries aggressive enough to storm without a budget...
+    cfg.retry.max_retries = 1 + static_cast<int>(gen.next_u64() % 3);
+    cfg.retry.attempt_timeout_seconds = 0.04 + 0.08 * gen.next_double();
+    cfg.retry.deadline_seconds = 0.5 + gen.next_double();
+    // ...and a random token budget (sometimes with hedging on top).
+    cfg.overload.retry_budget_ratio = 0.5 * gen.next_double();
+    cfg.overload.retry_budget_burst = 1.0 + static_cast<double>(gen.next_u64() % 16);
+    if (gen.next_u64() % 2 == 0) {
+      cfg.overload.hedge_delay_seconds = 0.05 + 0.1 * gen.next_double();
+      cfg.overload.max_hedges = 1 + static_cast<int>(gen.next_u64() % 2);
+    }
+
+    const auto kind = all_policies()[scenario % all_policies().size()];
+    ClusterSimulation sim(cfg, tr, make_policy(kind));
+    const auto r = sim.run();
+
+    const auto offered = r.completed + r.failed;
+    EXPECT_EQ(offered, tr.request_count()) << "scenario " << scenario;
+    // The bucket starts at `burst` and earns `ratio` per admitted request;
+    // every retry and every hedge spent one token, so:
+    const double issued_bound = cfg.overload.retry_budget_burst +
+                                cfg.overload.retry_budget_ratio *
+                                    static_cast<double>(offered);
+    EXPECT_LE(static_cast<double>(r.retry_attempts + r.hedge_attempts),
+              issued_bound + 1e-9)
+        << "scenario " << scenario << " policy " << policy_kind_name(kind);
+    // And independently of the bucket, the per-request retry cap holds.
+    EXPECT_LE(r.retry_attempts,
+              static_cast<std::uint64_t>(cfg.retry.max_retries) * offered)
+        << "scenario " << scenario;
   }
 }
 

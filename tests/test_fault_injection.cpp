@@ -3,9 +3,12 @@
 // message loss, fail-slow degradation, and the VIA fault-layer accounting.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "l2sim/core/simulation.hpp"
+#include "l2sim/fault/detector.hpp"
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/net/via.hpp"
 #include "l2sim/policy/l2s.hpp"
@@ -37,8 +40,8 @@ SimConfig base(int nodes) {
 
 void expect_bucket_invariant(const SimResult& r, std::uint64_t request_count) {
   EXPECT_EQ(r.completed + r.failed, request_count);
-  EXPECT_EQ(r.failed,
-            r.failed_deadline + r.failed_retries_exhausted + r.failed_rejected);
+  EXPECT_EQ(r.failed, r.failed_deadline + r.failed_retries_exhausted +
+                          r.failed_rejected + r.failed_shed);
 }
 
 // --- node restart semantics ----------------------------------------------
@@ -210,6 +213,72 @@ TEST(FaultInjection, HeartbeatsDetectAndReadmit) {
   EXPECT_LE(r.time_to_recover_ms, 200.0);
   EXPECT_GT(static_cast<double>(r.completed) / static_cast<double>(tr.request_count()),
             0.9);
+}
+
+// A link whose loss pattern flaps: heartbeats from node 1 vanish during an
+// outage window except for one lucky beat in the middle. Time-driven, not
+// random, so the flap count is exact.
+struct FlappyLink final : net::LinkFaultModel {
+  des::Scheduler& sched;
+  explicit FlappyLink(des::Scheduler& s) : sched(s) {}
+  net::LinkFault on_message(int src, int /*dst*/) override {
+    net::LinkFault f;
+    if (src != 1) return f;
+    const double now = simtime_to_seconds(sched.now());
+    const bool lucky = now >= 0.44 && now <= 0.46;  // the 0.45 s beat survives
+    f.drop = now >= 0.21 && now <= 0.699 && !lucky;
+    return f;
+  }
+};
+
+/// Drive the detector over the flapping link and count node 1's suspect /
+/// readmit notifications.
+std::pair<int, int> run_flappy_detector(int readmit_after_fresh) {
+  des::Scheduler sched;
+  net::NetParams params;
+  net::SwitchFabric fabric{sched, params.switch_latency()};
+  net::ViaNetwork via{sched, fabric, params};
+  cluster::NodeParams node_params;
+  node_params.cache_bytes = 1 * kMiB;
+  std::vector<std::unique_ptr<cluster::Node>> nodes;
+  std::vector<cluster::Node*> node_ptrs;
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back(std::make_unique<cluster::Node>(sched, i, node_params));
+    via.add_endpoint({&nodes.back()->cpu(), &nodes.back()->nic()});
+    node_ptrs.push_back(nodes.back().get());
+  }
+  FlappyLink link(sched);
+  via.set_fault_model(&link);
+
+  fault::DetectionParams det;
+  det.heartbeats = true;
+  det.period_seconds = 0.05;
+  det.suspect_after_missed = 3;
+  det.readmit_after_fresh = readmit_after_fresh;
+  fault::FailureDetector detector(sched, via, node_ptrs, det, 16);
+  int suspects = 0;
+  int readmits = 0;
+  detector.start([&] { return sched.now() < seconds_to_simtime(1.0); },
+                 [&](int node, SimTime) { suspects += node == 1 ? 1 : 0; },
+                 [&](int node, SimTime) { readmits += node == 1 ? 1 : 0; });
+  sched.run();
+  return {suspects, readmits};
+}
+
+TEST(FaultInjection, ReadmitHysteresisDampsFlapping) {
+  // Legacy readmit-on-first-fresh-sweep: the lucky 0.45 s heartbeat
+  // readmits the node mid-outage, which then gets suspected again when the
+  // loss resumes — the node flaps in and out of the cluster.
+  const auto [legacy_suspects, legacy_readmits] = run_flappy_detector(1);
+  EXPECT_EQ(legacy_suspects, 2);
+  EXPECT_EQ(legacy_readmits, 2);
+
+  // With a 4-sweep streak requirement the lone heartbeat buys only 3 fresh
+  // sweeps (the suspicion window spans 3 periods) before the loss resumes
+  // and resets the streak: one suspicion, one readmission, no flapping.
+  const auto [damped_suspects, damped_readmits] = run_flappy_detector(4);
+  EXPECT_EQ(damped_suspects, 1);
+  EXPECT_EQ(damped_readmits, 1);
 }
 
 // --- LARD warm-spare failover --------------------------------------------

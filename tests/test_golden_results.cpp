@@ -151,6 +151,29 @@ TEST(GoldenResults, MatrixMatchesRecordedDigests) {
   }
 }
 
+TEST(GoldenResults, DefaultOverloadConfigIsDigestInert) {
+  // The overload-resilience layer (SimConfig::overload, arrival shapes,
+  // churn) must be invisible when off: an explicitly default-constructed
+  // OverloadConfig and stationary arrival shape reproduce every recorded
+  // digest bit-for-bit. This is the contract that lets the resilience
+  // subsystem ride inside the engine rather than beside it.
+  ASSERT_FALSE(OverloadConfig{}.any_on());
+  const auto tr = golden_trace();
+  const auto cells = matrix();
+  ASSERT_EQ(cells.size(), kGolden.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SimConfig cfg = cells[i].cfg;
+    cfg.overload = OverloadConfig{};
+    cfg.arrival.shape = ArrivalShape::kStationary;
+    cfg.arrival.churn_period_seconds = 0.0;
+    const auto r = run_once(tr, cfg, cells[i].kind);
+    EXPECT_EQ(digest_hex(r), kGolden[i].second) << kGolden[i].first;
+    EXPECT_EQ(r.failed_shed, 0u);
+    EXPECT_EQ(r.hedge_attempts, 0u);
+    EXPECT_EQ(r.brownout_transitions, 0u);
+  }
+}
+
 TEST(GoldenResults, TelemetrySamplingDoesNotPerturbDigests) {
   // Telemetry is a passive observer: it schedules no events and draws no
   // random numbers, so enabling it — span capture, probe, registry and all

@@ -11,15 +11,21 @@
 #      kernel folds, the golden 36-cell matrix and a 256-node cluster run;
 #      >= 4x threaded speedup when >= 8 threads are usable; see
 #      docs/parallel_des.md)
-#   6. AddressSanitizer build, running the fault-injection suites
+#   6. overload bench (gates: metastable-collapse acceptance from
+#      docs/overload.md — undefended 3x-flash+crash baseline collapses,
+#      the AIMD+budget+brownout stack keeps >= 70% of nominal goodput,
+#      chaos replay bit-identical serial and under run_parallel); emits
+#      build/BENCH_overload.json
+#   7. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
 #      lifetime bugs would hide — the telemetry suites (`-L telemetry`:
-#      the span ring and exporter buffers), and the large-N sharded-engine
-#      suite (`-L largen`)
-#   7. ThreadSanitizer build, running the scheduler/event-kernel (sharded
+#      the span ring and exporter buffers), the large-N sharded-engine
+#      suite (`-L largen`), and the chaos-harness suite (`-L chaos`:
+#      overload defenses + non-stationary arrivals + faults composed)
+#   8. ThreadSanitizer build, running the scheduler/event-kernel (sharded
 #      kernel + mailboxes + windowed barriers included), run_parallel
 #      (including per-job telemetry + merge) and fault-determinism tests,
-#      plus the fault, telemetry and largen labels
+#      plus the fault, telemetry, largen and chaos labels
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
@@ -60,22 +66,24 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/telemetry_bench --out build/BENCH_telemetry.json
   echo "== parallel DES bench (speedup + digest-equality gates) =="
   ./build/bench/parallel_des_bench --out build/BENCH_parallel_des.json
+  echo "== overload bench (metastable-collapse acceptance gates) =="
+  ./build/bench/overload_bench --out build/BENCH_overload.json
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault + telemetry + largen suites =="
+  echo "== AddressSanitizer: fault + telemetry + largen + chaos suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests
-  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|largen'
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests l2sim_chaos_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|largen|chaos'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry tests =="
+  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry + chaos tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests l2sim_chaos_tests
   ctest --test-dir build-tsan --output-on-failure -j \
     -R 'Scheduler|ShardMap|ShardedScheduler|SchedulerHooks|ThreadBudget|Parallel|Determinism'
-  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|largen'
+  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|largen|chaos'
 fi
 
 echo "check.sh: all green"

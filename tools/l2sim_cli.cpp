@@ -45,6 +45,13 @@ int usage() {
       "                 [--trace-out T.json] [--metrics-out M.csv]\n"
       "                 [--timeseries-out TS.csv] [--spans-out S.csv]\n"
       "                 [--span-sample N]\n"
+      "                 [--arrival stationary|flash|diurnal] [--chaos-seed N]\n"
+      "                 [--flash-at S --flash-factor F --flash-ramp S\n"
+      "                  --flash-hold S] [--diurnal-period S --diurnal-amp A]\n"
+      "                 [--churn-period S --churn-stride K]\n"
+      "                 [--shedder none|static|codel|aimd] [--static-cap N]\n"
+      "                 [--target-delay S] [--retry-budget R --retry-burst B]\n"
+      "                 [--hedge-delay S --max-hedges K] [--brownout]\n"
       "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n";
   return 2;
 }
@@ -173,6 +180,7 @@ int cmd_run(const Args& args) {
   cfg.arrival.open_loop_rate = args.get_double("rate", 0.0);
   cfg.persistence.mean_requests_per_connection = args.get_double("rpc", 1.0);
   cfg.arrival.dns_entry_skew = args.get_double("skew", 0.0);
+  core::apply_overload_cli(args, spec);
   if (args.has("timeline")) spec.output.timeline_csv_path = args.get("timeline");
   // Telemetry: any export flag enables the recorder for the run.
   if (args.has("trace-out")) spec.output.trace_json_path = args.get("trace-out");
