@@ -1,0 +1,74 @@
+// Sharded-DES introspection study: run the 256-node shard-confined cluster
+// workload threaded with introspection on, verify the fold against the
+// serial reference (introspection must observe, never perturb), and render
+// what the window protocol actually did — per-shard occupancy and
+// imbalance, the cross-shard message matrix, lookahead-slack distribution,
+// and per-worker barrier-stall accounting. This is the measurement surface
+// for shard-count/partition tuning: the barrier-stall column is the
+// imbalance signal, the matrix shows who pays for a bad partition.
+//
+// Options: --shards N (default 8), --threads N (0 = budget), --out PATH
+// (write the exported telemetry metrics as CSV).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "l2sim/des/cluster_workload.hpp"
+#include "l2sim/l2sim.hpp"
+
+using namespace l2s;
+
+int main(int argc, char** argv) {
+  int shards = 8;
+  unsigned threads = 0;
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards") shards = std::atoi(argv[i + 1]);
+    if (arg == "--threads") threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    if (arg == "--out") out_path = argv[i + 1];
+  }
+
+  const double scale = bench_scale();
+  des::WorkloadParams p;
+  p.nodes = 256;
+  p.requests_per_node = std::max(1, static_cast<int>(8.0 * scale));
+  p.hops = 64;
+
+  std::cout << "Shard introspection study (" << p.nodes << " nodes, "
+            << p.requests_per_node << " requests/node, " << p.hops << " hops, "
+            << shards << " shards, L2SIM_SCALE=" << scale << ")\n\n";
+
+  des::ShardedScheduler engine(shards, p.latency,
+                               des::ShardedScheduler::Mode::kThreaded);
+  engine.enable_introspection();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto threaded = des::run_cluster_workload_on(p, engine, threads);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Introspection is an observation: the fold must still match the serial
+  // reference bit for bit.
+  const auto serial = des::run_cluster_workload_serial(p);
+  if (threaded.digest != serial.digest || threaded.events != serial.events) {
+    std::cerr << "shard_introspection_study: threaded fold diverged from the "
+                 "serial reference with introspection on\n";
+    return 1;
+  }
+
+  std::cout << threaded.events << " events in " << format_double(elapsed, 3)
+            << " s (" << format_double(static_cast<double>(threaded.events) / elapsed / 1e6, 2)
+            << " M events/s), " << threaded.windows << " windows\n\n";
+
+  obs::write_shard_report(std::cout, engine);
+
+  telemetry::Registry registry;
+  obs::export_shard_introspection(registry, engine);
+  std::cout << "\nexported " << registry.metric_count() << " telemetry metrics\n";
+  if (!out_path.empty()) {
+    telemetry::export_metrics_csv(out_path, registry.snapshot());
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -15,10 +15,17 @@
 //   span1    every span recorded (full capture). Informational, no gate —
 //            this is the debugging configuration.
 //
+// Gate protocol (same as bench/obs_bench): up to kAttempts full
+// interleaves, gating the attempt whose ratios sit lowest relative to the
+// limits. A real regression is present in every run and fails every
+// attempt; shared-host noise at the +-2-4% level fails one attempt with
+// noticeable probability but all of them only rarely.
+//
 // Emits BENCH_telemetry.json (schema: docs/telemetry.md) and exits
 // non-zero when a gate fails so CI treats regressions as errors. Gates
 // carry a small absolute floor so a microscopic trace under L2SIM_SCALE
 // cannot fail on scheduler jitter.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -95,9 +102,12 @@ int main(int argc, char** argv) {
        }},
   };
 
+  const int kAttempts = 3;
+
   std::cout << "Telemetry overhead bench (" << tr.request_count() << " requests, "
             << base.nodes << " nodes, min of " << reps
-            << " interleaved reps, L2SIM_SCALE=" << scale << ")\n\n";
+            << " interleaved reps x up to " << kAttempts
+            << " attempts, L2SIM_SCALE=" << scale << ")\n\n";
 
   // Untimed warm-up pass (page in the trace, warm the allocator).
   {
@@ -105,15 +115,34 @@ int main(int argc, char** argv) {
     (void)run_seconds(tr, cfg);
   }
 
-  std::vector<double> best(modes.size(), 1e300);
-  for (int rep = 0; rep < reps; ++rep) {
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-      core::SimConfig cfg = base;
-      modes[m].apply(cfg);
-      const double s = run_seconds(tr, cfg);
-      if (s < best[m]) best[m] = s;
+  // An attempt's badness is its worst gate ratio relative to that gate's
+  // limit; the gated attempt is the least-bad one (see header comment).
+  auto attempt_badness = [](const std::vector<double>& b) {
+    return std::max(b[1] / b[0] - 1.01, b[2] / b[0] - 1.05);
+  };
+  std::vector<double> best;
+  int attempts_run = 0;
+  for (int att = 0; att < kAttempts; ++att) {
+    std::vector<double> cur(modes.size(), 1e300);
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < modes.size(); ++i) {
+        // Alternate the sweep direction every rep so slow machine drift
+        // charges each mode symmetrically.
+        const std::size_t m = (rep % 2 == 0) ? i : modes.size() - 1 - i;
+        core::SimConfig cfg = base;
+        modes[m].apply(cfg);
+        const double s = run_seconds(tr, cfg);
+        if (s < cur[m]) cur[m] = s;
+      }
     }
+    ++attempts_run;
+    std::cout << "attempt " << attempts_run << ": counters "
+              << format_double(cur[1] / cur[0], 4) << "  span64 "
+              << format_double(cur[2] / cur[0], 4) << "\n";
+    if (best.empty() || attempt_badness(cur) < attempt_badness(best)) best = cur;
+    if (attempt_badness(best) <= 0.0) break;  // all gates satisfied
   }
+  std::cout << "\n";
 
   const double off = best[0];
   TextTable t({"Mode", "Best s", "Ratio vs off"});
@@ -157,6 +186,7 @@ int main(int argc, char** argv) {
       << "  \"nodes\": " << base.nodes << ",\n"
       << "  \"request_count\": " << tr.request_count() << ",\n"
       << "  \"reps\": " << reps << ",\n"
+      << "  \"attempts\": " << attempts_run << ",\n"
       << "  \"modes\": [\n";
   for (std::size_t m = 0; m < modes.size(); ++m) {
     out << "    {\"mode\": \"" << modes[m].name << "\", \"best_seconds\": "

@@ -21,6 +21,7 @@
 #include "l2sim/common/units.hpp"
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/net/params.hpp"
+#include "l2sim/obs/config.hpp"
 #include "l2sim/telemetry/config.hpp"
 
 namespace l2s::core {
@@ -222,6 +223,11 @@ struct EngineConfig {
   /// every golden cell. Threaded window execution is the kernel-level
   /// fast path (see docs/parallel_des.md for the phase split).
   int shards = 0;
+
+  /// Collect des::ShardIntrospection on the sharded engine (per-shard
+  /// event/window counters, cross-shard message matrix, lookahead slack).
+  /// Observation only — never changes event order. Ignored when serial.
+  bool introspect = false;
 };
 
 struct SimConfig {
@@ -282,6 +288,9 @@ struct SimConfig {
   /// exporters (off by default; enabling it must not change results — the
   /// golden-digest suite pins that).
   telemetry::TelemetryConfig telemetry;
+  /// Flight recorder: bounded decision log with cause codes (off by
+  /// default; recording is digest-inert — pinned like telemetry).
+  obs::ObsConfig obs;
   /// Per-node CPU speed factors (empty = homogeneous cluster, the paper's
   /// assumption). When set, the vector length must equal `nodes`.
   std::vector<double> node_speed_factors;

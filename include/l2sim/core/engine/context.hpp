@@ -72,6 +72,26 @@ struct EngineContext {
     return *(*nodes)[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] bool node_alive(int id) const { return node(id).alive(); }
+
+  /// Publish one engine decision through the observer fan-out. Stamps the
+  /// current simulated time and pass; pure notification — the fan-out's
+  /// listeners are passive, so calling this never perturbs the event
+  /// stream (which is what lets the flight recorder stay digest-inert).
+  void note_decision(obs::DecisionKind kind, obs::DecisionCause cause,
+                     std::uint64_t request, int node, int target = -1,
+                     std::uint32_t attempt = 0, std::int64_t detail = 0) const {
+    obs::DecisionRecord rec;
+    rec.time = now();
+    rec.request = request;
+    rec.node = node;
+    rec.target = target;
+    rec.detail = detail;
+    rec.attempt = attempt;
+    rec.kind = kind;
+    rec.cause = cause;
+    rec.pass = measured_pass ? 1 : 0;
+    observers->on_decision(rec);
+  }
 };
 
 }  // namespace l2s::core::engine

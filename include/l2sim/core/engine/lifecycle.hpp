@@ -11,6 +11,7 @@
 
 #include "l2sim/cluster/connection.hpp"
 #include "l2sim/common/units.hpp"
+#include "l2sim/obs/decision.hpp"
 
 namespace l2s::core::engine {
 
@@ -60,6 +61,12 @@ class LifecycleObserver {
   /// Telemetry probes ride this existing event instead of scheduling their
   /// own, so enabling them cannot change the event stream.
   virtual void on_load_sample(SimTime /*now*/) {}
+  /// An engine component made a discrete decision (dispatch target picked,
+  /// arrival shed, brownout transition, retry-budget spend/deny, ...). The
+  /// record is emitted via EngineContext::note_decision at the point the
+  /// decision is taken; the flight recorder and telemetry cause counters
+  /// listen here. Same contract as every other hook: passive only.
+  virtual void on_decision(const obs::DecisionRecord& /*record*/) {}
 
   // Fault timeline (from the coordinator's fault arming / detection).
   virtual void on_node_crashed(int /*node*/, SimTime /*at*/) {}
@@ -95,6 +102,9 @@ class LifecycleFanout final : public LifecycleObserver {
   }
   void on_load_sample(SimTime now) override {
     for (auto* o : observers_) o->on_load_sample(now);
+  }
+  void on_decision(const obs::DecisionRecord& record) override {
+    for (auto* o : observers_) o->on_decision(record);
   }
   void on_forward() override {
     for (auto* o : observers_) o->on_forward();

@@ -68,6 +68,10 @@ class OverloadController {
   [[nodiscard]] int brownout_level() const { return level_; }
   /// Effective AIMD in-flight cap (meaningful only under kAimd).
   [[nodiscard]] std::uint64_t window_cap() const;
+  /// Which defense said no in the most recent admit_arrival() == false —
+  /// the admission path reads this to attribute the shed in the decision
+  /// log (the shed itself is recorded where the failure is counted).
+  [[nodiscard]] obs::DecisionCause last_shed_cause() const { return last_shed_cause_; }
 
  private:
   void aimd_tick();
@@ -102,6 +106,7 @@ class OverloadController {
   // Brownout.
   int level_ = 0;
   std::uint64_t arrivals_seen_ = 0;  ///< level-2 sheds every other arrival
+  obs::DecisionCause last_shed_cause_ = obs::DecisionCause::kNone;
 
   // AIMD window.
   double aimd_cap_ = 0.0;

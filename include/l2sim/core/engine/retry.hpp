@@ -25,11 +25,12 @@ class RetryManager {
   /// Abort the connection's current attempt (its node crashed, or the
   /// policy produced no decision): retried if the client has retry budget
   /// left, otherwise the client sees a failure and the admission slot
-  /// frees after the client timeout. Idempotent.
-  void abort_connection(const ConnPtr& conn);
+  /// frees after the client timeout. Idempotent. `cause` attributes the
+  /// abort in the decision log (entry node down, no policy target, ...).
+  void abort_connection(const ConnPtr& conn, obs::DecisionCause cause);
 
   /// Consume retry budget and schedule the next attempt after backoff.
-  void schedule_retry(const ConnPtr& conn);
+  void schedule_retry(const ConnPtr& conn, obs::DecisionCause cause);
 
   /// Arm the per-request deadline (measured from the current request's
   /// arrival); re-armed by each request on a persistent connection.

@@ -12,6 +12,10 @@ namespace l2s::telemetry {
 struct Snapshot;
 }  // namespace l2s::telemetry
 
+namespace l2s::obs {
+struct DecisionTrace;
+}  // namespace l2s::obs
+
 namespace l2s::core {
 
 struct SimResult {
@@ -100,6 +104,12 @@ struct SimResult {
   /// spans, fault timeline). Null unless SimConfig::telemetry.enabled;
   /// shared so SimResult stays cheaply copyable.
   std::shared_ptr<const telemetry::Snapshot> telemetry;
+
+  /// Flight-recorder decision log (oldest-first retained window). Null
+  /// unless SimConfig::obs.enabled; like `telemetry` it is deliberately
+  /// NOT folded into result_digest — recording is an observation of the
+  /// run, never part of its identity.
+  std::shared_ptr<const obs::DecisionTrace> decisions;
 
   /// One-paragraph human-readable summary.
   [[nodiscard]] std::string describe() const;

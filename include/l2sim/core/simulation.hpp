@@ -42,6 +42,10 @@ namespace l2s::telemetry {
 class SimTelemetry;
 }  // namespace l2s::telemetry
 
+namespace l2s::obs {
+class FlightRecorder;
+}  // namespace l2s::obs
+
 namespace l2s::core {
 
 namespace engine {
@@ -76,6 +80,8 @@ class ClusterSimulation {
   [[nodiscard]] const SimConfig& config() const { return config_; }
   /// The run's telemetry bridge (null unless config.telemetry.enabled).
   [[nodiscard]] telemetry::SimTelemetry* telemetry() { return telemetry_.get(); }
+  /// The run's flight recorder (null unless config.obs records).
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
 
  private:
   /// One pass: open an admission window, start arrivals (and the load
@@ -124,6 +130,9 @@ class ClusterSimulation {
   /// when config.telemetry.enabled — the disabled path has no telemetry
   /// code at all.
   std::unique_ptr<telemetry::SimTelemetry> telemetry_;
+  /// Flight recorder; only constructed (and registered on the fan-out)
+  /// when config.obs.enabled or a DecisionSink is wired.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   bool ran_ = false;
 };
 

@@ -56,10 +56,17 @@ struct OutputSpec {
   std::string timeseries_csv_path; ///< probe/goodput time-series CSV
   std::string spans_csv_path;      ///< sampled spans CSV
 
+  /// Decision-log export ("" = off). Setting it force-enables sim.obs for
+  /// the run, the same way the telemetry exports above enable telemetry.
+  /// When trace_json_path is also set, the decision log is joined onto the
+  /// Chrome trace's span tracks as instant/flow events.
+  std::string decisions_csv_path;
+
   [[nodiscard]] bool wants_telemetry() const {
     return !trace_json_path.empty() || !metrics_csv_path.empty() ||
            !timeseries_csv_path.empty() || !spans_csv_path.empty();
   }
+  [[nodiscard]] bool wants_obs() const { return !decisions_csv_path.empty(); }
 };
 
 /// The full experiment description. `sim` carries the cluster hardware,
@@ -90,6 +97,12 @@ struct ModelResult {
 [[nodiscard]] SimResult run_simulation(const ExperimentSpec& spec);
 [[nodiscard]] SimResult run_simulation(const ExperimentSpec& spec,
                                        const trace::Trace& trace);
+
+/// Write every export the OutputSpec asks for from an already-obtained
+/// result (telemetry CSV/trace files, decision-log CSV). run_simulation
+/// calls this itself; callers that drive ClusterSimulation directly (the
+/// CLI's round-robin path) reuse it so every path exports identically.
+void export_outputs(const OutputSpec& output, const SimResult& result);
 
 /// Run the spec on the analytic model (policy-independent bound).
 [[nodiscard]] ModelResult run_model(const ExperimentSpec& spec);

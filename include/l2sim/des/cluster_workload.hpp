@@ -54,4 +54,12 @@ struct WorkloadResult {
     const WorkloadParams& p, int shards, ShardedScheduler::Mode mode,
     unsigned threads = 0);
 
+/// Run on a caller-constructed ShardedScheduler (fresh, never run), so the
+/// caller can configure it first — e.g. enable_introspection() — and
+/// inspect it afterwards. engine.lookahead() must not exceed p.latency
+/// (the workload's conservative bound).
+[[nodiscard]] WorkloadResult run_cluster_workload_on(const WorkloadParams& p,
+                                                     ShardedScheduler& engine,
+                                                     unsigned threads = 0);
+
 }  // namespace l2s::des

@@ -59,6 +59,41 @@
 
 namespace l2s::des {
 
+/// Measured behaviour of a sharded run, collected only when
+/// enable_introspection() was called before run(). Everything here is an
+/// *observation*: collecting it never changes event order, and the
+/// simulation-derived fields (window events, occupancy, message matrix)
+/// are deterministic run-over-run — only the wall-clock seconds vary.
+struct ShardIntrospection {
+  /// log2 histograms: bucket b counts values v with bit_width(v) == b,
+  /// i.e. v in [2^(b-1), 2^b); bucket 0 counts v == 0.
+  static constexpr std::size_t kLog2Buckets = 33;
+  /// Per-shard (floor, events) window timeline entries retained at most.
+  static constexpr std::size_t kTimelineCap = 1 << 14;
+
+  struct Shard {
+    std::uint64_t window_events = 0;   ///< events executed inside threaded windows
+    std::uint64_t active_windows = 0;  ///< windows where this shard ran >= 1 event
+    std::uint64_t posted = 0;          ///< cross-shard sends originating here
+    std::vector<std::uint64_t> sent_to;         ///< messages to each destination shard
+    std::vector<std::uint64_t> occupancy_log2;  ///< events-per-active-window histogram
+    std::vector<std::uint64_t> slack_log2_us;   ///< post() slack beyond the minimum
+                                                ///< stamp (now + L), in microseconds
+    /// (window floor M, events run) for this shard's first kTimelineCap
+    /// active windows — the raw material for per-shard utilization tracks.
+    std::vector<std::pair<SimTime, std::uint32_t>> timeline;
+    double run_seconds = 0.0;  ///< wall time spent inside run_window
+  };
+
+  std::vector<Shard> shards;
+  /// Wall time each worker spent blocked at window barriers / running
+  /// windows. Nondeterministic by nature (these ARE the stall data the
+  /// shard-confined front-end design needs); sized by the worker count of
+  /// the last threaded run.
+  std::vector<double> worker_barrier_seconds;
+  std::vector<double> worker_run_seconds;
+};
+
 class ShardedScheduler {
  public:
   enum class Mode { kSequentialMerge, kThreaded };
@@ -102,6 +137,13 @@ class ShardedScheduler {
   /// Windows executed by threaded runs (merge mode leaves it at 0).
   [[nodiscard]] std::uint64_t windows_executed() const { return windows_; }
 
+  /// Start collecting ShardIntrospection. Call before run(); counters
+  /// accumulate across repeated runs. Off by default — the hot paths pay
+  /// nothing (a null check) when disabled.
+  void enable_introspection();
+  /// The collected data, or null when introspection was never enabled.
+  [[nodiscard]] const ShardIntrospection* introspection() const { return intro_.get(); }
+
  private:
   struct Msg {
     SimTime time = 0;
@@ -132,6 +174,14 @@ class ShardedScheduler {
   std::uint64_t posted_ = 0;      ///< merge-mode increments are unsynchronized;
                                   ///< threaded mode counts via msg_seq_ sum
   std::uint64_t windows_ = 0;
+  /// Introspection (null = off). Per-shard rows are written only by the
+  /// shard's current owner (same exclusivity argument as the shard heaps:
+  /// dynamic claiming hands a shard to one worker per window, barriers
+  /// order the hand-offs), per-worker rows only by that worker.
+  std::unique_ptr<ShardIntrospection> intro_;
+  /// Floor M of the window being executed; written by the barrier
+  /// completion step, read by workers in phase B (barrier-ordered).
+  SimTime window_floor_ = 0;
 };
 
 }  // namespace l2s::des

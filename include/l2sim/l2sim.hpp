@@ -13,6 +13,7 @@
 //   * l2s::des       — discrete-event simulation kernel
 //   * l2s::fault     — deterministic fault injection & failure detection
 //   * l2s::telemetry — metrics registry, span recorder, trace exporters
+//   * l2s::obs       — flight recorder, decision log, divergence debugger
 //   * l2s::net, l2s::storage, l2s::cache, l2s::cluster — substrates
 #pragma once
 
@@ -43,6 +44,12 @@
 #include "l2sim/telemetry/registry.hpp"
 #include "l2sim/telemetry/sim_telemetry.hpp"
 #include "l2sim/telemetry/span.hpp"
+#include "l2sim/obs/config.hpp"
+#include "l2sim/obs/decision.hpp"
+#include "l2sim/obs/diff.hpp"
+#include "l2sim/obs/exporters.hpp"
+#include "l2sim/obs/recorder.hpp"
+#include "l2sim/obs/shard_introspection.hpp"
 #include "l2sim/model/cluster_model.hpp"
 #include "l2sim/model/latency.hpp"
 #include "l2sim/model/parameters.hpp"

@@ -1,0 +1,40 @@
+// Flight-recorder configuration. Lives in its own header (included by
+// core/config.hpp) so the obs subsystem's vocabulary stays independent of
+// the engine headers — obs depends on core, never the reverse.
+#pragma once
+
+#include <cstdint>
+
+#include "l2sim/obs/decision.hpp"
+
+namespace l2s::obs {
+
+/// SimConfig::obs. Everything defaults OFF: with `enabled == false` and no
+/// sink the coordinator does not even construct a FlightRecorder, and with
+/// it on the recorder only appends PODs to a ring from inside lifecycle
+/// callbacks — zero scheduled events, zero random draws, so the golden
+/// digests are bit-identical either way (pinned in test_golden_results).
+struct ObsConfig {
+  /// Construct the FlightRecorder and retain a DecisionTrace in SimResult.
+  bool enabled = false;
+  /// Ring capacity in records (40 B each). 0 = unbounded (keep everything);
+  /// the default keeps the last 16384 decisions (~640 KiB). Kept well under
+  /// the simulator's hot working set on purpose: the ring is written on
+  /// every decision, so a multi-MiB ring steadily evicts the cache model's
+  /// own structures — overhead no profiler attributes to obs code. Raise it
+  /// (or use 0) for post-mortem depth, not for always-on runs.
+  std::uint64_t capacity = 1ULL << 14;
+  /// Keep warm-up-pass records (tagged pass = 0). The divergence debugger
+  /// wants them — a divergence usually starts in warm-up — while overhead
+  /// runs may drop them.
+  bool include_warmup = true;
+  /// Optional streaming consumer, invoked for every record before it enters
+  /// the ring (subject to include_warmup). Non-owning; must outlive the
+  /// simulation. Setting a sink implies recording even if `enabled` is
+  /// false (the ring then stays minimal and no trace is retained).
+  DecisionSink* sink = nullptr;
+
+  [[nodiscard]] bool active() const { return enabled || sink != nullptr; }
+};
+
+}  // namespace l2s::obs

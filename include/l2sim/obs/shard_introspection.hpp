@@ -1,0 +1,37 @@
+// Sharded-DES introspection surface: lift the raw ShardIntrospection data
+// a ShardedScheduler collects (window occupancy, barrier-wait time, the
+// cross-shard message matrix, lookahead-slack histograms) into telemetry
+// metrics and a human-readable report. Collection lives in the DES layer;
+// this module only translates — it never touches a running scheduler.
+#pragma once
+
+#include <iosfwd>
+
+#include "l2sim/des/sharded_scheduler.hpp"
+
+namespace l2s::telemetry {
+class Registry;
+}
+
+namespace l2s::obs {
+
+/// Export the scheduler's introspection data into `registry`:
+///   shard.window_events{shard}     counter  events run inside windows
+///   shard.active_windows{shard}    counter  windows with >= 1 event
+///   shard.posted{shard}            counter  cross-shard sends originating here
+///   shard.sent{src,dst}            counter  message matrix (nonzero cells)
+///   shard.window_occupancy{shard}  histogram  events per active window
+///   shard.post_slack_us{shard}     histogram  post() slack past now + L
+///   shard.run_seconds{shard}       gauge    wall time inside run_window
+///   worker.barrier_seconds{worker} gauge    wall time blocked at barriers
+///   worker.run_seconds{worker}     gauge    wall time running windows
+///   shard.window_timeline{shard}   sample series  (window floor, events)
+/// No-op when introspection was never enabled on `sched`.
+void export_shard_introspection(telemetry::Registry& registry,
+                                const des::ShardedScheduler& sched);
+
+/// Human-readable per-shard report: occupancy/imbalance table, cross-shard
+/// message matrix, worker barrier-stall accounting.
+void write_shard_report(std::ostream& out, const des::ShardedScheduler& sched);
+
+}  // namespace l2s::obs

@@ -43,6 +43,7 @@ class SimTelemetry final : public core::engine::LifecycleObserver {
   [[nodiscard]] Snapshot snapshot() const;
 
   // --- LifecycleObserver --------------------------------------------------
+  void on_decision(const obs::DecisionRecord& record) override;
   void on_request_completed(const cluster::Connection& conn, SimTime now) override;
   void on_request_failed(const cluster::Connection* conn,
                          core::engine::FailureKind kind, SimTime now) override;

@@ -1,5 +1,7 @@
 #include "l2sim/core/engine/admission.hpp"
 
+#include "l2sim/core/engine/overload.hpp"
+
 namespace l2s::core::engine {
 
 void AdmissionController::open() {
@@ -33,15 +35,24 @@ void AdmissionController::release_after(SimTime hold) {
 void AdmissionController::reject_overflow() {
   std::uint64_t seq = 0;
   trace::Request r{};
-  if (injector_->try_take(seq, r))
+  if (injector_->try_take(seq, r)) {
+    ctx_.note_decision(obs::DecisionKind::kReject, obs::DecisionCause::kBufferOverflow,
+                       seq, -1);
     ctx_.observers->on_request_failed(nullptr, FailureKind::kRejected, ctx_.now());
+  }
 }
 
 void AdmissionController::shed_arrival() {
   std::uint64_t seq = 0;
   trace::Request r{};
-  if (injector_->try_take(seq, r))
+  if (injector_->try_take(seq, r)) {
+    // Attribute the shed to the defense that refused the arrival; the
+    // request never materialized a connection, so `request` carries the
+    // injector sequence number instead of a connection id.
+    ctx_.note_decision(obs::DecisionKind::kShed, ctx_.overload->last_shed_cause(), seq,
+                       -1);
     ctx_.observers->on_request_failed(nullptr, FailureKind::kShed, ctx_.now());
+  }
 }
 
 }  // namespace l2s::core::engine

@@ -41,14 +41,15 @@ void Dispatcher::start_attempt(const ConnPtr& conn) {
   ctx_.router->forward(ctx_.cfg().request_msg_bytes, [this, conn, att]() {
     if (attempt_stale(conn, att)) return;
     if (!ctx_.node_alive(conn->entry_node)) {
-      ctx_.retry->abort_connection(conn);  // connection refused: the entry node is down
+      // Connection refused: the entry node is down.
+      ctx_.retry->abort_connection(conn, obs::DecisionCause::kEntryNodeDown);
       return;
     }
     cluster::Node& entry = ctx_.node(conn->entry_node);
     entry.nic().rx().submit(ctx_.cfg().net.ni_request_time(), [this, conn, att]() {
       if (attempt_stale(conn, att)) return;
       if (!ctx_.node_alive(conn->entry_node)) {
-        ctx_.retry->abort_connection(conn);
+        ctx_.retry->abort_connection(conn, obs::DecisionCause::kEntryNodeDown);
         return;
       }
       cluster::Node& n = ctx_.node(conn->entry_node);
@@ -64,7 +65,7 @@ void Dispatcher::start_attempt(const ConnPtr& conn) {
 void Dispatcher::distribute(const ConnPtr& conn) {
   if (conn->state == ConnectionState::kDone) return;
   if (!ctx_.node_alive(conn->entry_node)) {
-    ctx_.retry->abort_connection(conn);
+    ctx_.retry->abort_connection(conn, obs::DecisionCause::kEntryNodeDown);
     return;
   }
   conn->state = ConnectionState::kDispatching;
@@ -86,11 +87,17 @@ void Dispatcher::dispatch_to(const ConnPtr& conn, int target) {
   if (target < 0) {
     // The policy could not produce a decision (e.g. its dispatcher died):
     // the client's request fails.
-    ctx_.retry->abort_connection(conn);
+    ctx_.note_decision(obs::DecisionKind::kDispatch, obs::DecisionCause::kNoPolicyTarget,
+                       conn->id, conn->entry_node, -1, conn->attempt);
+    ctx_.retry->abort_connection(conn, obs::DecisionCause::kNoPolicyTarget);
     return;
   }
   L2S_REQUIRE(target < ctx_.cfg().nodes);
   conn->service_node = target;
+  ctx_.note_decision(obs::DecisionKind::kDispatch,
+                     target == conn->entry_node ? obs::DecisionCause::kLocalService
+                                                : obs::DecisionCause::kForwardService,
+                     conn->id, conn->entry_node, target, conn->attempt);
 
   if (target == conn->entry_node) {
     ctx_.service->begin_service(conn, /*opening=*/true);

@@ -58,15 +58,21 @@ bool OverloadController::admit_arrival() {
   // Brownout level 2: shed service — every other arrival is turned away
   // regardless of what the shedder would decide (deterministic modulo
   // drop, no randomness).
-  if (level_ >= 2 && (arrivals_seen_ % 2 == 0)) return false;
+  if (level_ >= 2 && (arrivals_seen_ % 2 == 0)) {
+    last_shed_cause_ = obs::DecisionCause::kShedBrownout;
+    return false;
+  }
   switch (ov().shedder) {
     case ShedderKind::kNone:
       return true;
     case ShedderKind::kStaticCap:
+      last_shed_cause_ = obs::DecisionCause::kShedStaticCap;
       return ctx_.admission->in_flight() < ov().static_cap;
     case ShedderKind::kQueueDelay:
+      last_shed_cause_ = obs::DecisionCause::kShedQueueDelay;
       return !above_target_;
     case ShedderKind::kAimd:
+      last_shed_cause_ = obs::DecisionCause::kShedAimd;
       return ctx_.admission->in_flight() < window_cap();
   }
   return true;
@@ -141,6 +147,10 @@ void OverloadController::close_window(SimTime now) {
 }
 
 void OverloadController::set_brownout_level(int level, SimTime now) {
+  ctx_.note_decision(obs::DecisionKind::kBrownout,
+                     level > level_ ? obs::DecisionCause::kBrownoutRaise
+                                    : obs::DecisionCause::kBrownoutEase,
+                     0, -1, -1, 0, level);
   level_ = level;
   ctx_.policy->on_brownout(level);
   ctx_.observers->on_brownout(level, now);

@@ -11,14 +11,14 @@ void PersistentPath::continue_connection(const ConnPtr& conn) {
   ctx_.router->forward(ctx_.cfg().request_msg_bytes, [this, conn, att]() {
     if (attempt_stale(conn, att)) return;
     if (!ctx_.service->service_current(conn)) {
-      ctx_.retry->abort_connection(conn);
+      ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
       return;
     }
     cluster::Node& n = ctx_.node(conn->service_node);
     n.nic().rx().submit(ctx_.cfg().net.ni_request_time(), [this, conn, att]() {
       if (attempt_stale(conn, att)) return;
       if (!ctx_.service->service_current(conn)) {
-        ctx_.retry->abort_connection(conn);
+        ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
         return;
       }
       cluster::Node& node = ctx_.node(conn->service_node);
@@ -38,7 +38,7 @@ void PersistentPath::continue_connection(const ConnPtr& conn) {
 void PersistentPath::persistent_distribute(const ConnPtr& conn) {
   if (conn->state == ConnectionState::kDone) return;
   if (!ctx_.service->service_current(conn)) {
-    ctx_.retry->abort_connection(conn);
+    ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
     return;
   }
   conn->state = ConnectionState::kDispatching;
@@ -72,7 +72,7 @@ void PersistentPath::migrate_connection(const ConnPtr& conn, int target) {
       new_node.cpu().submit(ctx_.cfg().net.cpu_msg_time(), [this, conn, from, target, att]() {
         if (attempt_stale(conn, att)) return;
         if (!ctx_.node_alive(target)) {
-          ctx_.retry->abort_connection(conn);
+          ctx_.retry->abort_connection(conn, obs::DecisionCause::kPeerNodeDown);
           return;
         }
         // `from` loses the connection (if it is still that incarnation).
@@ -108,7 +108,7 @@ void PersistentPath::remote_fetch(const ConnPtr& conn, int owner) {
       own.cpu().submit(ctx_.cfg().net.cpu_msg_time(), [this, conn, current, owner, att]() {
         if (attempt_stale(conn, att)) return;
         if (!ctx_.node_alive(owner) || !ctx_.node_alive(current)) {
-          ctx_.retry->abort_connection(conn);
+          ctx_.retry->abort_connection(conn, obs::DecisionCause::kPeerNodeDown);
           return;
         }
         cluster::Node& o = ctx_.node(owner);

@@ -19,13 +19,21 @@ void RetryManager::fail_connection(const ConnPtr& conn, FailureKind kind,
   ctx_.admission->release_after(slot_hold);
 }
 
-void RetryManager::abort_connection(const ConnPtr& conn) {
+void RetryManager::abort_connection(const ConnPtr& conn, obs::DecisionCause cause) {
   if (conn->state == ConnectionState::kDone) return;
-  if (conn->retries_used < static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries) &&
-      ctx_.overload->try_spend_retry_token()) {
+  const bool retries_left =
+      conn->retries_used < static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries);
+  if (retries_left && ctx_.overload->try_spend_retry_token()) {
     ctx_.service->release_service_count(conn);
-    schedule_retry(conn);
+    schedule_retry(conn, cause);
     return;
+  }
+  // Retries remained but the budget had no token: that distinction (deny
+  // vs. genuinely exhausted) is exactly what the decision log is for.
+  if (retries_left) {
+    ctx_.note_decision(obs::DecisionKind::kBudgetDeny, obs::DecisionCause::kBudgetDeniedRetry,
+                       conn->id, conn->entry_node, -1, conn->attempt,
+                       static_cast<std::int64_t>(cause));
   }
   // The client holds the connection until its timeout expires; only then
   // does the admission slot free up for the next request.
@@ -33,9 +41,11 @@ void RetryManager::abort_connection(const ConnPtr& conn) {
                   seconds_to_simtime(ctx_.cfg().failure_client_timeout_seconds));
 }
 
-void RetryManager::schedule_retry(const ConnPtr& conn) {
+void RetryManager::schedule_retry(const ConnPtr& conn, obs::DecisionCause cause) {
   ++conn->retries_used;
   ++conn->attempt;
+  ctx_.note_decision(obs::DecisionKind::kRetry, cause, conn->id, conn->entry_node, -1,
+                     conn->attempt, static_cast<std::int64_t>(conn->retries_used));
   ctx_.observers->on_retry_scheduled(ctx_.now());
   conn->state = ConnectionState::kRetryBackoff;
   const auto& rp = ctx_.cfg().retry;
@@ -70,11 +80,20 @@ void RetryManager::arm_attempt_timeout(const ConnPtr& conn) {
                       // The attempt hangs (lost hand-off, dead node, glacial
                       // queue): abandon it and retry or give up.
                       ctx_.service->release_service_count(conn);
-                      if (conn->retries_used <
-                              static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries) &&
-                          ctx_.overload->try_spend_retry_token()) {
-                        schedule_retry(conn);
+                      const bool retries_left =
+                          conn->retries_used <
+                          static_cast<std::uint32_t>(ctx_.cfg().retry.max_retries);
+                      if (retries_left && ctx_.overload->try_spend_retry_token()) {
+                        schedule_retry(conn, obs::DecisionCause::kAttemptTimeout);
                       } else {
+                        if (retries_left) {
+                          ctx_.note_decision(
+                              obs::DecisionKind::kBudgetDeny,
+                              obs::DecisionCause::kBudgetDeniedRetry, conn->id,
+                              conn->entry_node, -1, conn->attempt,
+                              static_cast<std::int64_t>(
+                                  obs::DecisionCause::kAttemptTimeout));
+                        }
                         fail_connection(conn, FailureKind::kRetriesExhausted, 0);
                       }
                     });
@@ -93,7 +112,12 @@ void RetryManager::arm_hedge(const ConnPtr& conn) {
         // or waiting out a backoff)?
         if (conn->id != id) return;
         if (attempt_stale(conn, att)) return;
-        if (!ctx_.overload->try_spend_retry_token()) return;
+        if (!ctx_.overload->try_spend_retry_token()) {
+          ctx_.note_decision(obs::DecisionKind::kBudgetDeny,
+                             obs::DecisionCause::kBudgetDeniedHedge, conn->id,
+                             conn->entry_node, -1, conn->attempt);
+          return;
+        }
         // Hedge: abandon the straggling attempt (its queued events go
         // stale via the attempt counter) and re-dispatch. The engine's
         // one-live-attempt invariant makes this
@@ -102,6 +126,9 @@ void RetryManager::arm_hedge(const ConnPtr& conn) {
         ++conn->hedges_used;
         ctx_.service->release_service_count(conn);
         ++conn->attempt;
+        ctx_.note_decision(obs::DecisionKind::kHedge, obs::DecisionCause::kHedgeFired,
+                           conn->id, conn->entry_node, -1, conn->attempt,
+                           static_cast<std::int64_t>(conn->hedges_used));
         ctx_.observers->on_hedge(ctx_.now());
         ctx_.dispatcher->start_attempt(conn);
         arm_hedge(conn);

@@ -11,7 +11,7 @@ namespace l2s::core::engine {
 void ServicePath::begin_service(const ConnPtr& conn, bool opening) {
   if (conn->state == ConnectionState::kDone) return;
   if (!service_current(conn)) {
-    ctx_.retry->abort_connection(conn);
+    ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
     return;
   }
   cluster::Node& n = ctx_.node(conn->service_node);
@@ -48,7 +48,7 @@ void ServicePath::begin_service(const ConnPtr& conn, bool opening) {
       node.file_cache().insert(conn->request.file, file_bytes);
     if (attempt_stale(conn, att)) return;
     if (!service_current(conn)) {
-      ctx_.retry->abort_connection(conn);
+      ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
       return;
     }
     conn->t_disk_done = ctx_.now();
@@ -59,7 +59,7 @@ void ServicePath::begin_service(const ConnPtr& conn, bool opening) {
 void ServicePath::reply_path(const ConnPtr& conn) {
   if (conn->state == ConnectionState::kDone) return;
   if (!service_current(conn)) {
-    ctx_.retry->abort_connection(conn);
+    ctx_.retry->abort_connection(conn, obs::DecisionCause::kServiceNodeDown);
     return;
   }
   const auto att = conn->attempt;

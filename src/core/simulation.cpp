@@ -12,6 +12,7 @@
 #include "l2sim/core/engine/persistent_path.hpp"
 #include "l2sim/core/engine/retry.hpp"
 #include "l2sim/core/engine/service_path.hpp"
+#include "l2sim/obs/recorder.hpp"
 #include "l2sim/telemetry/sim_telemetry.hpp"
 
 namespace l2s::core {
@@ -54,6 +55,7 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   config_.validate();
   L2S_REQUIRE(policy_ != nullptr);
   if (trace_.request_count() == 0) throw_error("ClusterSimulation: empty trace");
+  if (sharded_ != nullptr && config_.engine.introspect) sharded_->enable_introspection();
 
   policy::ClusterContext pctx;
   pctx.sched = &sched_;
@@ -105,6 +107,10 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
     telemetry_ = std::make_unique<telemetry::SimTelemetry>(ctx_, config_.telemetry);
     fanout_.add(telemetry_.get());
   }
+  if (config_.obs.active()) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(ctx_, config_.obs);
+    fanout_.add(recorder_.get());
+  }
 }
 
 ClusterSimulation::~ClusterSimulation() = default;
@@ -134,6 +140,9 @@ SimResult ClusterSimulation::run() {
   if (telemetry_) {
     result.telemetry =
         std::make_shared<const telemetry::Snapshot>(telemetry_->snapshot());
+  }
+  if (recorder_ && config_.obs.enabled) {
+    result.decisions = std::make_shared<const obs::DecisionTrace>(recorder_->trace());
   }
   return result;
 }
@@ -214,6 +223,11 @@ void ClusterSimulation::reset_statistics() {
   policy_->reset_counters();
   metrics_->reset();
   if (telemetry_) telemetry_->reset();
+  // The recorder deliberately survives this reset: warm-up decisions stay
+  // in the log (tagged pass = 0) unless the config asked to drop them —
+  // a divergence between two runs usually begins during warm-up, and the
+  // diff debugger wants to see it there.
+  if (recorder_ && !config_.obs.include_warmup) recorder_->clear();
 }
 
 }  // namespace l2s::core

@@ -5,6 +5,7 @@
 
 #include "l2sim/common/error.hpp"
 #include "l2sim/model/trace_model.hpp"
+#include "l2sim/obs/exporters.hpp"
 #include "l2sim/telemetry/exporters.hpp"
 #include "l2sim/trace/clf_reader.hpp"
 
@@ -60,19 +61,34 @@ SimResult run_simulation(const ExperimentSpec& spec, const trace::Trace& trace) 
   if (!spec.output.timeline_csv_path.empty())
     sim.timeline_csv_path = spec.output.timeline_csv_path;
   if (spec.output.wants_telemetry()) sim.telemetry.enabled = true;
+  if (spec.output.wants_obs()) sim.obs.enabled = true;
   SimResult result = run_once(trace, sim, spec.policy, spec.set_shrink_seconds);
+  export_outputs(spec.output, result);
+  return result;
+}
+
+void export_outputs(const OutputSpec& output, const SimResult& result) {
   if (result.telemetry != nullptr) {
     const telemetry::Snapshot& snap = *result.telemetry;
-    if (!spec.output.trace_json_path.empty())
-      telemetry::export_chrome_trace(spec.output.trace_json_path, snap);
-    if (!spec.output.metrics_csv_path.empty())
-      telemetry::export_metrics_csv(spec.output.metrics_csv_path, snap);
-    if (!spec.output.timeseries_csv_path.empty())
-      telemetry::export_timeseries_csv(spec.output.timeseries_csv_path, snap);
-    if (!spec.output.spans_csv_path.empty())
-      telemetry::export_spans_csv(spec.output.spans_csv_path, snap);
+    if (!output.trace_json_path.empty()) {
+      // With a decision log in hand, join it onto the span tracks —
+      // decisions render as instant/flow events on the same timeline.
+      if (result.decisions != nullptr) {
+        obs::export_chrome_trace_with_decisions(output.trace_json_path, snap,
+                                                *result.decisions);
+      } else {
+        telemetry::export_chrome_trace(output.trace_json_path, snap);
+      }
+    }
+    if (!output.metrics_csv_path.empty())
+      telemetry::export_metrics_csv(output.metrics_csv_path, snap);
+    if (!output.timeseries_csv_path.empty())
+      telemetry::export_timeseries_csv(output.timeseries_csv_path, snap);
+    if (!output.spans_csv_path.empty())
+      telemetry::export_spans_csv(output.spans_csv_path, snap);
   }
-  return result;
+  if (result.decisions != nullptr && !output.decisions_csv_path.empty())
+    obs::export_decisions_csv(output.decisions_csv_path, *result.decisions);
 }
 
 ModelResult run_model(const ExperimentSpec& spec) {

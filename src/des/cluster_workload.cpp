@@ -145,9 +145,17 @@ WorkloadResult run_cluster_workload_sharded(const WorkloadParams& p,
                                             int shards,
                                             ShardedScheduler::Mode mode,
                                             unsigned threads) {
-  validate(p);
   ShardMap map(p.nodes, shards);
   ShardedScheduler engine(map.shards(), p.latency, mode);
+  return run_cluster_workload_on(p, engine, threads);
+}
+
+WorkloadResult run_cluster_workload_on(const WorkloadParams& p,
+                                       ShardedScheduler& engine,
+                                       unsigned threads) {
+  validate(p);
+  L2S_REQUIRE(engine.lookahead() <= p.latency);
+  ShardMap map(p.nodes, engine.shards());
   Ctx c{p, map, &engine, nullptr, {}};
   c.state.resize(static_cast<std::size_t>(map.shards()));
   seed_requests(&c);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <barrier>
+#include <bit>
+#include <chrono>
 #include <limits>
 #include <thread>
 
@@ -12,6 +14,19 @@ namespace l2s::des {
 
 namespace {
 constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+using IntroClock = std::chrono::steady_clock;
+
+double intro_seconds_since(IntroClock::time_point t0) {
+  return std::chrono::duration<double>(IntroClock::now() - t0).count();
+}
+
+/// log2 histogram bucket: 0 for v == 0, else bit_width(v) (v in
+/// [2^(b-1), 2^b) lands in bucket b), capped at the last bucket.
+std::size_t log2_bucket(std::uint64_t v) {
+  return std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(v)),
+                               ShardIntrospection::kLog2Buckets - 1);
+}
 }  // namespace
 
 ShardedScheduler::ShardedScheduler(int shards, SimTime lookahead, Mode mode)
@@ -34,6 +49,17 @@ ShardedScheduler::ShardedScheduler(int shards, SimTime lookahead, Mode mode)
 
 ShardedScheduler::~ShardedScheduler() = default;
 
+void ShardedScheduler::enable_introspection() {
+  if (intro_ != nullptr) return;
+  intro_ = std::make_unique<ShardIntrospection>();
+  intro_->shards.resize(static_cast<std::size_t>(shards()));
+  for (auto& row : intro_->shards) {
+    row.sent_to.assign(static_cast<std::size_t>(shards()), 0);
+    row.occupancy_log2.assign(ShardIntrospection::kLog2Buckets, 0);
+    row.slack_log2_us.assign(ShardIntrospection::kLog2Buckets, 0);
+  }
+}
+
 void ShardedScheduler::post(int src, int dst, SimTime t, EventFn fn) {
   L2S_REQUIRE(src >= 0 && src < shards());
   L2S_REQUIRE(dst >= 0 && dst < shards());
@@ -41,6 +67,15 @@ void ShardedScheduler::post(int src, int dst, SimTime t, EventFn fn) {
   // lookahead. Checked in both modes so merge-mode development catches
   // violations before anything runs threaded.
   L2S_REQUIRE(t >= shards_[static_cast<std::size_t>(src)]->now() + lookahead_);
+  if (intro_ != nullptr) {
+    // In threaded mode post() runs on src's current owner (the same
+    // exclusivity msg_seq_ relies on), so the row is single-writer.
+    auto& row = intro_->shards[static_cast<std::size_t>(src)];
+    ++row.posted;
+    ++row.sent_to[static_cast<std::size_t>(dst)];
+    const SimTime slack = t - (shards_[static_cast<std::size_t>(src)]->now() + lookahead_);
+    ++row.slack_log2_us[log2_bucket(static_cast<std::uint64_t>(slack) / 1000U)];
+  }
   if (mode_ == Mode::kSequentialMerge) {
     // Single thread, shared sequence counter: a direct insert lands in the
     // same global (time, seq) position a mailbox round-trip would.
@@ -125,6 +160,15 @@ void ShardedScheduler::run_windows(unsigned threads) {
   std::atomic<bool> done{false};
   int phase = 0;  // completion-step private: runs on exactly one thread
 
+  if (intro_ != nullptr) {
+    // Per-worker stall accounting for this run's pool (repeated runs with
+    // more workers grow the vectors, keeping earlier totals).
+    if (intro_->worker_barrier_seconds.size() < workers) {
+      intro_->worker_barrier_seconds.resize(workers, 0.0);
+      intro_->worker_run_seconds.resize(workers, 0.0);
+    }
+  }
+
   auto on_phase = [&]() noexcept {
     if (phase == 0) {
       // All shards drained their inboxes and published their next event
@@ -135,6 +179,7 @@ void ShardedScheduler::run_windows(unsigned threads) {
         done.store(true, std::memory_order_relaxed);
       } else {
         window_end.store(m + lookahead_, std::memory_order_relaxed);
+        window_floor_ = m;  // completion step: ordered before phase B reads
         ++windows_;
       }
       phase = 1;
@@ -145,7 +190,20 @@ void ShardedScheduler::run_windows(unsigned threads) {
   };
   std::barrier sync(static_cast<std::ptrdiff_t>(workers), on_phase);
 
-  auto worker = [&]() {
+  // arrive_and_wait, timed into the worker's barrier-stall total when
+  // introspection is on. The wait measures how long this worker idles for
+  // the slowest shard of the phase — the window-imbalance signal.
+  auto barrier_wait = [&](unsigned wid) {
+    if (intro_ == nullptr) {
+      sync.arrive_and_wait();
+      return;
+    }
+    const auto t0 = IntroClock::now();
+    sync.arrive_and_wait();
+    intro_->worker_barrier_seconds[wid] += intro_seconds_since(t0);
+  };
+
+  auto worker = [&](unsigned wid) {
     while (true) {
       // Phase A: adopt shards dynamically (workers <= shards), deliver
       // mail, publish each shard's next-event time.
@@ -156,27 +214,51 @@ void ShardedScheduler::run_windows(unsigned threads) {
         next_time[static_cast<std::size_t>(s)] =
             sh.empty() ? kNever : sh.peek().time;
       }
-      sync.arrive_and_wait();
+      barrier_wait(wid);
       if (done.load(std::memory_order_relaxed)) return;
       // Phase B: run the window. Sends stamp >= now + L >= M + L, so they
       // target future windows only; the barrier below publishes them.
       const SimTime w = window_end.load(std::memory_order_relaxed);
       for (int s = claim.fetch_add(1, std::memory_order_relaxed); s < n;
            s = claim.fetch_add(1, std::memory_order_relaxed)) {
-        shards_[static_cast<std::size_t>(s)]->run_window(w);
+        Scheduler& sh = *shards_[static_cast<std::size_t>(s)];
+        if (intro_ == nullptr) {
+          sh.run_window(w);
+          continue;
+        }
+        // Window occupancy: how many events this shard actually ran in
+        // [M, M+L). The counts and timeline are functions of the event
+        // stream (deterministic); only run_seconds is wall-clock.
+        const std::uint64_t before = sh.events_processed();
+        const auto t0 = IntroClock::now();
+        sh.run_window(w);
+        const double dt = intro_seconds_since(t0);
+        const std::uint64_t delta = sh.events_processed() - before;
+        auto& row = intro_->shards[static_cast<std::size_t>(s)];
+        row.run_seconds += dt;
+        intro_->worker_run_seconds[wid] += dt;
+        if (delta > 0) {
+          row.window_events += delta;
+          ++row.active_windows;
+          ++row.occupancy_log2[log2_bucket(delta)];
+          if (row.timeline.size() < ShardIntrospection::kTimelineCap) {
+            row.timeline.emplace_back(window_floor_,
+                                      static_cast<std::uint32_t>(delta));
+          }
+        }
       }
-      sync.arrive_and_wait();
+      barrier_wait(wid);
     }
   };
 
   if (workers == 1) {
-    worker();
+    worker(0);
     return;
   }
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
-  worker();
+  for (unsigned t = 0; t + 1 < workers; ++t) pool.emplace_back([&worker, t]() { worker(t + 1); });
+  worker(0);
   for (auto& t : pool) t.join();
 }
 

@@ -1,0 +1,188 @@
+#include "l2sim/obs/diff.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "l2sim/core/experiment.hpp"
+
+namespace l2s::obs {
+
+namespace {
+
+/// Collects every record of side A.
+class CollectorSink final : public DecisionSink {
+ public:
+  void on_decision(std::uint64_t /*index*/, const DecisionRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<DecisionRecord> records;
+};
+
+/// Thrown by the comparator to abort side B's replay at the first
+/// divergence; the exception unwinds cleanly through the scheduler (event
+/// handlers are not noexcept) and is caught below.
+struct DivergenceFound {};
+
+/// Streams side B against side A's collected records, keeping a trailing
+/// context window; throws DivergenceFound on the first mismatch (including
+/// B emitting more records than A has).
+class ComparatorSink final : public DecisionSink {
+ public:
+  ComparatorSink(const std::vector<DecisionRecord>& a, std::size_t context)
+      : a_(a), context_(std::max<std::size_t>(context, 1)) {}
+
+  void on_decision(std::uint64_t index, const DecisionRecord& record) override {
+    seen_ = index + 1;
+    if (trailing_.size() == context_) trailing_.pop_front();
+    trailing_.push_back(record);
+    if (index < a_.size() && a_[index] == record) return;
+    diverged_at_ = index;
+    throw DivergenceFound{};
+  }
+
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t diverged_at() const { return diverged_at_; }
+  [[nodiscard]] const std::deque<DecisionRecord>& trailing() const { return trailing_; }
+
+ private:
+  const std::vector<DecisionRecord>& a_;
+  std::size_t context_;
+  std::deque<DecisionRecord> trailing_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t diverged_at_ = 0;
+};
+
+core::SimConfig with_sink(const core::ExperimentSpec& spec, DecisionSink* sink) {
+  core::SimConfig sim = spec.sim;
+  sim.obs.sink = sink;
+  // Sink-only recording: the sink sees every record as it is emitted, so
+  // nothing needs retaining in the ring.
+  sim.obs.enabled = false;
+  sim.obs.include_warmup = true;
+  return sim;
+}
+
+DiffReport run_and_compare(const trace::Trace& trace_a, const trace::Trace& trace_b,
+                           const core::ExperimentSpec& a, const core::ExperimentSpec& b,
+                           const DiffOptions& options) {
+  CollectorSink collect;
+  (void)core::run_once(trace_a, with_sink(a, &collect), a.policy, a.set_shrink_seconds);
+
+  ComparatorSink compare(collect.records, options.context);
+  DiffReport report;
+  report.records_a = collect.records.size();
+  bool b_stopped_early = false;
+  try {
+    (void)core::run_once(trace_b, with_sink(b, &compare), b.policy, b.set_shrink_seconds);
+  } catch (const DivergenceFound&) {
+    b_stopped_early = true;
+  }
+  report.records_b = compare.seen();
+
+  if (b_stopped_early) {
+    report.diverged = true;
+    report.first_divergence = compare.diverged_at();
+    // diverged_at >= A's length means B agreed on every A record and kept
+    // going: a pure length difference.
+    report.length_only = report.first_divergence >= collect.records.size();
+  } else if (compare.seen() < collect.records.size()) {
+    // B finished with fewer records, all of them matching A's prefix.
+    report.diverged = true;
+    report.length_only = true;
+    report.first_divergence = compare.seen();
+  } else {
+    return report;  // identical
+  }
+
+  // Context: B's trailing window ends at its last record (the divergent
+  // one when not length-only); A's window ends at the same global index.
+  // In the mismatch case both windows start at the same index — B stopped
+  // the moment it disagreed, so records_b == first_divergence + 1.
+  report.context_b.assign(compare.trailing().begin(), compare.trailing().end());
+  const std::uint64_t a_end =
+      std::min<std::uint64_t>(report.first_divergence + 1, collect.records.size());
+  const std::uint64_t a_start = a_end > options.context ? a_end - options.context : 0;
+  report.context_a.assign(
+      collect.records.begin() + static_cast<std::ptrdiff_t>(a_start),
+      collect.records.begin() + static_cast<std::ptrdiff_t>(a_end));
+  report.context_start = a_start;
+  return report;
+}
+
+}  // namespace
+
+std::string format_record(std::uint64_t index, const DecisionRecord& rec) {
+  std::ostringstream os;
+  os << "#" << index << " t=" << simtime_to_seconds(rec.time) << "s"
+     << (rec.pass == 0 ? " warmup" : "") << " " << to_string(rec.kind) << "/"
+     << to_string(rec.cause) << " req=" << rec.request << " node=" << rec.node;
+  if (rec.target >= 0) os << " target=" << rec.target;
+  os << " attempt=" << rec.attempt;
+  if (rec.detail != 0) os << " detail=" << rec.detail;
+  return os.str();
+}
+
+std::string DiffReport::summary() const {
+  std::ostringstream os;
+  if (!diverged) {
+    os << "decision streams identical: " << records_a << " records on both sides\n";
+    return os.str();
+  }
+  if (length_only) {
+    os << "streams agree record-for-record but differ in length: side A emitted "
+       << records_a << " records, side B " << records_b
+       << "; first index present on one side only: #" << first_divergence << "\n";
+  } else {
+    os << "first divergent decision record: #" << first_divergence << " (side A emitted "
+       << records_a << " records, side B stopped at " << records_b << ")\n";
+  }
+  auto render = [&os](const char* side, const std::vector<DecisionRecord>& ctx,
+                      std::uint64_t start, bool mark_last) {
+    os << side << ":\n";
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      os << "  " << (mark_last && i + 1 == ctx.size() ? ">" : " ") << " "
+         << format_record(start + i, ctx[i]) << "\n";
+    }
+    if (ctx.empty()) os << "   (no records)\n";
+  };
+  render("side A", context_a, context_start, !length_only);
+  // B's window always ends at its last emitted record, so its start index
+  // is recoverable from the counts (== context_start in the mismatch case).
+  render("side B", context_b, records_b - static_cast<std::uint64_t>(context_b.size()),
+         !length_only);
+  return os.str();
+}
+
+DiffReport diff_decisions(const core::ExperimentSpec& a, const core::ExperimentSpec& b,
+                          const trace::Trace& trace, const DiffOptions& options) {
+  return run_and_compare(trace, trace, a, b, options);
+}
+
+DiffReport diff_decisions(const core::ExperimentSpec& a, const core::ExperimentSpec& b,
+                          const DiffOptions& options) {
+  const trace::Trace trace_a = a.trace.realize();
+  // Both sides usually describe the same workload; realize B's trace only
+  // when its spec differs observably.
+  const auto& ta = a.trace;
+  const auto& tb = b.trace;
+  bool same = ta.kind == tb.kind;
+  if (same) {
+    switch (ta.kind) {
+      case core::TraceSpec::Kind::kPaper:
+        same = ta.paper_name == tb.paper_name && ta.scale == tb.scale;
+        break;
+      case core::TraceSpec::Kind::kClfFile:
+        same = ta.path == tb.path;
+        break;
+      case core::TraceSpec::Kind::kSynthetic:
+        same = false;  // no cheap equality; realize both
+        break;
+    }
+  }
+  if (same) return run_and_compare(trace_a, trace_a, a, b, options);
+  const trace::Trace trace_b = b.trace.realize();
+  return run_and_compare(trace_a, trace_b, a, b, options);
+}
+
+}  // namespace l2s::obs

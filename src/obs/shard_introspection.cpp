@@ -1,0 +1,160 @@
+#include "l2sim/obs/shard_introspection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "l2sim/common/table.hpp"
+#include "l2sim/telemetry/registry.hpp"
+
+namespace l2s::obs {
+
+namespace {
+
+using des::ShardIntrospection;
+
+/// Representative value for log2 bucket b (v in [2^(b-1), 2^b)): the
+/// mid-ish 1.5 * 2^(b-1), safely inside the matching telemetry bucket of a
+/// {base = 1, growth = 2} histogram. Bucket 0 holds v == 0.
+[[nodiscard]] double log2_bucket_rep(std::size_t b) {
+  return b == 0 ? 0.0 : 1.5 * std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+/// Telemetry histogram shaped to mirror the log2 buckets one-to-one
+/// (bucket 0 = zeros, bucket b = [2^(b-1), 2^b), final bucket overflow).
+[[nodiscard]] telemetry::HistogramParams log2_params() {
+  telemetry::HistogramParams params;
+  params.base = 1.0;
+  params.growth = 2.0;
+  params.buckets = ShardIntrospection::kLog2Buckets + 1;
+  return params;
+}
+
+void import_log2(telemetry::Histogram& h, const std::vector<std::uint64_t>& counts) {
+  for (std::size_t b = 0; b < counts.size(); ++b) h.add_count(log2_bucket_rep(b), counts[b]);
+}
+
+/// Quantile straight off a log2 histogram (lower bucket bound, same
+/// convention as telemetry::Histogram::quantile).
+[[nodiscard]] double log2_quantile(const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen > target) return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void export_shard_introspection(telemetry::Registry& registry,
+                                const des::ShardedScheduler& sched) {
+  const ShardIntrospection* intro = sched.introspection();
+  if (intro == nullptr) return;
+
+  for (std::size_t s = 0; s < intro->shards.size(); ++s) {
+    const ShardIntrospection::Shard& row = intro->shards[s];
+    const telemetry::Labels shard_label = {{"shard", std::to_string(s)}};
+    registry.counter("shard.window_events", shard_label).add(row.window_events);
+    registry.counter("shard.active_windows", shard_label).add(row.active_windows);
+    registry.counter("shard.posted", shard_label).add(row.posted);
+    for (std::size_t d = 0; d < row.sent_to.size(); ++d) {
+      if (row.sent_to[d] == 0) continue;
+      registry
+          .counter("shard.sent",
+                   {{"src", std::to_string(s)}, {"dst", std::to_string(d)}})
+          .add(row.sent_to[d]);
+    }
+    import_log2(registry.histogram("shard.window_occupancy", shard_label, log2_params()),
+                row.occupancy_log2);
+    import_log2(registry.histogram("shard.post_slack_us", shard_label, log2_params()),
+                row.slack_log2_us);
+    registry.gauge("shard.run_seconds", shard_label).set(row.run_seconds);
+
+    telemetry::SampleSeries& timeline =
+        registry.sample_series("shard.window_timeline", shard_label);
+    for (const auto& [floor, events] : row.timeline) {
+      timeline.add(floor, static_cast<double>(events));
+    }
+  }
+
+  for (std::size_t w = 0; w < intro->worker_barrier_seconds.size(); ++w) {
+    const telemetry::Labels worker_label = {{"worker", std::to_string(w)}};
+    registry.gauge("worker.barrier_seconds", worker_label)
+        .set(intro->worker_barrier_seconds[w]);
+    registry.gauge("worker.run_seconds", worker_label).set(intro->worker_run_seconds[w]);
+  }
+}
+
+void write_shard_report(std::ostream& out, const des::ShardedScheduler& sched) {
+  const ShardIntrospection* intro = sched.introspection();
+  if (intro == nullptr) {
+    out << "shard introspection: not enabled\n";
+    return;
+  }
+
+  out << "shard introspection: " << sched.shards() << " shards, "
+      << sched.windows_executed() << " windows, lookahead "
+      << simtime_to_seconds(sched.lookahead()) * 1e6 << " us\n\n";
+
+  TextTable shards({"Shard", "Events", "Active win", "Occ p50", "Occ p99", "Posted",
+                    "Slack p50 us", "Run s"});
+  for (std::size_t s = 0; s < intro->shards.size(); ++s) {
+    const ShardIntrospection::Shard& row = intro->shards[s];
+    shards.cell(static_cast<long long>(s))
+        .cell(static_cast<long long>(row.window_events))
+        .cell(static_cast<long long>(row.active_windows))
+        .cell(log2_quantile(row.occupancy_log2, 0.50), 0)
+        .cell(log2_quantile(row.occupancy_log2, 0.99), 0)
+        .cell(static_cast<long long>(row.posted))
+        .cell(log2_quantile(row.slack_log2_us, 0.50), 0)
+        .cell(row.run_seconds, 4)
+        .end_row();
+  }
+  shards.print(out);
+  out << '\n';
+
+  // Cross-shard message matrix: who talks to whom, and how much. Only
+  // printed when something was actually posted.
+  std::uint64_t total_posted = 0;
+  for (const auto& row : intro->shards) total_posted += row.posted;
+  if (total_posted > 0) {
+    std::vector<std::string> header = {"src\\dst"};
+    for (std::size_t d = 0; d < intro->shards.size(); ++d) {
+      header.push_back(std::to_string(d));
+    }
+    TextTable matrix(std::move(header));
+    for (std::size_t s = 0; s < intro->shards.size(); ++s) {
+      matrix.cell(std::to_string(s));
+      for (const std::uint64_t c : intro->shards[s].sent_to) {
+        matrix.cell(static_cast<long long>(c));
+      }
+      matrix.end_row();
+    }
+    matrix.print(out);
+    out << '\n';
+  }
+
+  if (!intro->worker_barrier_seconds.empty()) {
+    TextTable workers({"Worker", "Run s", "Barrier s", "Stall %"});
+    for (std::size_t w = 0; w < intro->worker_barrier_seconds.size(); ++w) {
+      const double run = intro->worker_run_seconds[w];
+      const double stall = intro->worker_barrier_seconds[w];
+      const double busy = run + stall;
+      workers.cell(static_cast<long long>(w))
+          .cell(run, 4)
+          .cell(stall, 4)
+          .cell(busy > 0.0 ? 100.0 * stall / busy : 0.0, 1)
+          .end_row();
+    }
+    workers.print(out);
+  }
+}
+
+}  // namespace l2s::obs

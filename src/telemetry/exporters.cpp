@@ -1,5 +1,6 @@
 #include "l2sim/telemetry/exporters.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -63,6 +64,17 @@ namespace {
   return -1;
 }
 
+/// DES shard id of a per-shard metric ("shard" label), or -1.
+[[nodiscard]] int shard_of(const Labels& labels) {
+  for (const auto& [k, v] : labels) {
+    if (k == "shard") return std::stoi(v);
+  }
+  return -1;
+}
+
+/// Shard tracks live on their own trace processes, well clear of node pids.
+constexpr int kShardPidBase = 10000;
+
 /// Quantile over snapshotted histogram buckets (same walk as
 /// Histogram::quantile, reconstructed from the value-type copy).
 [[nodiscard]] double snapshot_quantile(const MetricSnapshot& m, double q) {
@@ -109,7 +121,8 @@ void write_span_slice(JsonEventWriter& w, const char* name, int pid, int tid,
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& out, const Snapshot& snapshot) {
+void write_chrome_trace(std::ostream& out, const Snapshot& snapshot,
+                        const std::vector<std::string>& extra_events) {
   out << std::setprecision(15);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   JsonEventWriter w(out);
@@ -125,6 +138,17 @@ void write_chrome_trace(std::ostream& out, const Snapshot& snapshot) {
       w.next() << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << n << ",\"tid\":" << t
                << ",\"args\":{\"name\":\"" << kTracks[t] << "\"}}";
     }
+  }
+
+  // Name a process for every DES shard that has per-shard series, so the
+  // introspection timelines render as labeled "shard N" tracks.
+  int max_shard = -1;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kSampleSeries) max_shard = std::max(max_shard, shard_of(m.labels));
+  }
+  for (int s = 0; s <= max_shard; ++s) {
+    w.next() << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (kShardPidBase + s)
+             << ",\"args\":{\"name\":\"shard " << s << "\"}}";
   }
 
   for (const Span& s : snapshot.spans) {
@@ -157,19 +181,26 @@ void write_chrome_trace(std::ostream& out, const Snapshot& snapshot) {
              << ",\"tid\":0,\"ts\":" << to_us(ev.at) << "}";
   }
 
-  // Probe series become counter tracks on their node's process.
+  // Probe series become counter tracks on their node's (or shard's) process.
   for (const MetricSnapshot& m : snapshot.metrics) {
     if (m.kind != MetricKind::kSampleSeries) continue;
     const int node = node_of(m.labels);
+    const int shard = shard_of(m.labels);
+    const int pid = shard >= 0 ? kShardPidBase + shard : (node >= 0 ? node : 0);
     const std::string name = json_escape(m.name);
     for (const auto& [t, v] : m.samples) {
-      w.next() << "{\"ph\":\"C\",\"name\":\"" << name << "\",\"pid\":"
-               << (node >= 0 ? node : 0) << ",\"ts\":" << to_us(t)
-               << ",\"args\":{\"value\":" << v << "}}";
+      w.next() << "{\"ph\":\"C\",\"name\":\"" << name << "\",\"pid\":" << pid
+               << ",\"ts\":" << to_us(t) << ",\"args\":{\"value\":" << v << "}}";
     }
   }
 
+  for (const std::string& ev : extra_events) w.next() << ev;
+
   out << "\n]}\n";
+}
+
+void write_chrome_trace(std::ostream& out, const Snapshot& snapshot) {
+  write_chrome_trace(out, snapshot, {});
 }
 
 void write_metrics_csv(std::ostream& out, const Snapshot& snapshot) {

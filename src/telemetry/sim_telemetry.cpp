@@ -121,6 +121,38 @@ void SimTelemetry::on_request_failed(const cluster::Connection* conn,
   spans_.record(span);
 }
 
+void SimTelemetry::on_decision(const obs::DecisionRecord& record) {
+  // Per-cause overload accounting: which shedder said no, which direction
+  // the brownout moved, which budget spend was denied. Lazy registration is
+  // fine — the decision stream is deterministic, so registration order is
+  // too — and reset() keeps the registrations across the warm-up boundary.
+  switch (record.kind) {
+    case obs::DecisionKind::kShed:
+      registry_.counter("overload.shed", {{"cause", std::string(to_string(record.cause))}})
+          .add();
+      break;
+    case obs::DecisionKind::kBrownout:
+      registry_
+          .counter("overload.brownout", {{"level", std::to_string(record.detail)},
+                                         {"edge", record.cause ==
+                                                          obs::DecisionCause::kBrownoutRaise
+                                                      ? "raise"
+                                                      : "ease"}})
+          .add();
+      break;
+    case obs::DecisionKind::kBudgetDeny:
+      registry_
+          .counter("overload.retry_budget_denied",
+                   {{"op", record.cause == obs::DecisionCause::kBudgetDeniedHedge
+                               ? "hedge"
+                               : "retry"}})
+          .add();
+      break;
+    default:
+      break;  // other kinds are covered by the dedicated lifecycle hooks
+  }
+}
+
 void SimTelemetry::on_retry_scheduled(SimTime /*now*/) { retries_->add(); }
 
 void SimTelemetry::on_hedge(SimTime /*now*/) { hedges_->add(); }

@@ -19,6 +19,7 @@
 
 #include "l2sim/core/experiment.hpp"
 #include "l2sim/core/parallel.hpp"
+#include "l2sim/obs/decision.hpp"
 #include "l2sim/telemetry/registry.hpp"
 #include "l2sim/trace/synthetic.hpp"
 
@@ -202,6 +203,28 @@ TEST(GoldenResults, TelemetrySamplingDoesNotPerturbDigests) {
     ASSERT_NE(traced.telemetry, nullptr);
     EXPECT_GT(traced.telemetry->spans.size(), 0u);
     EXPECT_EQ(plain.telemetry, nullptr);
+  }
+}
+
+TEST(GoldenResults, FlightRecorderDoesNotPerturbDigests) {
+  // The flight recorder is the same kind of passive tap as telemetry: it
+  // rides the lifecycle fan-out, schedules zero events and draws no
+  // randomness. Turning it on (warm-up included, generous ring) must
+  // reproduce every one of the 36 pinned digests bit-for-bit — the
+  // recorder-off bit-identity contract of the observability subsystem.
+  // (SimResult::decisions is a shared_ptr deliberately excluded from
+  // result_digest, like result.telemetry.)
+  const auto tr = golden_trace();
+  const auto cells = matrix();
+  ASSERT_EQ(cells.size(), kGolden.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SimConfig cfg = cells[i].cfg;
+    cfg.obs.enabled = true;
+    cfg.obs.capacity = 0;  // unbounded: retention must not matter either
+    const auto r = run_once(tr, cfg, cells[i].kind);
+    EXPECT_EQ(digest_hex(r), kGolden[i].second) << kGolden[i].first;
+    ASSERT_NE(r.decisions, nullptr) << kGolden[i].first;
+    EXPECT_GT(r.decisions->recorded, 0u) << kGolden[i].first;
   }
 }
 

@@ -1,0 +1,251 @@
+// Sharded-DES introspection: the counters a threaded run collects must
+// reconcile exactly with the engine totals (events, posts, windows), the
+// simulation-derived fields must be deterministic run-over-run and across
+// thread counts, and the telemetry export / text report must surface them
+// without touching the scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "l2sim/core/simulation.hpp"
+#include "l2sim/des/cluster_workload.hpp"
+#include "l2sim/obs/shard_introspection.hpp"
+#include "l2sim/policy/l2s.hpp"
+#include "l2sim/telemetry/registry.hpp"
+#include "l2sim/trace/synthetic.hpp"
+
+namespace l2s::obs {
+namespace {
+
+using des::ShardedScheduler;
+using des::ShardIntrospection;
+
+des::WorkloadParams small_params() {
+  des::WorkloadParams p;
+  p.nodes = 32;
+  p.requests_per_node = 2;
+  p.hops = 16;
+  return p;
+}
+
+/// Run the shard-confined workload on a fresh engine with introspection on.
+std::unique_ptr<ShardedScheduler> introspected_run(ShardedScheduler::Mode mode,
+                                                   unsigned threads) {
+  const auto p = small_params();
+  auto engine = std::make_unique<ShardedScheduler>(4, p.latency, mode);
+  engine->enable_introspection();
+  const auto result = des::run_cluster_workload_on(p, *engine, threads);
+  EXPECT_GT(result.events, 0u);
+  return engine;
+}
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : v) total += c;
+  return total;
+}
+
+TEST(ShardIntrospectionTest, ThreadedRunSatisfiesTheCountingInvariants) {
+  const auto engine = introspected_run(ShardedScheduler::Mode::kThreaded, 4);
+  const ShardIntrospection* intro = engine->introspection();
+  ASSERT_NE(intro, nullptr);
+  ASSERT_EQ(intro->shards.size(), 4u);
+  ASSERT_GT(engine->windows_executed(), 0u);
+
+  std::uint64_t window_events = 0;
+  std::uint64_t posted = 0;
+  for (std::size_t s = 0; s < intro->shards.size(); ++s) {
+    const ShardIntrospection::Shard& row = intro->shards[s];
+    window_events += row.window_events;
+    posted += row.posted;
+
+    // The message matrix row sums to the shard's post count, and this
+    // workload never posts to itself (local hand-offs stay in the heap).
+    EXPECT_EQ(sum(row.sent_to), row.posted) << "shard " << s;
+    EXPECT_EQ(row.sent_to[s], 0u) << "shard " << s;
+    // One occupancy observation per active window; one slack observation
+    // per post.
+    EXPECT_EQ(sum(row.occupancy_log2), row.active_windows) << "shard " << s;
+    EXPECT_EQ(sum(row.slack_log2_us), row.posted) << "shard " << s;
+    EXPECT_LE(row.active_windows, engine->windows_executed());
+
+    // The timeline retains every active window up to the cap, floors
+    // strictly increasing, event counts summing back to window_events.
+    ASSERT_EQ(row.timeline.size(),
+              std::min<std::size_t>(row.active_windows, ShardIntrospection::kTimelineCap));
+    std::uint64_t timeline_events = 0;
+    SimTime prev_floor = -1;
+    for (const auto& [floor, events] : row.timeline) {
+      EXPECT_GT(floor, prev_floor);
+      prev_floor = floor;
+      EXPECT_GT(events, 0u);
+      timeline_events += events;
+    }
+    if (row.active_windows <= ShardIntrospection::kTimelineCap) {
+      EXPECT_EQ(timeline_events, row.window_events) << "shard " << s;
+    }
+  }
+
+  // Every event of a threaded run executes inside a window; every post
+  // shows up in exactly one shard's row.
+  EXPECT_EQ(window_events, engine->events_processed());
+  EXPECT_GT(posted, 0u);
+
+  // Worker stall accounting is sized to the pool that actually ran.
+  EXPECT_EQ(intro->worker_barrier_seconds.size(), 4u);
+  EXPECT_EQ(intro->worker_run_seconds.size(), 4u);
+}
+
+TEST(ShardIntrospectionTest, SimulationDerivedFieldsAreDeterministic) {
+  // Same workload, different worker counts: window membership is a pure
+  // function of the event stream, so everything except wall-clock seconds
+  // must match exactly.
+  const auto a = introspected_run(ShardedScheduler::Mode::kThreaded, 2);
+  const auto b = introspected_run(ShardedScheduler::Mode::kThreaded, 4);
+  const ShardIntrospection* ia = a->introspection();
+  const ShardIntrospection* ib = b->introspection();
+  ASSERT_NE(ia, nullptr);
+  ASSERT_NE(ib, nullptr);
+  ASSERT_EQ(ia->shards.size(), ib->shards.size());
+  EXPECT_EQ(a->windows_executed(), b->windows_executed());
+  for (std::size_t s = 0; s < ia->shards.size(); ++s) {
+    const ShardIntrospection::Shard& ra = ia->shards[s];
+    const ShardIntrospection::Shard& rb = ib->shards[s];
+    EXPECT_EQ(ra.window_events, rb.window_events) << "shard " << s;
+    EXPECT_EQ(ra.active_windows, rb.active_windows) << "shard " << s;
+    EXPECT_EQ(ra.posted, rb.posted) << "shard " << s;
+    EXPECT_EQ(ra.sent_to, rb.sent_to) << "shard " << s;
+    EXPECT_EQ(ra.occupancy_log2, rb.occupancy_log2) << "shard " << s;
+    EXPECT_EQ(ra.slack_log2_us, rb.slack_log2_us) << "shard " << s;
+    EXPECT_EQ(ra.timeline, rb.timeline) << "shard " << s;
+  }
+}
+
+TEST(ShardIntrospectionTest, MergeModeCountsPostsButHasNoWindows) {
+  const auto engine = introspected_run(ShardedScheduler::Mode::kSequentialMerge, 0);
+  const ShardIntrospection* intro = engine->introspection();
+  ASSERT_NE(intro, nullptr);
+  EXPECT_EQ(engine->windows_executed(), 0u);
+
+  std::uint64_t posted = 0;
+  for (const ShardIntrospection::Shard& row : intro->shards) {
+    EXPECT_EQ(row.window_events, 0u);
+    EXPECT_EQ(row.active_windows, 0u);
+    EXPECT_TRUE(row.timeline.empty());
+    EXPECT_EQ(sum(row.occupancy_log2), 0u);
+    EXPECT_EQ(sum(row.sent_to), row.posted);
+    EXPECT_EQ(sum(row.slack_log2_us), row.posted);
+    posted += row.posted;
+  }
+  EXPECT_GT(posted, 0u);
+  EXPECT_EQ(posted, engine->messages_posted());
+}
+
+TEST(ShardIntrospectionTest, ExportFillsTheRegistry) {
+  const auto engine = introspected_run(ShardedScheduler::Mode::kThreaded, 2);
+  const ShardIntrospection* intro = engine->introspection();
+  ASSERT_NE(intro, nullptr);
+
+  telemetry::Registry registry;
+  export_shard_introspection(registry, *engine);
+  const telemetry::Snapshot snap = registry.snapshot();
+
+  std::uint64_t events = 0;
+  for (int s = 0; s < engine->shards(); ++s) {
+    const telemetry::Labels label = {{"shard", std::to_string(s)}};
+    const auto* m = snap.find("shard.window_events", label);
+    ASSERT_NE(m, nullptr) << "shard " << s;
+    events += m->count;
+    ASSERT_NE(snap.find("shard.posted", label), nullptr);
+    ASSERT_NE(snap.find("shard.run_seconds", label), nullptr);
+  }
+  EXPECT_EQ(events, engine->events_processed());
+
+  // The occupancy histogram mirrors the raw log2 buckets one-to-one.
+  const ShardIntrospection::Shard& row0 = intro->shards[0];
+  const auto* h = snap.find("shard.window_occupancy", {{"shard", "0"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, telemetry::MetricKind::kHistogram);
+  EXPECT_EQ(h->count, row0.active_windows);
+  ASSERT_GE(h->histogram_buckets.size(), row0.occupancy_log2.size());
+  for (std::size_t b = 0; b < row0.occupancy_log2.size(); ++b) {
+    EXPECT_EQ(h->histogram_buckets[b], row0.occupancy_log2[b]) << "bucket " << b;
+  }
+
+  // The timeline lands as a sample series, point for point.
+  const auto* t = snap.find("shard.window_timeline", {{"shard", "0"}});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, telemetry::MetricKind::kSampleSeries);
+  ASSERT_EQ(t->samples.size(), row0.timeline.size());
+  for (std::size_t i = 0; i < row0.timeline.size(); ++i) {
+    EXPECT_EQ(t->samples[i].first, row0.timeline[i].first);
+    EXPECT_EQ(t->samples[i].second, static_cast<double>(row0.timeline[i].second));
+  }
+
+  ASSERT_NE(snap.find("worker.barrier_seconds", {{"worker", "0"}}), nullptr);
+  ASSERT_NE(snap.find("worker.run_seconds", {{"worker", "0"}}), nullptr);
+}
+
+TEST(ShardIntrospectionTest, ExportIsANoOpWhenNeverEnabled) {
+  ShardedScheduler engine(2, 1000, ShardedScheduler::Mode::kSequentialMerge);
+  telemetry::Registry registry;
+  export_shard_introspection(registry, engine);
+  EXPECT_EQ(registry.metric_count(), 0u);
+
+  std::ostringstream out;
+  write_shard_report(out, engine);
+  EXPECT_NE(out.str().find("not enabled"), std::string::npos);
+}
+
+TEST(ShardIntrospectionTest, ReportRendersShardAndWorkerTables) {
+  const auto engine = introspected_run(ShardedScheduler::Mode::kThreaded, 2);
+  std::ostringstream out;
+  write_shard_report(out, *engine);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("shard introspection: 4 shards"), std::string::npos) << report;
+  EXPECT_NE(report.find("Shard"), std::string::npos);
+  EXPECT_NE(report.find("src\\dst"), std::string::npos);
+  EXPECT_NE(report.find("Stall %"), std::string::npos);
+}
+
+TEST(ShardIntrospectionTest, ClusterEngineConfigFlagEnablesCollection) {
+  // The engine-level switch: engine.shards selects the merge-mode sharded
+  // engine, engine.introspect arms collection, and the engine stays
+  // reachable for post-run export.
+  trace::SyntheticSpec spec;
+  spec.name = "intro";
+  spec.files = 100;
+  spec.avg_file_kb = 8.0;
+  spec.requests = 1000;
+  spec.avg_request_kb = 6.0;
+  spec.alpha = 0.9;
+  spec.seed = 13;
+  const auto tr = trace::generate(spec);
+
+  core::SimConfig cfg;
+  cfg.nodes = 4;
+  cfg.node.cache_bytes = 2 * kMiB;
+  cfg.engine.shards = 2;
+  cfg.engine.introspect = true;
+  core::ClusterSimulation sim(cfg, tr, std::make_unique<policy::L2sPolicy>());
+  sim.run();
+
+  ShardedScheduler* engine = sim.sharded_engine();
+  ASSERT_NE(engine, nullptr);
+  const ShardIntrospection* intro = engine->introspection();
+  ASSERT_NE(intro, nullptr);
+  std::uint64_t posted = 0;
+  for (const ShardIntrospection::Shard& row : intro->shards) posted += row.posted;
+  EXPECT_EQ(posted, engine->messages_posted());
+
+  telemetry::Registry registry;
+  export_shard_introspection(registry, *engine);
+  EXPECT_GT(registry.metric_count(), 0u);
+}
+
+}  // namespace
+}  // namespace l2s::obs

@@ -16,16 +16,24 @@
 #      the AIMD+budget+brownout stack keeps >= 70% of nominal goodput,
 #      chaos replay bit-identical serial and under run_parallel); emits
 #      build/BENCH_overload.json
-#   7. AddressSanitizer build, running the fault-injection suites
+#   7. obs bench (gates: <=2% saturated-throughput overhead with the
+#      default flight-recorder ring on; see docs/observability.md) and the
+#      shard-introspection study (gate: threaded fold with introspection
+#      on stays bit-identical to the serial reference); emits
+#      build/BENCH_obs.json
+#   8. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
 #      lifetime bugs would hide — the telemetry suites (`-L telemetry`:
-#      the span ring and exporter buffers), the large-N sharded-engine
-#      suite (`-L largen`), and the chaos-harness suite (`-L chaos`:
-#      overload defenses + non-stationary arrivals + faults composed)
-#   8. ThreadSanitizer build, running the scheduler/event-kernel (sharded
+#      the span ring and exporter buffers), the flight-recorder suites
+#      (`-L obs`: decision ring wrap, diff replays, exporter buffers,
+#      shard introspection), the large-N sharded-engine suite
+#      (`-L largen`), and the chaos-harness suite (`-L chaos`: overload
+#      defenses + non-stationary arrivals + faults composed)
+#   9. ThreadSanitizer build, running the scheduler/event-kernel (sharded
 #      kernel + mailboxes + windowed barriers included), run_parallel
 #      (including per-job telemetry + merge) and fault-determinism tests,
-#      plus the fault, telemetry, largen and chaos labels
+#      plus the fault, telemetry, obs, largen and chaos labels — the obs
+#      label covers the introspection counters the sharded workers write
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
@@ -68,22 +76,26 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/parallel_des_bench --out build/BENCH_parallel_des.json
   echo "== overload bench (metastable-collapse acceptance gates) =="
   ./build/bench/overload_bench --out build/BENCH_overload.json
+  echo "== obs bench (flight-recorder overhead gate) =="
+  ./build/bench/obs_bench --out build/BENCH_obs.json
+  echo "== shard introspection study (observe-never-perturb gate) =="
+  ./build/bench/shard_introspection_study
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault + telemetry + largen + chaos suites =="
+  echo "== AddressSanitizer: fault + telemetry + obs + largen + chaos suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests l2sim_chaos_tests
-  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|largen|chaos'
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_largen_tests l2sim_chaos_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|obs|largen|chaos'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry + chaos tests =="
+  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry + obs + chaos tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_largen_tests l2sim_chaos_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_largen_tests l2sim_chaos_tests
   ctest --test-dir build-tsan --output-on-failure -j \
     -R 'Scheduler|ShardMap|ShardedScheduler|SchedulerHooks|ThreadBudget|Parallel|Determinism'
-  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|largen|chaos'
+  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|obs|largen|chaos'
 fi
 
 echo "check.sh: all green"

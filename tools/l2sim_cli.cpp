@@ -44,7 +44,7 @@ int usage() {
       "                 [--gdsf] [--fail NODE@SEC] [--skew S] [--shrink SEC]\n"
       "                 [--trace-out T.json] [--metrics-out M.csv]\n"
       "                 [--timeseries-out TS.csv] [--spans-out S.csv]\n"
-      "                 [--span-sample N]\n"
+      "                 [--span-sample N] [--decisions-out D.csv]\n"
       "                 [--arrival stationary|flash|diurnal] [--chaos-seed N]\n"
       "                 [--flash-at S --flash-factor F --flash-ramp S\n"
       "                  --flash-hold S] [--diurnal-period S --diurnal-amp A]\n"
@@ -52,7 +52,13 @@ int usage() {
       "                 [--shedder none|static|codel|aimd] [--static-cap N]\n"
       "                 [--target-delay S] [--retry-budget R --retry-burst B]\n"
       "                 [--hedge-delay S --max-hedges K] [--brownout]\n"
-      "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n";
+      "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n"
+      "  diff           (--trace FILE | --paper NAME [--scale S]) [run flags]\n"
+      "                 [--seed-a N] [--seed-b N] [--shards-a K|auto]\n"
+      "                 [--shards-b K|auto] [--policy-a P] [--policy-b P]\n"
+      "                 [--context N]   replay both sides with the flight\n"
+      "                 recorder on and report the first divergent decision\n"
+      "                 record (exit 0 identical, 3 diverged)\n";
   return 2;
 }
 
@@ -188,6 +194,8 @@ int cmd_run(const Args& args) {
   if (args.has("timeseries-out"))
     spec.output.timeseries_csv_path = args.get("timeseries-out");
   if (args.has("spans-out")) spec.output.spans_csv_path = args.get("spans-out");
+  // Decision log: the export flag enables the flight recorder for the run.
+  if (args.has("decisions-out")) spec.output.decisions_csv_path = args.get("decisions-out");
   if (args.has("span-sample")) {
     cfg.telemetry.enabled = true;
     cfg.telemetry.span_sample_every =
@@ -213,20 +221,11 @@ int cmd_run(const Args& args) {
       if (!spec.output.timeline_csv_path.empty())
         cfg.timeline_csv_path = spec.output.timeline_csv_path;
       if (spec.output.wants_telemetry()) cfg.telemetry.enabled = true;
+      if (spec.output.wants_obs()) cfg.obs.enabled = true;
       core::ClusterSimulation sim(cfg, tr,
                                   policy_by_name(pname, spec.set_shrink_seconds));
       core::SimResult result = sim.run();
-      if (result.telemetry != nullptr) {
-        if (!spec.output.trace_json_path.empty())
-          telemetry::export_chrome_trace(spec.output.trace_json_path, *result.telemetry);
-        if (!spec.output.metrics_csv_path.empty())
-          telemetry::export_metrics_csv(spec.output.metrics_csv_path, *result.telemetry);
-        if (!spec.output.timeseries_csv_path.empty())
-          telemetry::export_timeseries_csv(spec.output.timeseries_csv_path,
-                                           *result.telemetry);
-        if (!spec.output.spans_csv_path.empty())
-          telemetry::export_spans_csv(spec.output.spans_csv_path, *result.telemetry);
-      }
+      core::export_outputs(spec.output, result);
       return result;
     }
     return core::run_simulation(spec, tr);
@@ -257,6 +256,62 @@ int cmd_run(const Args& args) {
   t.cell("VIA messages").cell(static_cast<long long>(r.via_messages)).end_row();
   t.print(std::cout);
   return 0;
+}
+
+core::PolicyKind policy_kind_by_name(const std::string& name) {
+  if (name == "l2s") return core::PolicyKind::kL2s;
+  if (name == "lard") return core::PolicyKind::kLard;
+  if (name == "trad" || name == "traditional") return core::PolicyKind::kTraditional;
+  throw Error("diff: policy must be l2s, lard or trad");
+}
+
+int parse_shards(const std::string& value) {
+  if (value == "auto") return core::EngineConfig::kAutoShards;
+  return std::atoi(value.c_str());
+}
+
+// Replay two configurations with the flight recorder on and report the
+// first decision record where they disagree — the debugger for "these two
+// runs should have matched digests and didn't".
+int cmd_diff(const Args& args) {
+  const auto tr = load_trace(args);
+  core::ExperimentSpec base;
+  base.name = tr.name();
+  core::SimConfig& cfg = base.sim;
+  cfg.nodes = args.get_int("nodes", 16);
+  cfg.node.cache_bytes = static_cast<Bytes>(
+      args.get_double("cache", 32.0) * static_cast<double>(kMiB));
+  if (args.has("gdsf")) cfg.node.cache_policy = cluster::CachePolicy::kGdsf;
+  cfg.arrival.open_loop_rate = args.get_double("rate", 0.0);
+  cfg.persistence.mean_requests_per_connection = args.get_double("rpc", 1.0);
+  cfg.arrival.dns_entry_skew = args.get_double("skew", 0.0);
+  core::apply_overload_cli(args, base);
+  if (args.has("fail")) {
+    const std::string fail = args.get("fail");
+    const auto at = fail.find('@');
+    if (at == std::string::npos) throw Error("--fail expects NODE@SECONDS");
+    cfg.fault_plan.crashes.push_back(
+        {std::atoi(fail.substr(0, at).c_str()), std::atof(fail.substr(at + 1).c_str())});
+  }
+  base.set_shrink_seconds = args.get_double("shrink", 20.0 * args.get_double("scale", 0.1));
+  base.policy = policy_kind_by_name(args.get("policy", "l2s"));
+
+  core::ExperimentSpec a = base;
+  core::ExperimentSpec b = base;
+  if (args.has("seed-a"))
+    a.sim.seed = static_cast<std::uint64_t>(args.get_int("seed-a", 0));
+  if (args.has("seed-b"))
+    b.sim.seed = static_cast<std::uint64_t>(args.get_int("seed-b", 0));
+  if (args.has("shards-a")) a.sim.engine.shards = parse_shards(args.get("shards-a"));
+  if (args.has("shards-b")) b.sim.engine.shards = parse_shards(args.get("shards-b"));
+  if (args.has("policy-a")) a.policy = policy_kind_by_name(args.get("policy-a"));
+  if (args.has("policy-b")) b.policy = policy_kind_by_name(args.get("policy-b"));
+
+  obs::DiffOptions options;
+  options.context = static_cast<std::size_t>(args.get_int("context", 8));
+  const obs::DiffReport report = obs::diff_decisions(a, b, tr, options);
+  std::cout << report.summary();
+  return report.diverged ? 3 : 0;
 }
 
 int cmd_figure(const Args& args) {
@@ -290,6 +345,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "figure") return cmd_figure(args);
+    if (cmd == "diff") return cmd_diff(args);
     return usage();
   } catch (const l2s::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
