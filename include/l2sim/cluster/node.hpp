@@ -50,6 +50,13 @@ class Node {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double cpu_speed() const { return cpu_speed_; }
 
+  // --- placement ---------------------------------------------------------
+  /// Which rack (ToR switch / fat-tree edge switch) the node hangs off.
+  /// Assigned by the coordinator from the topology; 0 on the paper's
+  /// single switch, where every node shares the one crossbar.
+  [[nodiscard]] int rack() const { return rack_; }
+  void set_rack(int rack) { rack_ = rack; }
+
   [[nodiscard]] des::Resource& cpu() { return cpu_; }
   [[nodiscard]] net::Nic& nic() { return nic_; }
   [[nodiscard]] storage::Disk& disk() { return disk_; }
@@ -92,6 +99,7 @@ class Node {
 
  private:
   int id_;
+  int rack_ = 0;
   std::string name_;
   CpuParams cpu_params_;
   double cpu_speed_ = 1.0;

@@ -21,6 +21,7 @@
 #include "l2sim/common/units.hpp"
 #include "l2sim/fault/plan.hpp"
 #include "l2sim/net/params.hpp"
+#include "l2sim/net/topology.hpp"
 #include "l2sim/obs/config.hpp"
 #include "l2sim/telemetry/config.hpp"
 
@@ -234,6 +235,9 @@ struct SimConfig {
   int nodes = 16;
   cluster::NodeParams node;  ///< per-node cache (32 MB default), CPU, disk
   net::NetParams net;
+  /// Interconnect topology (default kSingleSwitch: the paper's single
+  /// crossbar, bit-identical to the pre-topology engine — golden-pinned).
+  net::TopologyConfig topology;
   Bytes request_msg_bytes = 256;  ///< client request / hand-off payload
   Bytes control_msg_bytes = 16;   ///< load & locality update payload
   bool warmup = true;

@@ -39,6 +39,11 @@ struct EngineContext {
   des::Scheduler* sched = nullptr;
   net::Router* router = nullptr;
   net::ViaNetwork* via = nullptr;
+  /// The interconnect (owned by the coordinator); telemetry reads per-link
+  /// utilization off it, the engine itself only talks through `via`.
+  net::Topology* topology = nullptr;
+  /// Flow-level bulk-transfer network (null unless topology.flow_level).
+  net::FlowNetwork* flow = nullptr;
   policy::Policy* policy = nullptr;
   std::vector<std::unique_ptr<cluster::Node>>* nodes = nullptr;
   /// The simulation's own random stream (connection lengths, DNS skew,

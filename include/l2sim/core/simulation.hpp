@@ -12,7 +12,8 @@
 //   MetricsCollector     every statistic, behind LifecycleObserver
 //
 // The coordinator owns the simulated hardware (scheduler, nodes, router,
-// switch fabric, VIA), wires the components through an EngineContext, and
+// interconnect topology, VIA), wires the components through an
+// EngineContext, and
 // runs the paper's measurement protocol: warm the caches by simulating the
 // trace once, reset statistics, then replay the same trace under
 // saturation to measure maximum throughput. Faults (crashes, fail-slow,
@@ -32,8 +33,9 @@
 #include "l2sim/des/sharded_scheduler.hpp"
 #include "l2sim/fault/detector.hpp"
 #include "l2sim/fault/runtime.hpp"
+#include "l2sim/net/flow.hpp"
 #include "l2sim/net/router.hpp"
-#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/topology.hpp"
 #include "l2sim/net/via.hpp"
 #include "l2sim/policy/policy.hpp"
 #include "l2sim/trace/trace.hpp"
@@ -51,6 +53,16 @@ namespace l2s::core {
 namespace engine {
 class MetricsCollector;
 }  // namespace engine
+
+/// The per-shard-pair post() bound the topology implies for the cluster
+/// engine: entry (s, d) is the host-side VIA floor (sender CPU + NIC
+/// overhead) plus the minimum topology latency between any node of shard
+/// s and any node of shard d. Rack-aligned shards that share no rack get
+/// entries wider than NetParams::min_cross_node_latency(); the matrix
+/// feeds des::ShardedScheduler::set_pairwise_lookahead.
+[[nodiscard]] std::vector<SimTime> topology_lookahead_matrix(
+    const net::Topology& topo, const des::ShardMap& map,
+    const net::NetParams& params);
 
 class ClusterSimulation {
  public:
@@ -70,8 +82,12 @@ class ClusterSimulation {
   [[nodiscard]] cluster::Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
   /// The front-end scheduler: the single heap of the serial engine, or
   /// shard 0 of the sharded engine (where the shared front-end components
-  /// — router, switch fabric, arrival source — live).
+  /// — router, interconnect, arrival source — live).
   [[nodiscard]] des::Scheduler& scheduler() { return sched_; }
+  /// The interconnect the run was built on (never null).
+  [[nodiscard]] net::Topology& topology() { return *topo_; }
+  /// The flow-level bulk network (null unless config.topology.flow_level).
+  [[nodiscard]] net::FlowNetwork* flow_network() { return flow_.get(); }
   /// The sharded engine, or null when config.engine.shards == 0 (serial).
   [[nodiscard]] des::ShardedScheduler* sharded_engine() { return sharded_.get(); }
   /// The node -> shard partition (one entity per node; a single shard
@@ -103,9 +119,11 @@ class ClusterSimulation {
   std::unique_ptr<des::ShardedScheduler> sharded_;
   des::Scheduler solo_sched_;
   des::Scheduler& sched_;
-  net::SwitchFabric fabric_;
+  std::unique_ptr<net::Topology> topo_;
   net::Router router_;
   net::ViaNetwork via_;
+  /// Flow-level bulk transfers (only when config.topology.flow_level).
+  std::unique_ptr<net::FlowNetwork> flow_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::unique_ptr<policy::Policy> policy_;
   std::unique_ptr<fault::FaultRuntime> fault_runtime_;

@@ -134,4 +134,18 @@ void export_outputs(const OutputSpec& output, const SimResult& result);
 /// SimConfig::validate().
 void apply_overload_cli(const CliArgs& args, ExperimentSpec& spec);
 
+/// Apply the interconnect-topology command-line flags to a spec:
+///
+///   --topology single|rack|fattree   interconnect kind (default single)
+///   --racks N                        rack-aware: number of ToR switches
+///   --oversub X                      rack-aware: core oversubscription ratio
+///   --fat-tree-k K                   fat-tree: switch arity (even)
+///   --segment-bytes N                store-and-forward segment size
+///   --flow-level                     flow-level bulk transfers (max-min fair)
+///
+/// Flags not present leave the spec untouched. Throws l2s::Error on an
+/// unknown --topology name; geometry validation (nodes divisible into
+/// racks, fat-tree capacity) happens in SimConfig::validate().
+void apply_topology_cli(const CliArgs& args, ExperimentSpec& spec);
+
 }  // namespace l2s::core

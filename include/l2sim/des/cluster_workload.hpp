@@ -20,8 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "l2sim/common/units.hpp"
+#include "l2sim/des/shard_map.hpp"
 #include "l2sim/des/sharded_scheduler.hpp"
 
 namespace l2s::des {
@@ -33,6 +35,20 @@ struct WorkloadParams {
   SimTime latency = 10'000;   ///< cross-node latency (ns) == lookahead
   SimTime mean_service = 16'000;  ///< per-hop service, uniform [m/2, 3m/2)
   std::uint64_t seed = 1;
+  /// Rack geometry: nodes split into `racks` contiguous blocks; a forward
+  /// between different racks pays `cross_rack_latency` instead of
+  /// `latency` (0 = same as `latency`). racks == 1 reproduces the classic
+  /// uniform workload exactly — the equivalence tests pin it.
+  int racks = 1;
+  SimTime cross_rack_latency = 0;
+
+  [[nodiscard]] SimTime cross_latency() const {
+    return cross_rack_latency > 0 ? cross_rack_latency : latency;
+  }
+  [[nodiscard]] int rack_span() const {
+    return racks > 1 && nodes % racks == 0 ? nodes / racks : nodes;
+  }
+  [[nodiscard]] int rack_of(int node) const { return node / rack_span(); }
 };
 
 struct WorkloadResult {
@@ -61,5 +77,18 @@ struct WorkloadResult {
 [[nodiscard]] WorkloadResult run_cluster_workload_on(const WorkloadParams& p,
                                                      ShardedScheduler& engine,
                                                      unsigned threads = 0);
+
+/// The rack-aligned shard partition for this workload: contiguous racks
+/// never straddle shards (plain balanced partition when racks == 1).
+[[nodiscard]] ShardMap workload_shard_map(const WorkloadParams& p, int shards);
+
+/// The pairwise lookahead matrix implied by the workload's rack geometry
+/// over `map`: entry (r, s) is the minimum interconnect latency any
+/// message from a node of shard r to a node of shard s can pay — the
+/// same-rack `latency` when the two shards touch a common rack, the wider
+/// `cross_rack_latency` otherwise. Feed it to
+/// ShardedScheduler::set_pairwise_lookahead before running.
+[[nodiscard]] std::vector<SimTime> workload_lookahead_matrix(
+    const WorkloadParams& p, const ShardMap& map);
 
 }  // namespace l2s::des

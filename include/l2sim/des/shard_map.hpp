@@ -28,23 +28,44 @@ class ShardMap {
     extra_ = entities_ % shards_;  // the first `extra_` blocks get one more
   }
 
+  /// Group-aligned partition: entities come in contiguous groups of `group`
+  /// (rack spans), and no group is ever split across two shards — the
+  /// grouping that lets rack-aware lookahead give intra-shard traffic the
+  /// narrow same-rack latency bound. Groups are balanced across shards like
+  /// entities are in the plain constructor; `group` == 1 (or not dividing
+  /// `entities`) degenerates to the plain entity partition.
+  ShardMap(int entities, int shards, int group)
+      : ShardMap(entities, shards) {
+    if (group <= 1 || entities % group != 0) return;
+    const int groups = entities / group;
+    if (shards_ > groups) shards_ = groups;  // never split a group
+    // Re-express the balanced-blocks partition in units of whole groups.
+    base_ = (groups / shards_) * group;
+    extra_ = groups % shards_;
+    group_ = group;
+  }
+
   [[nodiscard]] int entities() const { return entities_; }
   [[nodiscard]] int shards() const { return shards_; }
 
-  /// Which shard owns entity `e`.
+  /// The group size the partition is aligned to (1 = plain entity blocks).
+  [[nodiscard]] int group() const { return group_; }
+
+  /// Which shard owns entity `e`. The first `extra_` blocks are oversized
+  /// by one allocation unit (an entity, or a whole group when aligned).
   [[nodiscard]] int shard_of(int e) const {
     L2S_REQUIRE(e >= 0 && e < entities_);
-    const int fat = extra_ * (base_ + 1);  // entities in the oversized blocks
-    if (e < fat) return e / (base_ + 1);
+    const int fat = extra_ * (base_ + group_);  // entities in oversized blocks
+    if (e < fat) return e / (base_ + group_);
     return extra_ + (e - fat) / base_;
   }
 
   /// The [begin, end) entity range of shard `s`.
   [[nodiscard]] std::pair<int, int> range(int s) const {
     L2S_REQUIRE(s >= 0 && s < shards_);
-    const int fat = s < extra_ ? s : extra_;
+    const int fat = (s < extra_ ? s : extra_) * group_;
     const int begin = s * base_ + fat;
-    const int size = base_ + (s < extra_ ? 1 : 0);
+    const int size = base_ + (s < extra_ ? group_ : 0);
     return {begin, begin + size};
   }
 
@@ -53,6 +74,7 @@ class ShardMap {
   int shards_;
   int base_ = 0;
   int extra_ = 0;
+  int group_ = 1;  ///< allocation unit (plain ctor: one entity)
 };
 
 }  // namespace l2s::des

@@ -107,8 +107,36 @@ class ShardedScheduler {
   ShardedScheduler& operator=(const ShardedScheduler&) = delete;
 
   [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  /// The effective global lookahead: the constructor value, or the minimum
+  /// pairwise entry once set_pairwise_lookahead() installed a matrix.
   [[nodiscard]] SimTime lookahead() const { return lookahead_; }
   [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// Replace the single global lookahead with a per-shard-pair bound:
+  /// `matrix` is row-major shards() x shards(), entry (src, dst) the
+  /// guaranteed minimum latency of any cross-shard effect from src to dst
+  /// (the diagonal bounds self-posts). All entries must be positive.
+  ///
+  /// Soundness: the raw matrix bounds single messages, but a shard's
+  /// window end must lower-bound *chains* (src relays through a third
+  /// shard, or an echo returns to its originator after the originator ran
+  /// ahead). The scheduler therefore derives a min-plus closure E of the
+  /// matrix (Floyd-Warshall; E(s,s) becomes the shortest cycle through s)
+  /// and opens per-shard windows [M, w_s) with
+  ///     w_s = min over r of (next_r + E(r, s)),
+  /// which widens windows between far-apart shard pairs (rack-aligned
+  /// shards under the rack-aware topology) while the pair actually sharing
+  /// a rack keeps the tight bound. post() stamps are checked against the
+  /// raw (src, dst) entry. Call before run(); not while a run is active.
+  void set_pairwise_lookahead(std::vector<SimTime> matrix);
+  [[nodiscard]] bool pairwise_lookahead() const { return !pairwise_.empty(); }
+  /// The raw post() bound for a pair (the global lookahead when no matrix).
+  [[nodiscard]] SimTime pair_lookahead(int src, int dst) const {
+    if (pairwise_.empty()) return lookahead_;
+    return pairwise_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(shards()) +
+                     static_cast<std::size_t>(dst)];
+  }
 
   /// Shard `s`'s kernel: local scheduling (at/after), now(), stats. In
   /// threaded mode, only the worker currently executing shard `s` (or the
@@ -169,6 +197,10 @@ class ShardedScheduler {
   std::vector<std::unique_ptr<Mailbox>> inbox_;
   std::vector<std::uint64_t> msg_seq_;  ///< per-source send counters
   SimTime lookahead_;
+  /// Raw per-pair bounds (row-major; empty = uniform lookahead_) and their
+  /// min-plus closure used for window ends (see set_pairwise_lookahead).
+  std::vector<SimTime> pairwise_;
+  std::vector<SimTime> closure_;
   Mode mode_;
   std::uint64_t global_seq_ = 0;  ///< merge mode: shared by all shards
   std::uint64_t posted_ = 0;      ///< merge-mode increments are unsynchronized;

@@ -1,0 +1,82 @@
+// Flow-level bulk-transfer mode: max-min fair bandwidth sharing over the
+// topology's capacitated links plus per-endpoint NIC port capacities,
+// recomputed only on flow start/finish — so a bulk transfer costs O(1)
+// scheduled events regardless of size, instead of per-segment NIC and
+// link events. This is the standard flow-simulation trade (replicant-opera
+// style): queueing dynamics inside a transfer are abstracted into a fluid
+// rate, while the rate allocation still sees every concurrent transfer.
+//
+// Determinism: flows are processed in ascending id order everywhere, rates
+// are pure functions of the active set, and completion events are
+// epoch-guarded (the kernel has no event cancellation, so a superseded
+// completion tick finds a bumped epoch and does nothing). No wall-clock,
+// no randomness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/des/scheduler.hpp"
+#include "l2sim/net/params.hpp"
+#include "l2sim/net/topology.hpp"
+
+namespace l2s::net {
+
+class FlowNetwork {
+ public:
+  /// `topo` and `params` must outlive the flow network. Endpoint ports
+  /// (one tx + one rx per node, at the host line rate) bound every flow
+  /// even on contention-free topologies.
+  FlowNetwork(des::Scheduler& sched, Topology& topo, const NetParams& params);
+
+  /// Start a bulk transfer; `on_done` fires when the last byte has been
+  /// delivered (max-min transmission time + the path's latency floor).
+  void start(int src, int dst, Bytes bytes, des::EventFn on_done);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t flows_started() const { return started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const { return completed_; }
+  /// Max-min rate recomputations (one per flow start/finish batch).
+  [[nodiscard]] std::uint64_t rate_recomputes() const { return recomputes_; }
+  [[nodiscard]] std::size_t max_concurrent() const { return max_concurrent_; }
+
+  void reset_stats();
+
+ private:
+  struct Flow {
+    std::uint64_t id = 0;
+    int src = 0;
+    int dst = 0;
+    double remaining_bits = 0.0;
+    double rate_bps = 0.0;
+    /// Constraint ids: 0..N-1 tx ports, N..2N-1 rx ports, 2N+i link i.
+    std::vector<std::size_t> constraints;
+    des::EventFn done;
+  };
+
+  /// Progressive-filling max-min allocation over the active set.
+  void recompute_rates();
+  /// Bill every active flow for the time elapsed since the last progress
+  /// point at its current rate (and attribute the bits to path links).
+  void advance_progress();
+  /// Recompute rates and schedule the next (epoch-guarded) completion tick.
+  void reschedule();
+  void on_tick(std::uint64_t epoch);
+
+  [[nodiscard]] double constraint_capacity(std::size_t c) const;
+
+  des::Scheduler& sched_;
+  Topology& topo_;
+  const NetParams& params_;  // NOLINT(*-avoid-const-or-ref-data-members)
+  std::vector<Flow> flows_;  ///< active, ascending id
+  SimTime last_progress_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped on every reschedule; stale ticks no-op
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::size_t max_concurrent_ = 0;
+};
+
+}  // namespace l2s::net

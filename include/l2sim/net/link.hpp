@@ -1,0 +1,64 @@
+// A capacitated, directed network link: a single-server FIFO transmission
+// queue (store-and-forward) plus byte accounting for utilization reports.
+//
+// The paper's single switch is contention-free, so it has no Links at all;
+// the multi-switch topologies (rack-aware uplinks, fat-tree edge/agg/core
+// hops) are made of them. A Link serves one frame at a time at its line
+// rate — message-mode transfers queue here — and separately accumulates
+// the bytes attributed to flow-level transfers (flow.hpp), which share the
+// same capacity analytically rather than through the event queue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "l2sim/common/units.hpp"
+#include "l2sim/des/resource.hpp"
+
+namespace l2s::net {
+
+class Link {
+ public:
+  Link(des::Scheduler& sched, std::string name, double bits_per_s);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Queue `bytes` through the link; `done` fires when the last bit has
+  /// been transmitted (FIFO behind everything already queued).
+  void transfer(Bytes bytes, des::EventFn done);
+
+  /// Pure transmission time of `bytes` at the line rate (no queueing).
+  [[nodiscard]] SimTime transfer_time(Bytes bytes) const {
+    return seconds_to_simtime(transfer_seconds(bytes, bits_per_s_));
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double bits_per_s() const { return bits_per_s_; }
+
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] Bytes bytes_carried() const { return bytes_; }
+  /// Fraction of [0, elapsed] the transmitter was busy (message mode).
+  [[nodiscard]] double utilization(SimTime elapsed) const {
+    return server_.utilization(elapsed);
+  }
+
+  /// Flow-level accounting: bits attributed to this link by the max-min
+  /// bandwidth-sharing mode (no event-queue traffic involved).
+  void add_flow_bits(double bits) { flow_bits_ += bits; }
+  [[nodiscard]] double flow_bits() const { return flow_bits_; }
+  /// Mean flow-mode utilization over [0, elapsed].
+  [[nodiscard]] double flow_utilization(SimTime elapsed) const;
+
+  void reset_stats();
+
+ private:
+  des::Resource server_;
+  std::string name_;
+  double bits_per_s_;
+  std::uint64_t transfers_ = 0;
+  Bytes bytes_ = 0;
+  double flow_bits_ = 0.0;
+};
+
+}  // namespace l2s::net

@@ -1,10 +1,14 @@
 // M-VIA-style user-level messaging over the cluster network.
 //
 // A point-to-point message charges: 3 us sender CPU, 6 us + payload/1Gbit/s
-// sender NIC, 1 us switch, 6 us + payload/1Gbit/s receiver NIC, 3 us
-// receiver CPU — 19 us one-way for a 4-byte message, matching the paper's
-// M-VIA measurements. Broadcasts are implemented as N-1 point-to-point
-// messages, exactly as the paper's simulator does.
+// sender NIC, the topology path (1 us for the paper's single switch; ToR /
+// core hops and capacitated link transfers for the multi-switch
+// topologies), 6 us + payload/1Gbit/s receiver NIC, 3 us receiver CPU —
+// 19 us one-way for a 4-byte message on the single switch, matching the
+// paper's M-VIA measurements. Broadcasts are implemented as N-1
+// point-to-point messages, exactly as the paper's simulator does — each
+// one charged along its own topology path, so a cross-rack destination
+// pays its real hop count.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +18,11 @@
 #include "l2sim/des/resource.hpp"
 #include "l2sim/net/nic.hpp"
 #include "l2sim/net/params.hpp"
-#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/topology.hpp"
 
 namespace l2s::net {
+
+class FlowNetwork;
 
 /// What the (optional) fault model decided for one message. Defaults are a
 /// healthy link. Duplicates are suppressed at the receiver: the copy burns
@@ -43,15 +49,22 @@ class ViaNetwork {
     Nic* nic = nullptr;
   };
 
-  ViaNetwork(des::Scheduler& sched, SwitchFabric& fabric, const NetParams& params);
+  ViaNetwork(des::Scheduler& sched, Topology& topology, const NetParams& params);
 
   /// Register a node's CPU and NIC; returns its endpoint id.
   int add_endpoint(Endpoint ep);
 
-  /// Wire-level transfer only (sender NIC -> switch -> receiver NIC); the
-  /// caller accounts for CPU time itself (used for request hand-offs whose
-  /// CPU cost is the policy's forwarding cost, not the VIA send overhead).
+  /// Wire-level transfer only (sender NIC -> topology path -> receiver
+  /// NIC); the caller accounts for CPU time itself (used for request
+  /// hand-offs whose CPU cost is the policy's forwarding cost, not the VIA
+  /// send overhead).
   void transmit(int src, int dst, Bytes bytes, des::EventFn on_delivered);
+
+  /// Bulk data transfer (request-forwarding replies, cache-fill payloads).
+  /// Identical to transmit() unless a flow network is attached
+  /// (set_flow_network), in which case the payload rides the flow-level
+  /// max-min bandwidth sharing instead of per-segment NIC/link events.
+  void bulk(int src, int dst, Bytes bytes, des::EventFn on_delivered);
 
   /// Full VIA send including both CPU overheads.
   void send(int src, int dst, Bytes bytes, des::EventFn on_delivered);
@@ -62,6 +75,12 @@ class ViaNetwork {
   /// Install (or clear, with nullptr) the per-message fault oracle. The
   /// model must outlive the network or be cleared before it dies.
   void set_fault_model(LinkFaultModel* model) { fault_model_ = model; }
+
+  /// Attach (or clear) the flow-level bulk-transfer network; it must
+  /// outlive the VIA network or be cleared first.
+  void set_flow_network(FlowNetwork* flow) { flow_ = flow; }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
 
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
@@ -90,10 +109,11 @@ class ViaNetwork {
 
  private:
   des::Scheduler& sched_;
-  SwitchFabric& fabric_;
+  Topology& topo_;
   const NetParams& params_;
   std::vector<Endpoint> endpoints_;
   LinkFaultModel* fault_model_ = nullptr;
+  FlowNetwork* flow_ = nullptr;
   std::uint64_t messages_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;

@@ -61,6 +61,7 @@ void SimConfig::validate() const {
   fault_plan.validate(nodes);
   detection.validate();
   telemetry.validate();
+  topology.validate(nodes);
   if (retry.max_retries < 0) throw_error("SimConfig: retry.max_retries must be >= 0");
   if (retry.initial_backoff_seconds < 0.0 || retry.max_backoff_seconds < 0.0 ||
       retry.deadline_seconds < 0.0 || retry.attempt_timeout_seconds < 0.0)

@@ -120,8 +120,11 @@ void PersistentPath::remote_fetch(const ConnPtr& conn, int owner) {
           src.cpu().submit(src.reply_time(conn->request.bytes), [this, conn, current,
                                                                 owner, att]() {
             if (attempt_stale(conn, att)) return;
-            ctx_.via->transmit(owner, current, conn->request.bytes, [this, conn, current,
-                                                                    att]() {
+            // bulk(): the payload-bearing leg — rides the flow-level
+            // network when topology.flow_level is on (identical to
+            // transmit() otherwise).
+            ctx_.via->bulk(owner, current, conn->request.bytes, [this, conn, current,
+                                                                 att]() {
               if (attempt_stale(conn, att)) return;
               cluster::Node& c = ctx_.node(current);
               c.cpu().submit(ctx_.cfg().net.cpu_msg_time(), [this, conn, att]() {

@@ -1,6 +1,7 @@
 #include "l2sim/core/simulation.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "l2sim/common/env.hpp"
 #include "l2sim/common/error.hpp"
@@ -12,6 +13,7 @@
 #include "l2sim/core/engine/persistent_path.hpp"
 #include "l2sim/core/engine/retry.hpp"
 #include "l2sim/core/engine/service_path.hpp"
+#include "l2sim/obs/link_introspection.hpp"
 #include "l2sim/obs/recorder.hpp"
 #include "l2sim/telemetry/sim_telemetry.hpp"
 
@@ -32,14 +34,54 @@ int resolved_shard_count(const SimConfig& config) {
   return std::clamp(requested, 1, nodes);
 }
 
+/// Build the interconnect for the run. Validates the topology geometry
+/// first so a bad --racks / --fat-tree-k reports through the config error
+/// path instead of tripping a constructor invariant. Takes the *member*
+/// config (whose NetParams the topology keeps a reference to for its
+/// lifetime), never the constructor parameter.
+std::unique_ptr<net::Topology> make_topology(const SimConfig& config,
+                                             des::Scheduler& sched) {
+  const int nodes = std::max(1, config.nodes);
+  config.topology.validate(nodes);
+  return net::Topology::make(config.topology, sched, config.net, nodes);
+}
+
 }  // namespace
+
+std::vector<SimTime> topology_lookahead_matrix(const net::Topology& topo,
+                                               const des::ShardMap& map,
+                                               const net::NetParams& params) {
+  const int n = map.shards();
+  // Host-side floor every VIA message pays before it can touch the wire
+  // (the topology-independent part of min_cross_node_latency()).
+  const SimTime host = params.cpu_msg_time() + params.nic_transfer_time(0);
+  std::vector<SimTime> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const auto [sb, se] = map.range(s);
+    for (int d = 0; d < n; ++d) {
+      const auto [db, de] = map.range(d);
+      SimTime best = std::numeric_limits<SimTime>::max();
+      for (int src = sb; src < se; ++src)
+        for (int dst = db; dst < de; ++dst)
+          best = std::min(best, topo.min_latency(src, dst));
+      m[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(d)] = host + best;
+    }
+  }
+  return m;
+}
 
 ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace,
                                      std::unique_ptr<policy::Policy> policy)
     : config_(config),
       trace_(trace),
+      // Rack-aligned sharding: no rack ever straddles two shards, so the
+      // pairwise lookahead between distinct shards is at least the
+      // cross-rack latency (single-switch rack_span == 1 keeps the old
+      // plain entity partition).
       shard_map_(std::max(1, config.nodes),
-                 std::max(1, resolved_shard_count(config))),
+                 std::max(1, resolved_shard_count(config)),
+                 config.topology.rack_span(std::max(1, config.nodes))),
       sharded_(resolved_shard_count(config) > 0
                    ? std::make_unique<des::ShardedScheduler>(
                          shard_map_.shards(),
@@ -47,15 +89,28 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
                          des::ShardedScheduler::Mode::kSequentialMerge)
                    : nullptr),
       sched_(sharded_ != nullptr ? sharded_->shard(0) : solo_sched_),
-      fabric_(sched_, config.net.switch_latency()),
+      topo_(make_topology(config_, sched_)),
       router_(sched_, config_.net),
-      via_(sched_, fabric_, config_.net),
+      via_(sched_, *topo_, config_.net),
       policy_(std::move(policy)),
       rng_(config.seed) {
   config_.validate();
   L2S_REQUIRE(policy_ != nullptr);
   if (trace_.request_count() == 0) throw_error("ClusterSimulation: empty trace");
   if (sharded_ != nullptr && config_.engine.introspect) sharded_->enable_introspection();
+  if (sharded_ != nullptr) {
+    // Tighten the engine's post() bound from the global min-cross-node
+    // latency to the topology's per-shard-pair floor. Merge mode executes
+    // in (time, src, seq) order regardless, so this is digest-inert; it
+    // is what lets a threaded engine open wider windows between shards
+    // that share no rack.
+    sharded_->set_pairwise_lookahead(
+        topology_lookahead_matrix(*topo_, shard_map_, config_.net));
+  }
+  if (config_.topology.flow_level) {
+    flow_ = std::make_unique<net::FlowNetwork>(sched_, *topo_, config_.net);
+    via_.set_flow_network(flow_.get());
+  }
 
   policy::ClusterContext pctx;
   pctx.sched = &sched_;
@@ -71,6 +126,7 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
         sharded_ != nullptr ? sharded_->shard(shard_map_.shard_of(i)) : sched_;
     nodes_.push_back(
         std::make_unique<cluster::Node>(node_sched, i, config_.node, speed));
+    nodes_.back()->set_rack(topo_->rack_of(i));
     via_.add_endpoint({&nodes_.back()->cpu(), &nodes_.back()->nic()});
     pctx.nodes.push_back(nodes_.back().get());
   }
@@ -83,6 +139,8 @@ ClusterSimulation::ClusterSimulation(SimConfig config, const trace::Trace& trace
   ctx_.sched = &sched_;
   ctx_.router = &router_;
   ctx_.via = &via_;
+  ctx_.topology = topo_.get();
+  ctx_.flow = flow_.get();
   ctx_.policy = policy_.get();
   ctx_.nodes = &nodes_;
   ctx_.rng = &rng_;
@@ -138,6 +196,10 @@ SimResult ClusterSimulation::run() {
   replay_trace();
   SimResult result = metrics_->collect(measure_start, detector_.get());
   if (telemetry_) {
+    // Passive read of the interconnect's link accounting — registered just
+    // before the snapshot so per-link gauges ride in it (digest-inert).
+    obs::export_link_utilization(telemetry_->registry(), *topo_,
+                                 sched_.now() - measure_start);
     result.telemetry =
         std::make_shared<const telemetry::Snapshot>(telemetry_->snapshot());
   }
@@ -218,7 +280,8 @@ void ClusterSimulation::arm_faults(SimTime measure_start) {
 void ClusterSimulation::reset_statistics() {
   for (auto& n : nodes_) n->reset_stats();
   router_.resource().reset_stats();
-  fabric_.reset_stats();
+  topo_->reset_stats();
+  if (flow_) flow_->reset_stats();
   via_.reset_stats();
   policy_->reset_counters();
   metrics_->reset();

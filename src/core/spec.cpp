@@ -170,4 +170,23 @@ void apply_overload_cli(const CliArgs& args, ExperimentSpec& spec) {
   if (args.has("brownout")) ov.brownout = true;
 }
 
+void apply_topology_cli(const CliArgs& args, ExperimentSpec& spec) {
+  net::TopologyConfig& topo = spec.sim.topology;
+  if (args.has("topology")) {
+    const std::string kind = args.get("topology");
+    if (kind == "single") topo.kind = net::TopologyKind::kSingleSwitch;
+    else if (kind == "rack") topo.kind = net::TopologyKind::kRackAware;
+    else if (kind == "fattree") topo.kind = net::TopologyKind::kFatTree;
+    else
+      throw_error("--topology: unknown kind '" + kind +
+                  "' (expected single, rack or fattree)");
+  }
+  if (args.has("racks")) topo.racks = args.get_int("racks", 4);
+  if (args.has("oversub")) topo.oversubscription = args.get_double("oversub", 4.0);
+  if (args.has("fat-tree-k")) topo.fat_tree_k = args.get_int("fat-tree-k", 4);
+  if (args.has("segment-bytes"))
+    topo.segment_bytes = static_cast<Bytes>(args.get_int("segment-bytes", 16 * 1024));
+  if (args.has("flow-level")) topo.flow_level = true;
+}
+
 }  // namespace l2s::core

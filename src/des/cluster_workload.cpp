@@ -84,8 +84,12 @@ void hop(Ctx* c, std::uint64_t request, int h, int node) {
   SimTime t = now + service;
   // A forward to a different node rides the interconnect: it pays the
   // fixed latency whether or not the peer shares this shard, so the event
-  // timeline is independent of the partition.
-  if (next != node) t += c->p.latency;
+  // timeline is independent of the partition. Cross-rack peers pay the
+  // (typically wider) cross-rack latency.
+  if (next != node) {
+    t += c->p.rack_of(next) == c->p.rack_of(node) ? c->p.latency
+                                                  : c->p.cross_latency();
+  }
   schedule_hop(c, node, request, h + 1, next, t);
 }
 
@@ -127,6 +131,9 @@ void validate(const WorkloadParams& p) {
   L2S_REQUIRE(p.hops >= 0);
   L2S_REQUIRE(p.latency > 0);
   L2S_REQUIRE(p.mean_service >= 2);
+  L2S_REQUIRE(p.racks >= 1);
+  if (p.racks > 1) L2S_REQUIRE(p.nodes % p.racks == 0);
+  L2S_REQUIRE(p.cross_rack_latency >= 0);
 }
 
 }  // namespace
@@ -145,8 +152,9 @@ WorkloadResult run_cluster_workload_sharded(const WorkloadParams& p,
                                             int shards,
                                             ShardedScheduler::Mode mode,
                                             unsigned threads) {
-  ShardMap map(p.nodes, shards);
-  ShardedScheduler engine(map.shards(), p.latency, mode);
+  const ShardMap map = workload_shard_map(p, shards);
+  ShardedScheduler engine(map.shards(), std::min(p.latency, p.cross_latency()),
+                          mode);
   return run_cluster_workload_on(p, engine, threads);
 }
 
@@ -154,8 +162,11 @@ WorkloadResult run_cluster_workload_on(const WorkloadParams& p,
                                        ShardedScheduler& engine,
                                        unsigned threads) {
   validate(p);
-  L2S_REQUIRE(engine.lookahead() <= p.latency);
-  ShardMap map(p.nodes, engine.shards());
+  // The conservative promise the workload makes per message pair; a
+  // pairwise engine checks each post against its own (tighter) matrix.
+  L2S_REQUIRE(engine.pairwise_lookahead() ||
+              engine.lookahead() <= std::min(p.latency, p.cross_latency()));
+  ShardMap map = workload_shard_map(p, engine.shards());
   Ctx c{p, map, &engine, nullptr, {}};
   c.state.resize(static_cast<std::size_t>(map.shards()));
   seed_requests(&c);
@@ -163,6 +174,45 @@ WorkloadResult run_cluster_workload_on(const WorkloadParams& p,
   WorkloadResult r = merge(c);
   r.windows = engine.windows_executed();
   return r;
+}
+
+ShardMap workload_shard_map(const WorkloadParams& p, int shards) {
+  const int group = p.racks > 1 && p.nodes % p.racks == 0 ? p.nodes / p.racks : 1;
+  return {p.nodes, shards, group};
+}
+
+std::vector<SimTime> workload_lookahead_matrix(const WorkloadParams& p,
+                                               const ShardMap& map) {
+  const int n = map.shards();
+  const int span = p.rack_span();
+  // Nodes of [b, e) living in `rack`'s contiguous block.
+  const auto overlap = [span](int rack, int b, int e) {
+    const int lo = rack * span;
+    return std::max(0, std::min(e, lo + span) - std::max(b, lo));
+  };
+  std::vector<SimTime> m(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const auto [rb, re] = map.range(r);
+    for (int s = 0; s < n; ++s) {
+      const auto [sb, se] = map.range(s);
+      // The pair's bound is the same-rack latency iff some rack holds a
+      // distinct sender/receiver pair: one node of each shard (r != s), or
+      // two nodes of the shard itself (the diagonal self-post bound).
+      bool share_rack = false;
+      const int first = std::min(rb, sb) / span;
+      const int last = (std::max(re, se) - 1) / span;
+      for (int rack = first; rack <= last && !share_rack; ++rack) {
+        share_rack = r == s ? overlap(rack, rb, re) >= 2
+                            : overlap(rack, rb, re) >= 1 &&
+                                  overlap(rack, sb, se) >= 1;
+      }
+      m[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(s)] =
+          share_rack ? p.latency : p.cross_latency();
+    }
+  }
+  return m;
 }
 
 }  // namespace l2s::des

@@ -60,20 +60,46 @@ void ShardedScheduler::enable_introspection() {
   }
 }
 
+void ShardedScheduler::set_pairwise_lookahead(std::vector<SimTime> matrix) {
+  const std::size_t n = shards_.size();
+  L2S_REQUIRE(matrix.size() == n * n);
+  for (const SimTime e : matrix) L2S_REQUIRE(e > 0);
+  pairwise_ = std::move(matrix);
+  // Min-plus closure: D(r, s) lower-bounds any relay chain r -> ... -> s,
+  // and the diagonal becomes the shortest cycle through each shard (the
+  // echo bound: a shard that ran ahead must not receive its own reflected
+  // message in its past). Overflow-safe because bounds are microseconds.
+  closure_ = pairwise_;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime ik = closure_[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        const SimTime through = ik + closure_[k * n + j];
+        if (through < closure_[i * n + j]) closure_[i * n + j] = through;
+      }
+    }
+  // The effective global bound reported by lookahead().
+  SimTime least = pairwise_[0];
+  for (const SimTime e : pairwise_) least = std::min(least, e);
+  lookahead_ = least;
+}
+
 void ShardedScheduler::post(int src, int dst, SimTime t, EventFn fn) {
   L2S_REQUIRE(src >= 0 && src < shards());
   L2S_REQUIRE(dst >= 0 && dst < shards());
   // The conservative promise: nothing crosses shards faster than the
-  // lookahead. Checked in both modes so merge-mode development catches
-  // violations before anything runs threaded.
-  L2S_REQUIRE(t >= shards_[static_cast<std::size_t>(src)]->now() + lookahead_);
+  // (per-pair, when a matrix is installed) lookahead. Checked in both
+  // modes so merge-mode development catches violations before anything
+  // runs threaded.
+  const SimTime bound = pair_lookahead(src, dst);
+  L2S_REQUIRE(t >= shards_[static_cast<std::size_t>(src)]->now() + bound);
   if (intro_ != nullptr) {
     // In threaded mode post() runs on src's current owner (the same
     // exclusivity msg_seq_ relies on), so the row is single-writer.
     auto& row = intro_->shards[static_cast<std::size_t>(src)];
     ++row.posted;
     ++row.sent_to[static_cast<std::size_t>(dst)];
-    const SimTime slack = t - (shards_[static_cast<std::size_t>(src)]->now() + lookahead_);
+    const SimTime slack = t - (shards_[static_cast<std::size_t>(src)]->now() + bound);
     ++row.slack_log2_us[log2_bucket(static_cast<std::uint64_t>(slack) / 1000U)];
   }
   if (mode_ == Mode::kSequentialMerge) {
@@ -155,6 +181,9 @@ void ShardedScheduler::run_windows(unsigned threads) {
   workers = std::min<unsigned>(std::max(1u, workers), static_cast<unsigned>(n));
 
   std::vector<SimTime> next_time(static_cast<std::size_t>(n), kNever);
+  // Per-shard window ends under a pairwise matrix; written by the barrier
+  // completion step, read by workers in phase B (barrier-ordered).
+  std::vector<SimTime> window_ends(static_cast<std::size_t>(n), 0);
   std::atomic<int> claim{0};
   std::atomic<SimTime> window_end{0};
   std::atomic<bool> done{false};
@@ -178,7 +207,24 @@ void ShardedScheduler::run_windows(unsigned threads) {
       if (m == kNever) {
         done.store(true, std::memory_order_relaxed);
       } else {
-        window_end.store(m + lookahead_, std::memory_order_relaxed);
+        if (closure_.empty()) {
+          window_end.store(m + lookahead_, std::memory_order_relaxed);
+        } else {
+          // Pairwise windows: shard s may run to the earliest time any
+          // other shard's pending work could reach it through any relay
+          // chain (the closure). Far-apart pairs get wide windows; the
+          // globally-earliest shard always clears its own next event
+          // (w >= m + min entry > m), so every window makes progress.
+          for (std::size_t s = 0; s < static_cast<std::size_t>(n); ++s) {
+            SimTime w = kNever;
+            for (std::size_t r = 0; r < static_cast<std::size_t>(n); ++r) {
+              if (next_time[r] == kNever) continue;
+              w = std::min(w, next_time[r] +
+                                  closure_[r * static_cast<std::size_t>(n) + s]);
+            }
+            window_ends[s] = w;
+          }
+        }
         window_floor_ = m;  // completion step: ordered before phase B reads
         ++windows_;
       }
@@ -216,11 +262,14 @@ void ShardedScheduler::run_windows(unsigned threads) {
       }
       barrier_wait(wid);
       if (done.load(std::memory_order_relaxed)) return;
-      // Phase B: run the window. Sends stamp >= now + L >= M + L, so they
+      // Phase B: run the window. Sends stamp >= now + L(src, dst), so they
       // target future windows only; the barrier below publishes them.
-      const SimTime w = window_end.load(std::memory_order_relaxed);
+      const SimTime uniform_w = window_end.load(std::memory_order_relaxed);
       for (int s = claim.fetch_add(1, std::memory_order_relaxed); s < n;
            s = claim.fetch_add(1, std::memory_order_relaxed)) {
+        const SimTime w = closure_.empty()
+                              ? uniform_w
+                              : window_ends[static_cast<std::size_t>(s)];
         Scheduler& sh = *shards_[static_cast<std::size_t>(s)];
         if (intro_ == nullptr) {
           sh.run_window(w);

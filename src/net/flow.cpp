@@ -1,0 +1,167 @@
+#include "l2sim/net/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FlowNetwork::FlowNetwork(des::Scheduler& sched, Topology& topo,
+                         const NetParams& params)
+    : sched_(sched), topo_(topo), params_(params) {}
+
+double FlowNetwork::constraint_capacity(std::size_t c) const {
+  const std::size_t ports = 2 * static_cast<std::size_t>(topo_.nodes());
+  if (c < ports) return params_.link_bits_per_s;  // a host tx or rx port
+  return topo_.link(c - ports).bits_per_s();
+}
+
+void FlowNetwork::start(int src, int dst, Bytes bytes, des::EventFn on_done) {
+  L2S_REQUIRE(src >= 0 && src < topo_.nodes());
+  L2S_REQUIRE(dst >= 0 && dst < topo_.nodes());
+  L2S_REQUIRE(src != dst);
+  // Bill the running flows for the time elapsed at their current rates
+  // before the new flow changes the allocation.
+  advance_progress();
+  Flow f;
+  f.id = next_id_++;
+  f.src = src;
+  f.dst = dst;
+  f.remaining_bits = static_cast<double>(bytes) * 8.0;
+  const std::size_t n = static_cast<std::size_t>(topo_.nodes());
+  f.constraints.push_back(static_cast<std::size_t>(src));      // tx port
+  f.constraints.push_back(n + static_cast<std::size_t>(dst));  // rx port
+  std::vector<std::size_t> path;
+  topo_.path_links(src, dst, path);
+  for (const std::size_t l : path) f.constraints.push_back(2 * n + l);
+  f.done = std::move(on_done);
+  flows_.push_back(std::move(f));
+  ++started_;
+  max_concurrent_ = std::max(max_concurrent_, flows_.size());
+  reschedule();
+}
+
+void FlowNetwork::recompute_rates() {
+  ++recomputes_;
+  // Unique constraint ids, ascending — the deterministic iteration order
+  // for bottleneck selection.
+  std::vector<std::size_t> ids;
+  for (const auto& f : flows_)
+    ids.insert(ids.end(), f.constraints.begin(), f.constraints.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  auto index_of = [&ids](std::size_t c) {
+    return static_cast<std::size_t>(
+        std::lower_bound(ids.begin(), ids.end(), c) - ids.begin());
+  };
+  std::vector<double> cap(ids.size());
+  std::vector<int> count(ids.size(), 0);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    cap[i] = constraint_capacity(ids[i]);
+  for (const auto& f : flows_)
+    for (const std::size_t c : f.constraints) ++count[index_of(c)];
+
+  // Progressive filling: repeatedly saturate the tightest constraint and
+  // freeze its flows at the fair share. Ties break toward the lowest
+  // constraint id; flows freeze in ascending flow id — both deterministic.
+  std::vector<char> frozen(flows_.size(), 0);
+  std::size_t left = flows_.size();
+  while (left > 0) {
+    double best = kInf;
+    std::size_t bottleneck = ids.size();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (count[i] <= 0) continue;
+      const double share = cap[i] / count[i];
+      if (share < best) {
+        best = share;
+        bottleneck = i;
+      }
+    }
+    if (bottleneck == ids.size()) break;  // defensive: every flow has ports
+    // Floor at 1 bit/s so floating-point cancellation can never produce a
+    // zero rate (which would stall completion scheduling).
+    const double share = std::max(best, 1.0);
+    for (std::size_t fi = 0; fi < flows_.size(); ++fi) {
+      if (frozen[fi] != 0) continue;
+      Flow& f = flows_[fi];
+      const bool crosses =
+          std::find(f.constraints.begin(), f.constraints.end(),
+                    ids[bottleneck]) != f.constraints.end();
+      if (!crosses) continue;
+      f.rate_bps = share;
+      frozen[fi] = 1;
+      --left;
+      for (const std::size_t c : f.constraints) {
+        const std::size_t j = index_of(c);
+        cap[j] -= share;
+        --count[j];
+      }
+    }
+  }
+}
+
+void FlowNetwork::advance_progress() {
+  const SimTime now = sched_.now();
+  const double dt = simtime_to_seconds(now - last_progress_);
+  if (dt > 0.0) {
+    const std::size_t ports = 2 * static_cast<std::size_t>(topo_.nodes());
+    for (auto& f : flows_) {
+      const double sent = std::min(f.rate_bps * dt, f.remaining_bits);
+      f.remaining_bits -= sent;
+      // Attribute the carried bits to the path's links for utilization
+      // reports (ports are per-host and not reported).
+      for (const std::size_t c : f.constraints)
+        if (c >= ports) topo_.link(c - ports).add_flow_bits(sent);
+    }
+  }
+  last_progress_ = now;
+}
+
+void FlowNetwork::reschedule() {
+  ++epoch_;  // any completion tick in flight is now stale
+  if (flows_.empty()) return;
+  recompute_rates();
+  double horizon = kInf;
+  for (const auto& f : flows_)
+    horizon = std::min(horizon, f.remaining_bits / f.rate_bps);
+  // Round the finish up to the next nanosecond so the tick lands at or
+  // after the true completion instant.
+  const SimTime delta = std::max<SimTime>(1, seconds_to_simtime(horizon) + 1);
+  const std::uint64_t epoch = epoch_;
+  sched_.at(sched_.now() + delta, [this, epoch]() { on_tick(epoch); });
+}
+
+void FlowNetwork::on_tick(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a later start/finish
+  advance_progress();
+  std::vector<Flow> keep;
+  keep.reserve(flows_.size());
+  for (auto& f : flows_) {
+    // Within two tick-roundings of done counts as done; a flow that
+    // narrowly misses is caught by the immediately rescheduled tick.
+    if (f.remaining_bits <= f.rate_bps * 4e-9 + 1e-3) {
+      ++completed_;
+      // Transmission is over; the last byte still rides the path's
+      // propagation floor to the receiver.
+      sched_.after(topo_.min_latency(f.src, f.dst), std::move(f.done));
+    } else {
+      keep.push_back(std::move(f));
+    }
+  }
+  flows_.swap(keep);
+  reschedule();
+}
+
+void FlowNetwork::reset_stats() {
+  started_ = 0;
+  completed_ = 0;
+  recomputes_ = 0;
+  max_concurrent_ = flows_.size();
+}
+
+}  // namespace l2s::net

@@ -1,0 +1,32 @@
+#include "l2sim/net/link.hpp"
+
+#include <utility>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::net {
+
+Link::Link(des::Scheduler& sched, std::string name, double bits_per_s)
+    : server_(sched, name), name_(std::move(name)), bits_per_s_(bits_per_s) {
+  L2S_REQUIRE(bits_per_s > 0.0);
+}
+
+void Link::transfer(Bytes bytes, des::EventFn done) {
+  ++transfers_;
+  bytes_ += bytes;
+  server_.submit(transfer_time(bytes), std::move(done));
+}
+
+double Link::flow_utilization(SimTime elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return flow_bits_ / (bits_per_s_ * simtime_to_seconds(elapsed));
+}
+
+void Link::reset_stats() {
+  server_.reset_stats();
+  transfers_ = 0;
+  bytes_ = 0;
+  flow_bits_ = 0.0;
+}
+
+}  // namespace l2s::net

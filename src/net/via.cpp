@@ -1,11 +1,13 @@
 #include "l2sim/net/via.hpp"
 
 #include "l2sim/common/error.hpp"
+#include "l2sim/net/flow.hpp"
 
 namespace l2s::net {
 
-ViaNetwork::ViaNetwork(des::Scheduler& sched, SwitchFabric& fabric, const NetParams& params)
-    : sched_(sched), fabric_(fabric), params_(params) {}
+ViaNetwork::ViaNetwork(des::Scheduler& sched, Topology& topology,
+                       const NetParams& params)
+    : sched_(sched), topo_(topology), params_(params) {}
 
 int ViaNetwork::add_endpoint(Endpoint ep) {
   L2S_REQUIRE(ep.cpu != nullptr && ep.nic != nullptr);
@@ -35,8 +37,10 @@ void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_deliver
     if (fault.extra_delay > 0) ++delayed_;
     const bool dup = fault.duplicate;
     const SimTime extra = fault.extra_delay;
-    tx.submit(xfer, [this, &rx, xfer, dup, extra, done = std::move(on_delivered)]() mutable {
-      fabric_.traverse([this, &rx, xfer, dup, extra, done = std::move(done)]() mutable {
+    tx.submit(xfer, [this, src, dst, bytes, &rx, xfer, dup, extra,
+                     done = std::move(on_delivered)]() mutable {
+      topo_.traverse(src, dst, bytes,
+                     [this, &rx, xfer, dup, extra, done = std::move(done)]() mutable {
       auto deliver = [this, &rx, xfer, dup, done = std::move(done)]() mutable {
         ++delivered_;
         rx.submit(xfer, std::move(done));
@@ -54,12 +58,50 @@ void ViaNetwork::transmit(int src, int dst, Bytes bytes, des::EventFn on_deliver
   }
 
   // Healthy link: the original allocation-lean path, unchanged.
-  tx.submit(xfer, [this, &rx, xfer, done = std::move(on_delivered)]() mutable {
-    fabric_.traverse([this, &rx, xfer, done = std::move(done)]() mutable {
+  tx.submit(xfer, [this, src, dst, bytes, &rx, xfer,
+                   done = std::move(on_delivered)]() mutable {
+    topo_.traverse(src, dst, bytes, [this, &rx, xfer, done = std::move(done)]() mutable {
       ++delivered_;
       rx.submit(xfer, std::move(done));
     });
   });
+}
+
+void ViaNetwork::bulk(int src, int dst, Bytes bytes, des::EventFn on_delivered) {
+  if (flow_ == nullptr) {
+    // Message mode: bulk is byte-for-byte a transmit (the single-switch
+    // golden digests depend on this equivalence).
+    transmit(src, dst, bytes, std::move(on_delivered));
+    return;
+  }
+  L2S_REQUIRE(src >= 0 && src < endpoints());
+  L2S_REQUIRE(dst >= 0 && dst < endpoints());
+  L2S_REQUIRE(src != dst);
+  ++messages_;
+  LinkFault fault;
+  if (fault_model_ != nullptr) fault = fault_model_->on_message(src, dst);
+  if (fault.drop) {
+    // Flow mode abstracts the NIC queues away, so a dropped bulk transfer
+    // burns nothing; it just never arrives (the fault oracle was consulted
+    // so replay stays aligned with message mode).
+    ++dropped_;
+    return;
+  }
+  if (fault.duplicate) ++duplicated_;  // receiver-side dedup: counted only
+  const SimTime extra = fault.extra_delay;
+  if (extra > 0) ++delayed_;
+  flow_->start(src, dst, bytes,
+               [this, extra, done = std::move(on_delivered)]() mutable {
+                 auto deliver = [this, done = std::move(done)]() mutable {
+                   ++delivered_;
+                   done();
+                 };
+                 if (extra > 0) {
+                   sched_.after(extra, std::move(deliver));
+                 } else {
+                   deliver();
+                 }
+               });
 }
 
 void ViaNetwork::send(int src, int dst, Bytes bytes, des::EventFn on_delivered) {

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "l2sim/cluster/node.hpp"
-#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/topology.hpp"
 #include "l2sim/net/via.hpp"
 #include "l2sim/policy/policy.hpp"
 
@@ -15,7 +15,7 @@ namespace l2s::testing {
 struct PolicyFixture {
   des::Scheduler sched;
   net::NetParams params;
-  net::SwitchFabric fabric{sched, params.switch_latency()};
+  net::SingleSwitch fabric{sched, params, 64};
   net::ViaNetwork via{sched, fabric, params};
   std::vector<std::unique_ptr<cluster::Node>> nodes;
   policy::ClusterContext ctx;

@@ -76,7 +76,7 @@ struct ScriptedFaults final : net::LinkFaultModel {
 struct ViaFixture {
   des::Scheduler sched;
   net::NetParams params;
-  net::SwitchFabric fabric{sched, params.switch_latency()};
+  net::SingleSwitch fabric{sched, params, 64};
   net::ViaNetwork via{sched, fabric, params};
   std::vector<std::unique_ptr<des::Resource>> cpus;
   std::vector<std::unique_ptr<net::Nic>> nics;
@@ -236,7 +236,7 @@ struct FlappyLink final : net::LinkFaultModel {
 std::pair<int, int> run_flappy_detector(int readmit_after_fresh) {
   des::Scheduler sched;
   net::NetParams params;
-  net::SwitchFabric fabric{sched, params.switch_latency()};
+  net::SingleSwitch fabric{sched, params, 64};
   net::ViaNetwork via{sched, fabric, params};
   cluster::NodeParams node_params;
   node_params.cache_bytes = 1 * kMiB;

@@ -3,7 +3,7 @@
 #include "l2sim/net/nic.hpp"
 #include "l2sim/net/params.hpp"
 #include "l2sim/net/router.hpp"
-#include "l2sim/net/switch_fabric.hpp"
+#include "l2sim/net/topology.hpp"
 
 namespace l2s::net {
 namespace {
@@ -49,24 +49,26 @@ TEST(Router, SharedQueueSerializes) {
   EXPECT_EQ(second, seconds_to_simtime(0.002));
 }
 
-TEST(SwitchFabric, PureLatencyNoQueueing) {
+TEST(SingleSwitch, PureLatencyNoQueueing) {
   des::Scheduler s;
-  SwitchFabric f(s, 1000);
+  const NetParams p;
+  SingleSwitch f(s, p, 4);
   SimTime a = 0;
   SimTime b = 0;
-  f.traverse([&] { a = s.now(); });
-  f.traverse([&] { b = s.now(); });
+  f.traverse(0, 1, 4, [&] { a = s.now(); });
+  f.traverse(2, 3, 4, [&] { b = s.now(); });
   s.run();
   // Both deliveries complete after exactly one latency (no serialization).
-  EXPECT_EQ(a, 1000);
-  EXPECT_EQ(b, 1000);
+  EXPECT_EQ(a, p.switch_latency());
+  EXPECT_EQ(b, p.switch_latency());
   EXPECT_EQ(f.traversals(), 2u);
 }
 
-TEST(SwitchFabric, StatsReset) {
+TEST(SingleSwitch, StatsReset) {
   des::Scheduler s;
-  SwitchFabric f(s, 10);
-  f.traverse([] {});
+  const NetParams p;
+  SingleSwitch f(s, p, 4);
+  f.traverse(0, 1, 16, [] {});
   s.run();
   f.reset_stats();
   EXPECT_EQ(f.traversals(), 0u);

@@ -12,7 +12,7 @@ namespace {
 struct ViaFixture {
   des::Scheduler sched;
   NetParams params;
-  SwitchFabric fabric{sched, params.switch_latency()};
+  SingleSwitch fabric{sched, params, 64};
   ViaNetwork via{sched, fabric, params};
   std::vector<std::unique_ptr<des::Resource>> cpus;
   std::vector<std::unique_ptr<Nic>> nics;

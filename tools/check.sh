@@ -21,19 +21,27 @@
 #      shard-introspection study (gate: threaded fold with introspection
 #      on stays bit-identical to the serial reference); emits
 #      build/BENCH_obs.json
-#   8. AddressSanitizer build, running the fault-injection suites
+#   8. topology bench (gates: flow-level transfers cut scheduled events
+#      >= 5x on the 256-node forwarding-heavy rack cell with digests
+#      replaying serial vs sharded, pairwise lookahead needs strictly
+#      fewer windows than the global-L baseline on rack-aligned shards;
+#      see docs/topology.md); emits build/BENCH_topology.json
+#   9. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
 #      lifetime bugs would hide — the telemetry suites (`-L telemetry`:
 #      the span ring and exporter buffers), the flight-recorder suites
 #      (`-L obs`: decision ring wrap, diff replays, exporter buffers,
-#      shard introspection), the large-N sharded-engine suite
+#      shard introspection), the topology suites (`-L topo`: interconnect
+#      geometry, flow-level transfers, pairwise lookahead, the rack/
+#      fat-tree golden axis), the large-N sharded-engine suite
 #      (`-L largen`), and the chaos-harness suite (`-L chaos`: overload
 #      defenses + non-stationary arrivals + faults composed)
-#   9. ThreadSanitizer build, running the scheduler/event-kernel (sharded
+#  10. ThreadSanitizer build, running the scheduler/event-kernel (sharded
 #      kernel + mailboxes + windowed barriers included), run_parallel
 #      (including per-job telemetry + merge) and fault-determinism tests,
-#      plus the fault, telemetry, obs, largen and chaos labels — the obs
-#      label covers the introspection counters the sharded workers write
+#      plus the fault, telemetry, obs, topo, largen and chaos labels — the
+#      obs label covers the introspection counters the sharded workers
+#      write; topo covers the pairwise-lookahead window protocol
 #
 # Usage: tools/check.sh [--skip-tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
@@ -80,22 +88,24 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/obs_bench --out build/BENCH_obs.json
   echo "== shard introspection study (observe-never-perturb gate) =="
   ./build/bench/shard_introspection_study
+  echo "== topology bench (flow-mode event cut + pairwise lookahead gates) =="
+  ./build/bench/topology_bench --out build/BENCH_topology.json
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault + telemetry + obs + largen + chaos suites =="
+  echo "== AddressSanitizer: fault + telemetry + obs + topo + largen + chaos suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_largen_tests l2sim_chaos_tests
-  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|obs|largen|chaos'
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_topo_tests l2sim_largen_tests l2sim_chaos_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|obs|topo|largen|chaos'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry + obs + chaos tests =="
+  echo "== ThreadSanitizer: scheduler (incl. sharded) + parallel + fault + telemetry + obs + topo + chaos tests =="
   cmake -B build-tsan -S . -DL2SIM_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_largen_tests l2sim_chaos_tests
+  cmake --build build-tsan -j --target l2sim_tests l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_topo_tests l2sim_largen_tests l2sim_chaos_tests
   ctest --test-dir build-tsan --output-on-failure -j \
     -R 'Scheduler|ShardMap|ShardedScheduler|SchedulerHooks|ThreadBudget|Parallel|Determinism'
-  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|obs|largen|chaos'
+  ctest --test-dir build-tsan --output-on-failure -j -L 'fault|telemetry|obs|topo|largen|chaos'
 fi
 
 echo "check.sh: all green"

@@ -52,6 +52,9 @@ int usage() {
       "                 [--shedder none|static|codel|aimd] [--static-cap N]\n"
       "                 [--target-delay S] [--retry-budget R --retry-burst B]\n"
       "                 [--hedge-delay S --max-hedges K] [--brownout]\n"
+      "                 [--topology single|rack|fattree] [--racks N]\n"
+      "                 [--oversub X] [--fat-tree-k K] [--segment-bytes N]\n"
+      "                 [--flow-level]\n"
       "  figure         --paper NAME [--scale S] [--csv DIR] [--threads T]\n"
       "  diff           (--trace FILE | --paper NAME [--scale S]) [run flags]\n"
       "                 [--seed-a N] [--seed-b N] [--shards-a K|auto]\n"
@@ -187,6 +190,7 @@ int cmd_run(const Args& args) {
   cfg.persistence.mean_requests_per_connection = args.get_double("rpc", 1.0);
   cfg.arrival.dns_entry_skew = args.get_double("skew", 0.0);
   core::apply_overload_cli(args, spec);
+  core::apply_topology_cli(args, spec);
   if (args.has("timeline")) spec.output.timeline_csv_path = args.get("timeline");
   // Telemetry: any export flag enables the recorder for the run.
   if (args.has("trace-out")) spec.output.trace_json_path = args.get("trace-out");
