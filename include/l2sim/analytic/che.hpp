@@ -1,0 +1,99 @@
+// Che (characteristic-time) approximation for LRU miss probabilities.
+//
+// Under the independent reference model, an LRU cache of capacity C files
+// behaves as if every file stays cached for a single characteristic time
+// T_C after its last request: file i with request rate lambda_i is present
+// with probability 1 - exp(-lambda_i * T_C), and T_C is the unique root of
+// the occupancy fixed point
+//
+//   sum_i (1 - exp(-lambda_i * T_C)) = C.
+//
+// The overall hit rate is then sum_i lambda_i (1 - exp(-lambda_i T_C)) /
+// sum_i lambda_i. Che et al. introduced the approximation for web caches;
+// Fricker, Robert & Roberts proved it is asymptotically exact for Zipf
+// popularity, and Olmos, Graham & Simonian generalized it to
+// non-stationary input (see analytic/transient.hpp). Unlike the paper's
+// z(n, F) step function — every one of the n hottest files cached, nothing
+// else — the Che curve captures the probabilistic tail of LRU, which is
+// what the DES actually simulates.
+//
+// Per-rank rates are described as RankClass progressions over a shared
+// ZipfPopularity, which lets one solver cover every cluster split:
+//
+//   locality-oblivious node   {1..F, stride 1, scale 1/N}
+//   conscious node k          {1..rep, stride 1, scale 1/N}   (hot replicas)
+//                           + {rep+1+k..F, stride N, scale 1} (its stripe)
+//
+// solve_cluster_cache() assembles those splits and reports per-node and
+// cluster-wide hit rates plus the paper's h and Q coupling quantities.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/analytic/popularity.hpp"
+
+namespace l2s::analytic {
+
+/// An arithmetic progression of ranks, each requested at
+/// rate_scale * total_rate * pop.prob(rank) requests/second.
+struct RankClass {
+  double first = 1.0;   ///< first rank of the progression
+  double last = 1.0;    ///< inclusive upper bound
+  double stride = 1.0;  ///< rank step
+  double rate_scale = 1.0;
+};
+
+/// Result of one Che fixed-point solve.
+struct CheSolution {
+  double characteristic_seconds = 0.0;  ///< T_C (infinite if all files fit)
+  double hit_rate = 0.0;                ///< of the stream the classes describe
+  double occupancy_files = 0.0;         ///< files resident (== capacity unless all fit)
+  double stream_files = 0.0;            ///< distinct files in the stream
+  double stream_rate = 0.0;             ///< total requests/s of the stream
+  bool everything_fits = false;         ///< stream working set <= capacity
+};
+
+/// Solve the Che fixed point for a cache of `cache_files` capacity offered
+/// the union of `classes` at total external rate `total_rate` (req/s).
+/// The hit rate is invariant to total_rate (T_C scales inversely); the
+/// rate only calibrates characteristic_seconds. Throws on empty classes or
+/// non-positive capacity/rate.
+[[nodiscard]] CheSolution che_solve(const ZipfPopularity& pop,
+                                    const std::vector<RankClass>& classes,
+                                    double total_rate, double cache_files);
+
+/// Convenience: single LRU cache of `cache_files` capacity serving the
+/// whole catalogue at `total_rate`.
+[[nodiscard]] CheSolution che_lru(const ZipfPopularity& pop, double cache_files,
+                                  double total_rate = 1.0);
+
+/// Cluster-level cache inputs, in file-count units (capacities divided by
+/// the request-weighted average file size, like model::TraceModel).
+struct ClusterCacheParams {
+  double files = 1.0;               ///< catalogue size F
+  double alpha = 1.0;               ///< Zipf exponent
+  int nodes = 1;                    ///< N
+  double replication = 0.0;         ///< R: fraction of each cache for hot replicas
+  double cache_files_per_node = 1.0;///< C / S
+  double total_rate = 1.0;          ///< cluster request rate (req/s)
+  bool conscious = true;            ///< locality-conscious vs oblivious split
+};
+
+/// Cache level of the hierarchical solver.
+struct ClusterCacheResult {
+  double hit_rate = 0.0;                ///< cluster-wide served hit rate
+  std::vector<double> per_node_hit;     ///< hit rate of each node's served stream
+  double replicated_hit = 0.0;          ///< h: entry-node hit on the hot slice
+  double forwarded_fraction = 0.0;      ///< Q = (N-1)(1-h)/N (0 when oblivious)
+  double characteristic_seconds = 0.0;  ///< node-0 T_C
+};
+
+/// Solve the cache level: per-node Che fixed points under the
+/// locality-conscious striped assignment (hottest R*C/S ranks replicated
+/// everywhere at 1/N of their rate, remaining ranks striped round-robin by
+/// popularity) or the oblivious split (every node sees the full catalogue
+/// at 1/N rate). Generalizes the paper's hit-rate algebra: replacing the
+/// Che curve with the z(n, F) step function recovers Hlo/Hlc/h exactly.
+[[nodiscard]] ClusterCacheResult solve_cluster_cache(const ClusterCacheParams& params);
+
+}  // namespace l2s::analytic

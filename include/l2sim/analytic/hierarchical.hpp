@@ -1,0 +1,83 @@
+// Hierarchical hybrid solver: cache level x queueing level, iterated to a
+// coupled fixed point (Thomasian-style hierarchical decomposition).
+//
+// The paper's model takes the cache hit rate as an *input* (measured from
+// the DES or swept as an axis). This solver closes the loop from first
+// principles:
+//
+//   level 1 (cache)     Che fixed points over the Zipf popularity give the
+//                       per-node and cluster hit rates H, the replicated-
+//                       slice hit h and the forwarded fraction Q — no
+//                       measurement needed (analytic/che.hpp);
+//   level 2 (queueing)  model::ClusterModel turns (H, Q) into per-station
+//                       demands, the Jackson bottleneck Lambda* and — below
+//                       saturation — mean response time;
+//   coupling            the served rate min(offered, Lambda*) feeds back
+//                       into the cache level: under non-stationary arrival
+//                       shapes the time-varying miss curve depends on the
+//                       *absolute* served intensity (a saturated cluster
+//                       churns its cache no faster than Lambda*), so the
+//                       levels iterate until the hit rate is stationary.
+//
+// Under stationary IRM arrivals the Che hit rate is rate-invariant, so the
+// fixed point closes in one pass; the iteration only works when a flash
+// crowd, diurnal swing or popularity churn makes the cache level rate-
+// dependent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "l2sim/analytic/che.hpp"
+#include "l2sim/analytic/transient.hpp"
+#include "l2sim/core/config.hpp"
+#include "l2sim/model/trace_model.hpp"
+
+namespace l2s::analytic {
+
+struct HierarchicalParams {
+  /// Station rates, per-node cache size, replication R and node count N.
+  model::ModelParams model;
+  /// Workload characterization (catalogue size, sizes, Zipf alpha).
+  model::WorkloadStats workload;
+  /// Locality-conscious (LARD/L2S) vs oblivious (round-robin) distribution.
+  bool conscious = true;
+  /// Offered external rate (req/s); <= 0 means saturation replay (the
+  /// served rate is the bottleneck throughput itself).
+  double offered_rate_rps = 0.0;
+  /// Arrival shape + churn for the transient cache level; with a
+  /// stationary shape and no churn the solver stays purely stationary.
+  core::ArrivalConfig arrival;
+  /// Measured-pass length the transient curve covers; <= 0 disables the
+  /// transient level even for non-stationary shapes.
+  double horizon_seconds = 0.0;
+  int transient_samples = 64;
+  int max_iterations = 32;
+  double tolerance = 1e-6;  ///< on the hit rate between iterations
+};
+
+struct HierarchicalResult {
+  // Cache level.
+  double hit_rate = 0.0;             ///< cluster-wide hit rate H
+  std::vector<double> per_node_hit;  ///< each node's served-stream hit rate
+  double replicated_hit = 0.0;       ///< h (0 when oblivious)
+  double forwarded_fraction = 0.0;   ///< Q (0 when oblivious)
+  double cache_files_per_node = 0.0; ///< capacity in request-weighted files
+
+  // Queueing level.
+  double max_throughput_rps = 0.0;     ///< bottleneck Lambda*
+  double served_rate_rps = 0.0;        ///< min(offered, Lambda*)
+  double mean_response_seconds = 0.0;  ///< Jackson solve (0 at saturation)
+  std::string bottleneck;
+
+  // Coupling diagnostics.
+  int iterations = 0;
+  bool transient_active = false;
+  TransientCurve transient;  ///< time-varying hit curve (empty if inactive)
+};
+
+/// Solve the coupled cache/queueing fixed point. Throws l2s::Error on a
+/// degenerate workload (no files, non-positive sizes or alpha).
+[[nodiscard]] HierarchicalResult solve_hierarchical(const HierarchicalParams& params);
+
+}  // namespace l2s::analytic

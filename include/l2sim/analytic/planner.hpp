@@ -1,0 +1,84 @@
+// DES cell planner: rank the (node count x cache size) grid by predicted
+// interest and emit the top-K cells as runnable ExperimentSpecs.
+//
+// A full DES sweep spends most of its wall-clock on cells the analytic
+// model already predicts confidently (flat plateaus, deep saturation). The
+// planner runs the hierarchical analytic solver over the whole grid —
+// thousands of times faster than the DES — and scores each cell by how
+// much a simulation there would actually teach us:
+//
+//   knee        curvature of the predicted throughput along both axes
+//               (second difference of log throughput): the scaling knees
+//               the paper's figures are about;
+//   crossover   proximity of the conscious/oblivious throughput ratio to
+//               1: where policy choice flips is exactly where the analytic
+//               ordering is least trustworthy;
+//   uncertainty where the Che/queueing approximations are weakest — the
+//               predicted bottleneck flips between neighbouring cells,
+//               mid-range hit rates (IRM error is largest far from 0 and
+//               1), and caches holding only a handful of files.
+//
+// Each family is normalized to [0, 1] over the grid and combined into a
+// single interest score; `plan_cells` returns every cell ranked, plus the
+// predicted throughput surfaces (reusable via model::Surface::value_at for
+// off-grid interpolation), and `plan_to_specs` turns the top K into specs
+// any DES driver can run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "l2sim/analytic/hierarchical.hpp"
+#include "l2sim/core/spec.hpp"
+#include "l2sim/model/surface.hpp"
+
+namespace l2s::analytic {
+
+/// The grid the planner scores: cluster sizes x per-node cache sizes.
+struct PlanAxes {
+  std::vector<int> node_counts = {1, 2, 4, 6, 8, 10, 12, 16};
+  std::vector<double> cache_mib = {2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+};
+
+/// One scored grid cell, all score components kept for reports.
+struct PlannedCell {
+  int nodes = 0;
+  double cache_mib = 0.0;
+  double score = 0.0;        ///< combined interest, higher = run this first
+  double knee = 0.0;         ///< normalized curvature component
+  double crossover = 0.0;    ///< normalized policy-crossover component
+  double uncertainty = 0.0;  ///< normalized analytic-uncertainty component
+  double conscious_rps = 0.0;
+  double oblivious_rps = 0.0;
+  double hit_rate = 0.0;     ///< conscious analytic hit rate
+  std::string bottleneck;    ///< conscious predicted bottleneck station
+};
+
+struct Plan {
+  /// Every grid cell, ranked by descending score (ties: fewer nodes first).
+  std::vector<PlannedCell> cells;
+  /// Predicted throughput over the grid; axis 0 (hit_rates) holds the node
+  /// counts, axis 1 (sizes_kb) the per-node cache in MiB.
+  model::Surface conscious;
+  model::Surface oblivious;
+};
+
+/// Score the grid. `base` supplies everything but nodes and cache size
+/// (workload, station rates, replication, arrival shape). Weights follow
+/// the rationale above; they are exposed for studies.
+struct PlanWeights {
+  double knee = 0.4;
+  double crossover = 0.3;
+  double uncertainty = 0.3;
+};
+
+[[nodiscard]] Plan plan_cells(const HierarchicalParams& base, const PlanAxes& axes,
+                              const PlanWeights& weights = {});
+
+/// Materialize the plan's top `top_k` cells as runnable specs: `base` with
+/// sim.nodes and sim.node.cache_bytes overridden per cell and the cell
+/// coordinates appended to the name.
+[[nodiscard]] std::vector<core::ExperimentSpec> plan_to_specs(
+    const core::ExperimentSpec& base, const Plan& plan, std::size_t top_k);
+
+}  // namespace l2s::analytic

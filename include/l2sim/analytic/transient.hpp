@@ -1,0 +1,68 @@
+// Time-varying (non-stationary) miss curves — the Olmos/Graham/Simonian
+// extension of the Che approximation.
+//
+// For a non-stationary request process, the characteristic time becomes a
+// window: a request for file i at time t hits iff i was referenced in
+// (t - T(t), t], where T(t) solves the occupancy fixed point over the
+// *accumulated* per-file intensity
+//
+//   A_i(t, T) = integral_{t-T}^{t} lambda_i(s) ds,
+//   sum_i (1 - exp(-A_i(t, T))) = C.
+//
+// Olmos et al. derive this for shot-noise (cluster) request processes; the
+// l2s::overload arrival shapes are the inhomogeneous-Poisson special case:
+//
+//   flash/diurnal  lambda_i(s) = p(i) * rate * m(s), the Lewis-Shedler
+//                  modulation m(s) from core::ArrivalConfig;
+//   churn          the rank -> file mapping rotates by churn_stride every
+//                  churn_period: a file's intensity is integrated across
+//                  the epochs its rank changed, so freshly-promoted files
+//                  are cold (the post-rotation miss transient) while
+//                  freshly-demoted ones linger in cache.
+//
+// Before the measured pass (s < 0) the cache is warmed at the nominal
+// stationary rate with the unrotated ranking, matching the engine's
+// warm-up semantics exactly.
+#pragma once
+
+#include <vector>
+
+#include "l2sim/analytic/popularity.hpp"
+#include "l2sim/core/config.hpp"
+
+namespace l2s::analytic {
+
+struct TransientPoint {
+  double t_seconds = 0.0;
+  double hit_rate = 0.0;
+  double window_seconds = 0.0;  ///< T(t), the time-varying characteristic time
+  double rate_rps = 0.0;        ///< served request rate at t
+};
+
+struct TransientCurve {
+  std::vector<TransientPoint> points;
+  double mean_hit = 0.0;  ///< request-weighted time average
+  double min_hit = 1.0;
+  double max_hit = 0.0;
+};
+
+struct TransientOptions {
+  int samples = 64;
+  /// Served-rate ceiling (req/s): the saturation clip the hierarchical
+  /// solver feeds back, so a flash crowd beyond the cluster's bottleneck
+  /// does not churn the cache faster than requests can actually be served.
+  double clip_rate_rps = 0.0;  ///< <= 0 means unclipped
+};
+
+/// Evaluate the time-varying hit curve of a single LRU cache of
+/// `cache_files` capacity over the measured pass [0, horizon_seconds].
+/// `base_rate_rps` is the rate reaching this cache at shape multiplier 1.
+/// Stationary shapes with no churn reduce to the stationary Che solution
+/// at every sample.
+[[nodiscard]] TransientCurve transient_curve(const ZipfPopularity& pop,
+                                             double cache_files, double base_rate_rps,
+                                             const core::ArrivalConfig& arrival,
+                                             double horizon_seconds,
+                                             const TransientOptions& options = {});
+
+}  // namespace l2s::analytic

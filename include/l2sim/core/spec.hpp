@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "l2sim/common/cli_args.hpp"
 #include "l2sim/core/experiment.hpp"
@@ -69,6 +70,19 @@ struct OutputSpec {
   [[nodiscard]] bool wants_obs() const { return !decisions_csv_path.empty(); }
 };
 
+/// Analytic-engine selection for run_model. The default keeps the legacy
+/// behaviour: hit rates from the paper's z(n, F) step-function algebra
+/// (model::TraceModel). Setting `cache` switches the cache level to the
+/// l2s::analytic hierarchical solver — Che-approximation LRU miss curves
+/// coupled to the queueing network, per-node hit rates, bottleneck and
+/// (below saturation) mean response, with no measured axis anywhere. When
+/// sim.arrival describes a flash crowd, diurnal swing or popularity churn,
+/// the solver also produces the time-varying hit curve over the pass.
+struct AnalyticSpec {
+  bool cache = false;          ///< Che cache level instead of z(n, F)
+  int transient_samples = 64;  ///< samples of the time-varying hit curve
+};
+
 /// The full experiment description. `sim` carries the cluster hardware,
 /// arrival mode (sim.arrival), persistence (sim.persistence), fault
 /// schedule (sim.fault_plan) and DES engine selection (sim.engine.shards:
@@ -82,14 +96,25 @@ struct ExperimentSpec {
   PolicyKind policy = PolicyKind::kL2s;
   double set_shrink_seconds = 20.0;  ///< LARD K / L2S decay window
   double model_replication = 0.15;   ///< R for the model bound (paper: 15%)
+  AnalyticSpec analytic;             ///< run_model engine selection
   OutputSpec output;
 };
 
-/// The analytic engine's answer for a spec.
+/// The analytic engine's answer for a spec. The fields below `hit_rate`
+/// are only populated on the analytic cache path (`spec.analytic.cache`);
+/// the legacy z(n, F) path leaves them at their defaults.
 struct ModelResult {
-  double throughput_rps = 0.0;  ///< locality-conscious bound
-  double hit_rate = 0.0;        ///< conscious cache hit rate
+  double throughput_rps = 0.0;  ///< policy's max stable throughput
+  double hit_rate = 0.0;        ///< cluster-wide cache hit rate
   trace::TraceCharacteristics characteristics;
+
+  bool analytic = false;             ///< Che cache level was used
+  std::vector<double> per_node_hit;  ///< per-node hit rates (conscious split)
+  double forwarded_fraction = 0.0;   ///< Q
+  double served_rate_rps = 0.0;      ///< min(offered, bottleneck)
+  double mean_response_seconds = 0.0;///< below saturation only, else 0
+  std::string bottleneck;            ///< binding station
+  int iterations = 0;                ///< hierarchical fixed-point passes
 };
 
 /// Run the spec on the DES engine. The single-argument form realizes the

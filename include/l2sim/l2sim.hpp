@@ -5,6 +5,8 @@
 // Servers" (HPDC 2000):
 //
 //   * l2s::model     — analytic open-queueing-network model (Section 3)
+//   * l2s::analytic  — Che-approximation miss curves, hierarchical hybrid
+//                      solver and DES cell planner (the analytic fast path)
 //   * l2s::core      — trace-driven cluster simulator (Section 5)
 //   * l2s::policy    — traditional / LARD / L2S request distribution
 //   * l2s::trace     — trace IO, synthesis and characterization
@@ -17,6 +19,11 @@
 //   * l2s::net, l2s::storage, l2s::cache, l2s::cluster — substrates
 #pragma once
 
+#include "l2sim/analytic/che.hpp"
+#include "l2sim/analytic/hierarchical.hpp"
+#include "l2sim/analytic/planner.hpp"
+#include "l2sim/analytic/popularity.hpp"
+#include "l2sim/analytic/transient.hpp"
 #include "l2sim/cache/gdsf_cache.hpp"
 #include "l2sim/cache/lru_cache.hpp"
 #include "l2sim/cache/stack_distance.hpp"

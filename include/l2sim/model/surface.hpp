@@ -17,6 +17,13 @@ struct Surface {
   std::vector<std::vector<double>> values;  ///< values[i][j] at (hit_rates[i], sizes_kb[j])
 
   [[nodiscard]] double at(std::size_t hit_index, std::size_t size_index) const;
+
+  /// Bilinear interpolation at arbitrary axis coordinates. Coordinates are
+  /// clamped to the grid's range, so querying exactly the last grid line
+  /// (or beyond) returns the boundary value instead of indexing past the
+  /// end. Requires at least a 1x1 grid.
+  [[nodiscard]] double value_at(double hit_rate, double size_kb) const;
+
   [[nodiscard]] double max_value() const;
   [[nodiscard]] double min_value() const;
 

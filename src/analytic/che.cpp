@@ -1,0 +1,203 @@
+#include "l2sim/analytic/che.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+// -exp(-x) accurate composition helpers: 1 - exp(-x) loses precision for
+// tiny x; expm1 keeps the occupancy sum well-conditioned when T is small.
+inline double present_probability(double intensity) {
+  return -std::expm1(-intensity);
+}
+
+// The fixed point re-sums the stream at every Newton iteration, but always
+// at the same quadrature ranks — only T moves. Materializing the per-point
+// request rates and weights once per solve hoists every rank^-alpha power
+// out of the iteration; each pass then costs one expm1 per point, from
+// which occupancy, its T-derivative and the hit-rate mass all follow.
+struct SampledStream {
+  std::vector<double> rate;    // lambda_i = rate_scale * total_rate * p(rank_i)
+  std::vector<double> weight;  // quadrature weight of the point
+};
+
+SampledStream sample_stream(const ZipfPopularity& pop,
+                            const std::vector<RankClass>& classes,
+                            double total_rate) {
+  SampledStream s;
+  for (const auto& c : classes) {
+    const double scale = c.rate_scale * total_rate;
+    strided_points(c.first, c.last, c.stride, [&](double rank, double weight) {
+      s.rate.push_back(scale * pop.prob(rank));
+      s.weight.push_back(weight);
+    });
+  }
+  return s;
+}
+
+struct StreamSums {
+  double occupancy = 0.0;   // sum (1 - e^-lambda T)
+  double derivative = 0.0;  // d occupancy / dT = sum lambda e^-lambda T
+  double hit_rate_mass = 0.0;  // sum lambda (1 - e^-lambda T)
+};
+
+StreamSums stream_sums(const SampledStream& s, double t) {
+  StreamSums sums;
+  for (std::size_t i = 0; i < s.rate.size(); ++i) {
+    const double lambda = s.rate[i];
+    const double present = present_probability(lambda * t);
+    const double w = s.weight[i];
+    sums.occupancy += w * present;
+    sums.derivative += w * lambda * (1.0 - present);
+    sums.hit_rate_mass += w * lambda * present;
+  }
+  return sums;
+}
+
+double stream_file_count(const std::vector<RankClass>& classes) {
+  double count = 0.0;
+  for (const auto& c : classes) count += strided_count(c.first, c.last, c.stride);
+  return count;
+}
+
+double stream_total_rate(const SampledStream& s) {
+  double rate = 0.0;
+  for (std::size_t i = 0; i < s.rate.size(); ++i) rate += s.weight[i] * s.rate[i];
+  return rate;
+}
+
+}  // namespace
+
+CheSolution che_solve(const ZipfPopularity& pop, const std::vector<RankClass>& classes,
+                      double total_rate, double cache_files) {
+  if (classes.empty()) throw_error("che_solve: no rank classes");
+  if (cache_files <= 0.0) throw_error("che_solve: cache capacity must be positive");
+  if (total_rate <= 0.0) throw_error("che_solve: request rate must be positive");
+  for (const auto& c : classes) {
+    if (c.stride <= 0.0 || c.rate_scale < 0.0 || c.first < 1.0)
+      throw_error("che_solve: malformed rank class");
+  }
+
+  CheSolution sol;
+  sol.stream_files = stream_file_count(classes);
+  if (sol.stream_files <= 0.0) throw_error("che_solve: stream is empty");
+
+  if (sol.stream_files <= cache_files) {
+    // The whole working set fits: LRU never evicts a live file. The rate
+    // sum is only needed by callers, so the sampling pass still runs.
+    sol.stream_rate = stream_total_rate(sample_stream(pop, classes, total_rate));
+    if (sol.stream_rate <= 0.0) throw_error("che_solve: stream is empty");
+    sol.everything_fits = true;
+    sol.characteristic_seconds = std::numeric_limits<double>::infinity();
+    sol.hit_rate = 1.0;
+    sol.occupancy_files = sol.stream_files;
+    return sol;
+  }
+
+  const SampledStream stream = sample_stream(pop, classes, total_rate);
+  sol.stream_rate = stream_total_rate(stream);
+  if (sol.stream_rate <= 0.0) throw_error("che_solve: stream is empty");
+
+  // occupancy(T) grows monotonically from 0 to stream_files, so the root
+  // of occupancy(T) = cache_files brackets by rate doubling. A sensible
+  // first guess: cache_files requests of the stream take cache_files/rate
+  // seconds, and occupancy(T) <= rate*T, so the root is at least that.
+  double lo = cache_files / sol.stream_rate;
+  while (stream_sums(stream, lo).occupancy > cache_files) lo *= 0.5;
+  double hi = lo;
+  while (stream_sums(stream, hi).occupancy < cache_files) hi *= 2.0;
+
+  // Safeguarded Newton on T: quadratic convergence near the root, falling
+  // back to bisection whenever a step leaves the bracket.
+  double t = 0.5 * (lo + hi);
+  StreamSums sums;
+  for (int iter = 0; iter < 128; ++iter) {
+    sums = stream_sums(stream, t);
+    const double err = sums.occupancy - cache_files;
+    if (std::abs(err) <= 1e-10 * cache_files || hi - lo <= 1e-12 * t) break;
+    if (err > 0.0)
+      hi = t;
+    else
+      lo = t;
+    double next = t - err / std::max(sums.derivative, 1e-300);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    t = next;
+  }
+  sol.characteristic_seconds = t;
+  sol.occupancy_files = sums.occupancy;
+  sol.hit_rate = std::min(1.0, sums.hit_rate_mass / sol.stream_rate);
+  return sol;
+}
+
+CheSolution che_lru(const ZipfPopularity& pop, double cache_files, double total_rate) {
+  return che_solve(pop, {{1.0, pop.files, 1.0, 1.0}}, total_rate, cache_files);
+}
+
+ClusterCacheResult solve_cluster_cache(const ClusterCacheParams& p) {
+  if (p.nodes < 1) throw_error("solve_cluster_cache: nodes must be >= 1");
+  if (p.replication < 0.0 || p.replication > 1.0)
+    throw_error("solve_cluster_cache: replication must be in [0, 1]");
+  const auto pop = ZipfPopularity::make(p.files, p.alpha);
+  const double n = static_cast<double>(p.nodes);
+
+  ClusterCacheResult res;
+  res.per_node_hit.reserve(static_cast<std::size_t>(p.nodes));
+
+  if (!p.conscious || p.nodes == 1) {
+    // Every node sees the full catalogue at 1/N of the external rate; by
+    // symmetry one solve covers all nodes. With N == 1 the conscious split
+    // degenerates to the same stream.
+    const CheSolution node = che_solve(pop, {{1.0, p.files, 1.0, 1.0 / n}},
+                                       p.total_rate, p.cache_files_per_node);
+    res.hit_rate = node.hit_rate;
+    res.per_node_hit.assign(static_cast<std::size_t>(p.nodes), node.hit_rate);
+    res.characteristic_seconds = node.characteristic_seconds;
+    return res;
+  }
+
+  // Locality-conscious: the hottest rep ranks are replicated (each node
+  // serves 1/N of their requests at entry); the remaining ranks are owned
+  // round-robin by popularity, each owner serving the full rank rate.
+  const double rep = std::min(p.replication * p.cache_files_per_node, p.files);
+  double hit_mass = 0.0;
+  double rate_mass = 0.0;
+  double replicated_hit = 0.0;
+  for (int k = 0; k < p.nodes; ++k) {
+    std::vector<RankClass> classes;
+    if (rep >= 1.0) classes.push_back({1.0, rep, 1.0, 1.0 / n});
+    const double stripe_first = rep + 1.0 + static_cast<double>(k);
+    if (stripe_first <= p.files) classes.push_back({stripe_first, p.files, n, 1.0});
+    if (classes.empty()) {
+      res.per_node_hit.push_back(0.0);
+      continue;
+    }
+    const CheSolution node =
+        che_solve(pop, classes, p.total_rate, p.cache_files_per_node);
+    res.per_node_hit.push_back(node.hit_rate);
+    if (k == 0) res.characteristic_seconds = node.characteristic_seconds;
+    hit_mass += node.hit_rate * node.stream_rate;
+    rate_mass += node.stream_rate;
+
+    // h: the chance a request landing on this node as *entry* hits the
+    // replicated slice — per-rank presence at this node's T_C, weighted by
+    // the full request probability (the paper's h = z(R*Clo/S, f)).
+    if (rep >= 1.0) {
+      const double t = node.characteristic_seconds;
+      replicated_hit += strided_sum(1.0, rep, 1.0, [&](double r) {
+        const double lambda = p.total_rate / n * pop.prob(r);
+        return pop.prob(r) *
+               (std::isinf(t) ? 1.0 : -std::expm1(-lambda * t));
+      });
+    }
+  }
+  res.hit_rate = rate_mass > 0.0 ? std::min(1.0, hit_mass / rate_mass) : 0.0;
+  res.replicated_hit = std::min(1.0, replicated_hit / n);
+  res.forwarded_fraction = (n - 1.0) * (1.0 - res.replicated_hit) / n;
+  return res;
+}
+
+}  // namespace l2s::analytic

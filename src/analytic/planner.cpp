@@ -1,0 +1,149 @@
+#include "l2sim/analytic/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+// Curvature proxy: |second difference of log throughput| along one axis,
+// zero at the grid edges. Log space makes the measure scale-free, so a
+// knee at 4 nodes scores like one at 16.
+double log_curvature(double prev, double here, double next) {
+  if (prev <= 0.0 || here <= 0.0 || next <= 0.0) return 0.0;
+  return std::abs(std::log(next) - 2.0 * std::log(here) + std::log(prev));
+}
+
+void normalize(std::vector<PlannedCell>& cells, double PlannedCell::*field) {
+  double peak = 0.0;
+  for (const auto& c : cells) peak = std::max(peak, c.*field);
+  if (peak <= 0.0) return;
+  for (auto& c : cells) c.*field /= peak;
+}
+
+}  // namespace
+
+Plan plan_cells(const HierarchicalParams& base, const PlanAxes& axes,
+                const PlanWeights& weights) {
+  if (axes.node_counts.empty() || axes.cache_mib.empty())
+    throw_error("plan_cells: empty grid axes");
+
+  const std::size_t rows = axes.node_counts.size();
+  const std::size_t cols = axes.cache_mib.size();
+
+  Plan plan;
+  plan.conscious.hit_rates.reserve(rows);
+  for (int n : axes.node_counts)
+    plan.conscious.hit_rates.push_back(static_cast<double>(n));
+  plan.conscious.sizes_kb = axes.cache_mib;
+  plan.conscious.values.assign(rows, std::vector<double>(cols, 0.0));
+  plan.oblivious = plan.conscious;
+
+  // Solve both policies over the whole grid (stationary solves — a few
+  // microseconds each, versus seconds per DES cell).
+  std::vector<std::vector<HierarchicalResult>> conscious(rows);
+  std::vector<std::vector<std::string>> oblivious_bottleneck(
+      rows, std::vector<std::string>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    conscious[i].reserve(cols);
+    for (std::size_t j = 0; j < cols; ++j) {
+      HierarchicalParams p = base;
+      p.model.nodes = axes.node_counts[i];
+      p.model.cache_bytes = static_cast<Bytes>(axes.cache_mib[j] * kMiB);
+      p.horizon_seconds = 0.0;  // planner scores the stationary landscape
+      p.conscious = true;
+      const HierarchicalResult lc = solve_hierarchical(p);
+      p.conscious = false;
+      const HierarchicalResult lo = solve_hierarchical(p);
+      plan.conscious.values[i][j] = lc.max_throughput_rps;
+      plan.oblivious.values[i][j] = lo.max_throughput_rps;
+      oblivious_bottleneck[i][j] = lo.bottleneck;
+      conscious[i].push_back(lc);
+    }
+  }
+
+  plan.cells.reserve(rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const HierarchicalResult& lc = conscious[i][j];
+      PlannedCell cell;
+      cell.nodes = axes.node_counts[i];
+      cell.cache_mib = axes.cache_mib[j];
+      cell.conscious_rps = lc.max_throughput_rps;
+      cell.oblivious_rps = plan.oblivious.values[i][j];
+      cell.hit_rate = lc.hit_rate;
+      cell.bottleneck = lc.bottleneck;
+
+      // Knee: curvature along either axis (whichever is sharper).
+      double knee = 0.0;
+      if (i > 0 && i + 1 < rows)
+        knee = log_curvature(plan.conscious.values[i - 1][j],
+                             plan.conscious.values[i][j],
+                             plan.conscious.values[i + 1][j]);
+      if (j > 0 && j + 1 < cols)
+        knee = std::max(knee, log_curvature(plan.conscious.values[i][j - 1],
+                                            plan.conscious.values[i][j],
+                                            plan.conscious.values[i][j + 1]));
+      cell.knee = knee;
+
+      // Crossover: 1 where conscious and oblivious predictions meet,
+      // decaying with the log of their ratio.
+      if (cell.oblivious_rps > 0.0 && cell.conscious_rps > 0.0)
+        cell.crossover =
+            std::exp(-4.0 * std::abs(std::log(cell.conscious_rps / cell.oblivious_rps)));
+
+      // Uncertainty: bottleneck flips to any neighbour (either policy),
+      // mid-range hit rates, and caches of only a handful of files.
+      double uncertainty = 0.0;
+      const auto differs = [&](std::size_t ni, std::size_t nj) {
+        return conscious[ni][nj].bottleneck != cell.bottleneck ||
+               oblivious_bottleneck[ni][nj] != oblivious_bottleneck[i][j];
+      };
+      if ((i > 0 && differs(i - 1, j)) || (i + 1 < rows && differs(i + 1, j)) ||
+          (j > 0 && differs(i, j - 1)) || (j + 1 < cols && differs(i, j + 1)))
+        uncertainty += 1.0;
+      uncertainty += 1.0 - std::abs(2.0 * cell.hit_rate - 1.0);
+      if (lc.cache_files_per_node < 8.0) uncertainty += 1.0;
+      cell.uncertainty = uncertainty;
+
+      plan.cells.push_back(std::move(cell));
+    }
+  }
+
+  normalize(plan.cells, &PlannedCell::knee);
+  normalize(plan.cells, &PlannedCell::crossover);
+  normalize(plan.cells, &PlannedCell::uncertainty);
+  for (auto& c : plan.cells)
+    c.score = weights.knee * c.knee + weights.crossover * c.crossover +
+              weights.uncertainty * c.uncertainty;
+
+  std::sort(plan.cells.begin(), plan.cells.end(),
+            [](const PlannedCell& a, const PlannedCell& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.nodes != b.nodes) return a.nodes < b.nodes;
+              return a.cache_mib < b.cache_mib;
+            });
+  return plan;
+}
+
+std::vector<core::ExperimentSpec> plan_to_specs(const core::ExperimentSpec& base,
+                                                const Plan& plan, std::size_t top_k) {
+  std::vector<core::ExperimentSpec> specs;
+  specs.reserve(std::min(top_k, plan.cells.size()));
+  for (const auto& cell : plan.cells) {
+    if (specs.size() >= top_k) break;
+    core::ExperimentSpec spec = base;
+    spec.sim.nodes = cell.nodes;
+    spec.sim.node.cache_bytes = static_cast<Bytes>(cell.cache_mib * kMiB);
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "/n%d-c%gMiB", cell.nodes, cell.cache_mib);
+    spec.name = (base.name.empty() ? std::string("plan") : base.name) + suffix;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace l2s::analytic

@@ -1,0 +1,17 @@
+#include "l2sim/analytic/popularity.hpp"
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+
+ZipfPopularity ZipfPopularity::make(double files, double alpha) {
+  if (files < 1.0) throw_error("ZipfPopularity: files must be >= 1");
+  if (alpha <= 0.0) throw_error("ZipfPopularity: alpha must be positive");
+  ZipfPopularity pop;
+  pop.files = files;
+  pop.alpha = alpha;
+  pop.harmonic_total = zipf::harmonic(files, alpha);
+  return pop;
+}
+
+}  // namespace l2s::analytic

@@ -1,0 +1,263 @@
+#include "l2sim/analytic/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+// One piece of the lookback window [t - T, t]: the rank -> file mapping was
+// rotated delta_rank ranks behind the current mapping while the piece's
+// integrated request rate accumulated. Pieces with equal rotation merge, so
+// churn-free shapes always collapse to a single segment.
+struct Segment {
+  double delta_rank = 0.0;  ///< (shift_now - shift_then) mod F
+  double intensity = 0.0;   ///< integral of the served rate over the piece
+};
+
+class RateIntegral {
+ public:
+  RateIntegral(double base_rate, const core::ArrivalConfig& arrival,
+               double horizon, double clip) {
+    horizon_ = horizon;
+    pre_pass_rate_ = clipped(base_rate, clip);
+    const int kCells = 4096;
+    step_ = horizon / kCells;
+    cum_.resize(static_cast<std::size_t>(kCells) + 1, 0.0);
+    double prev = clipped(base_rate * arrival.shape_multiplier(0.0), clip);
+    for (int i = 1; i <= kCells; ++i) {
+      const double rate =
+          clipped(base_rate * arrival.shape_multiplier(step_ * i), clip);
+      cum_[static_cast<std::size_t>(i)] =
+          cum_[static_cast<std::size_t>(i) - 1] + 0.5 * (prev + rate) * step_;
+      prev = rate;
+    }
+  }
+
+  /// integral of the served rate over [t1, t2]; t1 may be negative
+  /// (pre-pass warmup at the nominal stationary rate).
+  [[nodiscard]] double over(double t1, double t2) const {
+    double pre = 0.0;
+    if (t1 < 0.0) {
+      pre = -t1 * pre_pass_rate_;
+      t1 = 0.0;
+    }
+    return pre + at(t2) - at(t1);
+  }
+
+  [[nodiscard]] double rate(double t) const {
+    if (t <= 0.0) return pre_pass_rate_;
+    const double x = std::min(t, horizon_) / step_;
+    const auto i = static_cast<std::size_t>(
+        std::min(x, static_cast<double>(cum_.size() - 2)));
+    return (cum_[i + 1] - cum_[i]) / step_;
+  }
+
+ private:
+  static double clipped(double rate, double clip) {
+    return clip > 0.0 ? std::min(rate, clip) : rate;
+  }
+
+  [[nodiscard]] double at(double t) const {
+    const double x = std::clamp(t, 0.0, horizon_) / step_;
+    const auto i = static_cast<std::size_t>(
+        std::min(std::floor(x), static_cast<double>(cum_.size() - 2)));
+    const double frac = x - static_cast<double>(i);
+    return cum_[i] + frac * (cum_[i + 1] - cum_[i]);
+  }
+
+  double horizon_ = 0.0;
+  double step_ = 0.0;
+  double pre_pass_rate_ = 0.0;
+  std::vector<double> cum_;
+};
+
+// Split [t - window, t] at the churn epochs (engine semantics: at pass time
+// j * period the mapping shifts to (j * stride) mod F, warmup unrotated).
+// Pieces older than kMaxEpochs rotations are folded into the oldest
+// segment — their rank mapping error only touches files the current
+// ranking barely requests.
+std::vector<Segment> build_segments(double t, double window,
+                                    const core::ArrivalConfig& arrival,
+                                    double file_count,
+                                    const RateIntegral& rates) {
+  std::vector<Segment> segments;
+  const double start = t - window;
+  if (!arrival.churn_enabled()) {
+    segments.push_back({0.0, rates.over(start, t)});
+    return segments;
+  }
+  constexpr int kMaxEpochs = 6;
+  const double period = arrival.churn_period_seconds;
+  const double stride = static_cast<double>(arrival.churn_stride);
+  const double periods_now = std::floor(std::max(t, 0.0) / period);
+  double upper = t;
+  double periods = periods_now;
+  while (upper > start) {
+    // This piece runs from the later of (its epoch start, window start,
+    // pass start) up to `upper`; the pre-pass piece keeps shift 0.
+    double lower = std::max(periods * period, 0.0);
+    const bool oldest = periods_now - periods >= kMaxEpochs || lower <= 0.0;
+    if (oldest) lower = start;
+    lower = std::max(lower, start);
+    const double delta =
+        std::fmod((periods_now - std::min(periods, periods_now)) * stride,
+                  file_count);
+    const double intensity = rates.over(lower, upper);
+    if (intensity > 0.0) {
+      if (!segments.empty() && segments.back().delta_rank == delta)
+        segments.back().intensity += intensity;
+      else
+        segments.push_back({delta, intensity});
+    }
+    if (oldest) break;
+    upper = lower;
+    periods -= 1.0;
+  }
+  return segments;
+}
+
+// Accumulated intensity of the file currently at rank r: in a piece
+// rotated delta ranks back, that file sat at rank r + delta (wrapping past
+// F onto the freshly-demoted hot files).
+double accumulated(const ZipfPopularity& pop, const std::vector<Segment>& segments,
+                   double file_count, double r) {
+  double a = 0.0;
+  for (const auto& s : segments) {
+    double old_rank = r + s.delta_rank;
+    if (old_rank > file_count) old_rank -= file_count;
+    a += pop.prob(old_rank) * s.intensity;
+  }
+  return a;
+}
+
+// Rank intervals on which every segment's wrap branch is constant, so the
+// strided_sum tail rule only ever sees smooth integrands.
+std::vector<std::pair<double, double>> smooth_intervals(
+    const std::vector<Segment>& segments, double file_count) {
+  std::vector<double> cuts;
+  for (const auto& s : segments) {
+    const double cut = std::floor(file_count - s.delta_rank);
+    if (cut >= 1.0 && cut < file_count) cuts.push_back(cut);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<std::pair<double, double>> intervals;
+  double lo = 1.0;
+  for (double cut : cuts) {
+    if (cut >= lo) {
+      intervals.emplace_back(lo, cut);
+      lo = cut + 1.0;
+    }
+  }
+  if (lo <= file_count) intervals.emplace_back(lo, file_count);
+  return intervals;
+}
+
+struct WindowSums {
+  double occupancy = 0.0;
+  double hit_mass = 0.0;   ///< sum p(r) * P(present)
+  double edge_mass = 0.0;  ///< sum exp(-A(r)) * p(rank at window edge)
+};
+
+WindowSums window_sums(const ZipfPopularity& pop,
+                       const std::vector<Segment>& segments, double file_count) {
+  WindowSums sums;
+  const double oldest_delta = segments.back().delta_rank;
+  for (const auto& [lo, hi] : smooth_intervals(segments, file_count)) {
+    sums.occupancy += strided_sum(lo, hi, 1.0, [&](double r) {
+      return -std::expm1(-accumulated(pop, segments, file_count, r));
+    });
+    sums.hit_mass += strided_sum(lo, hi, 1.0, [&](double r) {
+      return pop.prob(r) * -std::expm1(-accumulated(pop, segments, file_count, r));
+    });
+    sums.edge_mass += strided_sum(lo, hi, 1.0, [&](double r) {
+      double old_rank = r + oldest_delta;
+      if (old_rank > file_count) old_rank -= file_count;
+      return std::exp(-accumulated(pop, segments, file_count, r)) *
+             pop.prob(old_rank);
+    });
+  }
+  return sums;
+}
+
+}  // namespace
+
+TransientCurve transient_curve(const ZipfPopularity& pop, double cache_files,
+                               double base_rate_rps,
+                               const core::ArrivalConfig& arrival,
+                               double horizon_seconds,
+                               const TransientOptions& options) {
+  if (cache_files <= 0.0) throw_error("transient_curve: cache capacity must be positive");
+  if (base_rate_rps <= 0.0) throw_error("transient_curve: rate must be positive");
+  if (horizon_seconds <= 0.0) throw_error("transient_curve: horizon must be positive");
+  if (options.samples < 2) throw_error("transient_curve: need at least 2 samples");
+
+  const double file_count = strided_count(1.0, pop.files, 1.0);
+  const RateIntegral rates(base_rate_rps, arrival, horizon_seconds,
+                           options.clip_rate_rps);
+
+  TransientCurve curve;
+  curve.points.reserve(static_cast<std::size_t>(options.samples));
+  double weight_sum = 0.0;
+  double weighted_hit = 0.0;
+  double window_guess = cache_files / rates.rate(0.0);
+
+  for (int i = 0; i < options.samples; ++i) {
+    const double t = horizon_seconds * static_cast<double>(i) /
+                     static_cast<double>(options.samples - 1);
+    TransientPoint point;
+    point.t_seconds = t;
+    point.rate_rps = rates.rate(t);
+
+    if (file_count <= cache_files) {
+      // Everything requested since the infinite warmup is still resident.
+      point.hit_rate = 1.0;
+      point.window_seconds = std::numeric_limits<double>::infinity();
+    } else {
+      // Bracket T(t): occupancy is monotone in the window and reaches the
+      // full catalogue as the window swallows the stationary pre-pass.
+      auto solve = [&](double window) {
+        return window_sums(pop, build_segments(t, window, arrival, file_count, rates),
+                           file_count);
+      };
+      double lo = window_guess;
+      while (solve(lo).occupancy > cache_files) lo *= 0.5;
+      double hi = lo;
+      while (solve(hi).occupancy < cache_files) hi *= 2.0;
+
+      double window = 0.5 * (lo + hi);
+      WindowSums sums;
+      for (int iter = 0; iter < 64; ++iter) {
+        sums = solve(window);
+        const double err = sums.occupancy - cache_files;
+        if (std::abs(err) <= 1e-9 * cache_files || hi - lo <= 1e-10 * window) break;
+        if (err > 0.0)
+          hi = window;
+        else
+          lo = window;
+        const double slope = sums.edge_mass * rates.rate(t - window);
+        double next = window - err / std::max(slope, 1e-300);
+        if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+        window = next;
+      }
+      point.window_seconds = window;
+      point.hit_rate = std::min(1.0, sums.hit_mass);
+      window_guess = window;  // warm-start the next sample's bracket
+    }
+
+    curve.min_hit = std::min(curve.min_hit, point.hit_rate);
+    curve.max_hit = std::max(curve.max_hit, point.hit_rate);
+    weighted_hit += point.hit_rate * point.rate_rps;
+    weight_sum += point.rate_rps;
+    curve.points.push_back(point);
+  }
+  curve.mean_hit = weight_sum > 0.0 ? weighted_hit / weight_sum : 0.0;
+  return curve;
+}
+
+}  // namespace l2s::analytic

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <utility>
 
+#include "l2sim/analytic/hierarchical.hpp"
 #include "l2sim/common/error.hpp"
 #include "l2sim/model/trace_model.hpp"
 #include "l2sim/obs/exporters.hpp"
@@ -96,12 +97,53 @@ ModelResult run_model(const ExperimentSpec& spec) {
 }
 
 ModelResult run_model(const ExperimentSpec& spec, const trace::Trace& trace) {
+  // The analytic model solves the paper's Figure 2 queueing network: every
+  // node behind one crossbar switch. Rack-aware and fat-tree interconnects
+  // change the per-station demands in ways the model does not capture, so
+  // specs carrying one are DES-only — run_simulation handles them.
+  if (spec.sim.topology.kind != net::TopologyKind::kSingleSwitch)
+    throw_error(
+        "run_model: the analytic model covers only the single-switch "
+        "topology (Figure 2); rack-aware and fat-tree interconnects are "
+        "DES-only — use run_simulation, or drop --topology for the model");
+
   ModelResult r;
   r.characteristics = trace::characterize(trace);
   model::ModelParams params;
   params.cache_bytes = spec.sim.node.cache_bytes;
   params.replication = spec.model_replication;
   params.alpha = r.characteristics.alpha;
+
+  if (spec.analytic.cache) {
+    // Analytic fast path: Che cache level coupled to the queueing network
+    // (l2s::analytic) — per-node hit rates from first principles, no
+    // measured axis.
+    analytic::HierarchicalParams hp;
+    hp.model = params;
+    hp.model.nodes = spec.sim.nodes;
+    hp.workload = r.characteristics.to_workload_stats();
+    hp.conscious = spec.policy != PolicyKind::kTraditional;
+    hp.offered_rate_rps = spec.sim.arrival.open_loop_rate;
+    hp.arrival = spec.sim.arrival;
+    // The transient level covers the measured pass; for an open-loop spec
+    // that is the time the trace takes to arrive at the nominal rate.
+    if (spec.sim.arrival.open_loop_rate > 0.0)
+      hp.horizon_seconds = static_cast<double>(r.characteristics.requests) /
+                           spec.sim.arrival.open_loop_rate;
+    hp.transient_samples = spec.analytic.transient_samples;
+    const analytic::HierarchicalResult hr = analytic::solve_hierarchical(hp);
+    r.analytic = true;
+    r.throughput_rps = hr.max_throughput_rps;
+    r.hit_rate = hr.hit_rate;
+    r.per_node_hit = hr.per_node_hit;
+    r.forwarded_fraction = hr.forwarded_fraction;
+    r.served_rate_rps = hr.served_rate_rps;
+    r.mean_response_seconds = hr.mean_response_seconds;
+    r.bottleneck = hr.bottleneck;
+    r.iterations = hr.iterations;
+    return r;
+  }
+
   const model::TraceModel tm(params, r.characteristics.to_workload_stats());
   r.throughput_rps = tm.bound(spec.sim.nodes).conscious.throughput;
   r.hit_rate = tm.conscious_hit_rate(spec.sim.nodes);

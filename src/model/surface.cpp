@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "l2sim/common/error.hpp"
 
@@ -11,6 +12,36 @@ double Surface::at(std::size_t hit_index, std::size_t size_index) const {
   L2S_REQUIRE(hit_index < values.size());
   L2S_REQUIRE(size_index < values[hit_index].size());
   return values[hit_index][size_index];
+}
+
+namespace {
+
+// Locate `x` on an ascending axis: cell index `i` (with i+1 valid unless
+// the axis has one point) and fractional position in [0, 1]. Coordinates
+// at or beyond the last grid line clamp to the boundary — the naive
+// upper_bound form hands back i == size() - 1 with frac > 0 there and
+// reads one row past the end.
+std::pair<std::size_t, double> locate(const std::vector<double>& axis, double x) {
+  if (axis.size() == 1 || x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto i = static_cast<std::size_t>(it - axis.begin()) - 1;
+  const double span = axis[i + 1] - axis[i];
+  return {i, span > 0.0 ? (x - axis[i]) / span : 0.0};
+}
+
+}  // namespace
+
+double Surface::value_at(double hit_rate, double size_kb) const {
+  L2S_REQUIRE(!hit_rates.empty() && !sizes_kb.empty());
+  L2S_REQUIRE(values.size() == hit_rates.size());
+  const auto [i, fi] = locate(hit_rates, hit_rate);
+  const auto [j, fj] = locate(sizes_kb, size_kb);
+  const std::size_t i1 = std::min(i + 1, hit_rates.size() - 1);
+  const std::size_t j1 = std::min(j + 1, sizes_kb.size() - 1);
+  const double lo = at(i, j) * (1.0 - fj) + at(i, j1) * fj;
+  const double hi = at(i1, j) * (1.0 - fj) + at(i1, j1) * fj;
+  return lo * (1.0 - fi) + hi * fi;
 }
 
 double Surface::max_value() const {

@@ -1,0 +1,174 @@
+// Suite for the hierarchical hybrid solver and its run_model integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "l2sim/analytic/hierarchical.hpp"
+#include "l2sim/common/error.hpp"
+#include "l2sim/core/spec.hpp"
+#include "l2sim/model/cluster_model.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+HierarchicalParams paper_like_params() {
+  HierarchicalParams p;
+  p.model.nodes = 8;
+  p.model.replication = 0.15;
+  p.model.cache_bytes = 8 * kMiB;  // ~683 files per node (8192 KiB / 12 KB)
+  p.model.alpha = 0.9;
+  p.workload.files = 200000;  // catalogue far larger than the combined cache
+  p.workload.avg_file_kb = 12.0;
+  p.workload.avg_request_kb = 8.0;
+  p.workload.alpha = 0.9;
+  return p;
+}
+
+// Stationary arrivals close the fixed point in a single pass, and the
+// reported throughput must be self-consistent with the queueing level
+// re-evaluated at the reported (H, Q).
+TEST(AnalyticHierarchical, StationarySelfConsistent) {
+  const HierarchicalParams p = paper_like_params();
+  const HierarchicalResult r = solve_hierarchical(p);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_FALSE(r.transient_active);
+  EXPECT_GT(r.hit_rate, 0.0);
+  EXPECT_LT(r.hit_rate, 1.0);
+  ASSERT_EQ(r.per_node_hit.size(), 8u);
+  EXPECT_FALSE(r.bottleneck.empty());
+
+  const model::ClusterModel queueing(p.model);
+  const model::ServerEval eval = queueing.evaluate(
+      r.hit_rate, r.forwarded_fraction, p.workload.avg_request_kb,
+      p.workload.avg_request_kb);
+  EXPECT_DOUBLE_EQ(r.max_throughput_rps, eval.throughput);
+  EXPECT_EQ(r.bottleneck, eval.bottleneck);
+  EXPECT_DOUBLE_EQ(r.served_rate_rps, r.max_throughput_rps);  // saturation
+  EXPECT_DOUBLE_EQ(r.mean_response_seconds, 0.0);
+}
+
+TEST(AnalyticHierarchical, ConsciousOutperformsOblivious) {
+  HierarchicalParams p = paper_like_params();
+  const HierarchicalResult conscious = solve_hierarchical(p);
+  p.conscious = false;
+  const HierarchicalResult oblivious = solve_hierarchical(p);
+  EXPECT_GT(conscious.hit_rate, oblivious.hit_rate);
+  EXPECT_GT(conscious.max_throughput_rps, oblivious.max_throughput_rps);
+  EXPECT_DOUBLE_EQ(oblivious.forwarded_fraction, 0.0);
+}
+
+// Below saturation the solver reports the offered rate as served and a
+// positive Jackson mean response; above it, the bottleneck clips.
+TEST(AnalyticHierarchical, OfferedRateRegimes) {
+  HierarchicalParams p = paper_like_params();
+  const double saturation = solve_hierarchical(p).max_throughput_rps;
+
+  p.offered_rate_rps = 0.5 * saturation;
+  const HierarchicalResult below = solve_hierarchical(p);
+  EXPECT_DOUBLE_EQ(below.served_rate_rps, p.offered_rate_rps);
+  EXPECT_GT(below.mean_response_seconds, 0.0);
+
+  p.offered_rate_rps = 2.0 * saturation;
+  const HierarchicalResult above = solve_hierarchical(p);
+  EXPECT_NEAR(above.served_rate_rps, saturation, 1e-6 * saturation);
+  EXPECT_DOUBLE_EQ(above.mean_response_seconds, 0.0);
+}
+
+// Churn activates the transient level and costs hit rate.
+TEST(AnalyticHierarchical, ChurnLowersHitRate) {
+  HierarchicalParams p = paper_like_params();
+  p.offered_rate_rps = 500.0;
+  const HierarchicalResult stationary = solve_hierarchical(p);
+
+  p.arrival.open_loop_rate = 500.0;
+  p.arrival.churn_period_seconds = 5.0;
+  p.arrival.churn_stride = 40000;  // rotate 20% of the catalogue per epoch
+  p.horizon_seconds = 30.0;
+  p.transient_samples = 24;
+  const HierarchicalResult churned = solve_hierarchical(p);
+  EXPECT_TRUE(churned.transient_active);
+  EXPECT_FALSE(churned.transient.points.empty());
+  EXPECT_LT(churned.hit_rate, stationary.hit_rate);
+  EXPECT_GE(churned.iterations, 1);
+}
+
+TEST(AnalyticHierarchical, ValidatesWorkload) {
+  HierarchicalParams p = paper_like_params();
+  p.workload.files = 0;
+  EXPECT_THROW((void)solve_hierarchical(p), Error);
+  p = paper_like_params();
+  p.workload.avg_request_kb = 0.0;
+  EXPECT_THROW((void)solve_hierarchical(p), Error);
+  p = paper_like_params();
+  p.workload.alpha = 0.0;
+  EXPECT_THROW((void)solve_hierarchical(p), Error);
+}
+
+core::ExperimentSpec small_spec() {
+  trace::SyntheticSpec synth;
+  synth.name = "analytic-spec";
+  synth.files = 500;
+  synth.avg_file_kb = 8.0;
+  synth.requests = 4000;
+  synth.avg_request_kb = 6.0;
+  synth.alpha = 0.9;
+  synth.seed = 7;
+  core::ExperimentSpec spec;
+  spec.name = "analytic-spec";
+  spec.trace = core::TraceSpec::synth(synth);
+  spec.sim.nodes = 4;
+  spec.sim.node.cache_bytes = 1 * kMiB;
+  return spec;
+}
+
+// run_model with spec.analytic.cache: per-node hit rates and a bottleneck
+// from the spec alone — no measured axis anywhere.
+TEST(AnalyticRunModel, AnalyticCachePathPopulatesEverything) {
+  core::ExperimentSpec spec = small_spec();
+  spec.analytic.cache = true;
+  const core::ModelResult r = core::run_model(spec);
+  EXPECT_TRUE(r.analytic);
+  EXPECT_GT(r.throughput_rps, 0.0);
+  EXPECT_GT(r.hit_rate, 0.0);
+  EXPECT_LE(r.hit_rate, 1.0);
+  ASSERT_EQ(r.per_node_hit.size(), 4u);
+  EXPECT_FALSE(r.bottleneck.empty());
+  EXPECT_GE(r.iterations, 1);
+
+  // The legacy path on the same spec answers the same question with the
+  // z(n, F) step function; the two engines must be in the same ballpark.
+  spec.analytic.cache = false;
+  const core::ModelResult legacy = core::run_model(spec);
+  EXPECT_FALSE(legacy.analytic);
+  EXPECT_TRUE(legacy.per_node_hit.empty());
+  EXPECT_NEAR(r.hit_rate, legacy.hit_rate, 0.15);
+}
+
+// kTraditional maps to the oblivious split: lower hit rate than the
+// conscious policies on the same spec.
+TEST(AnalyticRunModel, PolicySelectsCacheSplit) {
+  core::ExperimentSpec spec = small_spec();
+  spec.analytic.cache = true;
+  spec.policy = core::PolicyKind::kL2s;
+  const core::ModelResult conscious = core::run_model(spec);
+  spec.policy = core::PolicyKind::kTraditional;
+  const core::ModelResult oblivious = core::run_model(spec);
+  EXPECT_GT(conscious.hit_rate, oblivious.hit_rate);
+  EXPECT_DOUBLE_EQ(oblivious.forwarded_fraction, 0.0);
+}
+
+// The analytic model only covers the paper's single-switch topology;
+// rack-aware or fat-tree specs must be rejected with a clear error on
+// both run_model paths.
+TEST(AnalyticRunModel, RejectsNonSingleSwitchTopology) {
+  core::ExperimentSpec spec = small_spec();
+  spec.sim.topology.kind = net::TopologyKind::kRackAware;
+  EXPECT_THROW((void)core::run_model(spec), Error);
+  spec.analytic.cache = true;
+  EXPECT_THROW((void)core::run_model(spec), Error);
+  spec.sim.topology.kind = net::TopologyKind::kFatTree;
+  EXPECT_THROW((void)core::run_model(spec), Error);
+}
+
+}  // namespace
+}  // namespace l2s::analytic

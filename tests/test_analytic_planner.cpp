@@ -1,0 +1,109 @@
+// Suite for the DES cell planner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "l2sim/analytic/planner.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+HierarchicalParams base_params() {
+  HierarchicalParams p;
+  p.model.replication = 0.15;
+  p.model.alpha = 0.9;
+  p.workload.files = 20000;
+  p.workload.avg_file_kb = 12.0;
+  p.workload.avg_request_kb = 8.0;
+  p.workload.alpha = 0.9;
+  return p;
+}
+
+PlanAxes small_axes() {
+  PlanAxes axes;
+  axes.node_counts = {1, 2, 4, 8};
+  axes.cache_mib = {2.0, 8.0, 32.0};
+  return axes;
+}
+
+TEST(AnalyticPlanner, CoversGridRankedByScore) {
+  const Plan plan = plan_cells(base_params(), small_axes());
+  ASSERT_EQ(plan.cells.size(), 12u);
+  for (std::size_t i = 1; i < plan.cells.size(); ++i)
+    EXPECT_GE(plan.cells[i - 1].score, plan.cells[i].score);
+  std::set<std::pair<int, double>> seen;
+  for (const auto& c : plan.cells) {
+    EXPECT_GE(c.score, 0.0);
+    EXPECT_LE(c.score, 1.0 + 1e-12);
+    EXPECT_GT(c.conscious_rps, 0.0);
+    EXPECT_GT(c.oblivious_rps, 0.0);
+    EXPECT_FALSE(c.bottleneck.empty());
+    seen.insert({c.nodes, c.cache_mib});
+  }
+  EXPECT_EQ(seen.size(), 12u);  // every grid cell exactly once
+}
+
+// The predicted surfaces line up with the ranked cells and support
+// off-grid interpolation via Surface::value_at.
+TEST(AnalyticPlanner, SurfacesMatchCells) {
+  const PlanAxes axes = small_axes();
+  const Plan plan = plan_cells(base_params(), axes);
+  ASSERT_EQ(plan.conscious.hit_rates.size(), axes.node_counts.size());
+  ASSERT_EQ(plan.conscious.sizes_kb.size(), axes.cache_mib.size());
+  for (const auto& c : plan.cells) {
+    const double predicted =
+        plan.conscious.value_at(static_cast<double>(c.nodes), c.cache_mib);
+    EXPECT_DOUBLE_EQ(predicted, c.conscious_rps)
+        << "cell n=" << c.nodes << " c=" << c.cache_mib;
+  }
+  // Off-grid query interpolates between columns, staying inside the hull.
+  const double mid = plan.conscious.value_at(2.0, 5.0);
+  const double lo = plan.conscious.value_at(2.0, 2.0);
+  const double hi = plan.conscious.value_at(2.0, 8.0);
+  EXPECT_GE(mid, std::min(lo, hi) - 1e-9);
+  EXPECT_LE(mid, std::max(lo, hi) + 1e-9);
+}
+
+TEST(AnalyticPlanner, TopCellsBecomeRunnableSpecs) {
+  const Plan plan = plan_cells(base_params(), small_axes());
+  trace::SyntheticSpec synth;
+  synth.name = "planner-base";
+  synth.files = 500;
+  synth.avg_file_kb = 8.0;
+  synth.requests = 4000;
+  synth.avg_request_kb = 6.0;
+  synth.alpha = 0.9;
+  core::ExperimentSpec base;
+  base.name = "planner-base";
+  base.trace = core::TraceSpec::synth(synth);
+
+  const auto specs = plan_to_specs(base, plan, 3);
+  ASSERT_EQ(specs.size(), 3u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].sim.nodes, plan.cells[i].nodes);
+    EXPECT_EQ(specs[i].sim.node.cache_bytes,
+              static_cast<Bytes>(plan.cells[i].cache_mib * kMiB));
+    names.insert(specs[i].name);
+  }
+  EXPECT_EQ(names.size(), 3u);
+
+  // And a planned spec actually runs on the analytic engine.
+  core::ExperimentSpec first = specs.front();
+  first.analytic.cache = true;
+  const core::ModelResult r = core::run_model(first);
+  EXPECT_GT(r.throughput_rps, 0.0);
+
+  // Asking for more cells than the grid holds returns the whole plan.
+  EXPECT_EQ(plan_to_specs(base, plan, 100).size(), plan.cells.size());
+}
+
+TEST(AnalyticPlanner, RejectsEmptyAxes) {
+  PlanAxes axes;
+  axes.node_counts.clear();
+  EXPECT_THROW((void)plan_cells(base_params(), axes), Error);
+}
+
+}  // namespace
+}  // namespace l2s::analytic

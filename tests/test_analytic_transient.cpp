@@ -1,0 +1,137 @@
+// Suite for the Olmos-style time-varying miss curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "l2sim/analytic/che.hpp"
+#include "l2sim/analytic/transient.hpp"
+#include "l2sim/common/error.hpp"
+
+namespace l2s::analytic {
+namespace {
+
+core::ArrivalConfig stationary_arrival() {
+  core::ArrivalConfig a;
+  a.shape = core::ArrivalShape::kStationary;
+  return a;
+}
+
+// With a stationary shape and no churn, every sample must reproduce the
+// stationary Che solution: same hit rate, window T(t) = T_C.
+TEST(AnalyticTransient, StationaryReducesToChe) {
+  const auto pop = ZipfPopularity::make(4000.0, 0.9);
+  const double cache = 300.0;
+  const double rate = 800.0;
+  const CheSolution che = che_lru(pop, cache, rate);
+  TransientOptions opt;
+  opt.samples = 8;
+  const TransientCurve curve =
+      transient_curve(pop, cache, rate, stationary_arrival(), 10.0, opt);
+  ASSERT_EQ(curve.points.size(), 8u);
+  for (const auto& p : curve.points) {
+    EXPECT_NEAR(p.hit_rate, che.hit_rate, 1e-6);
+    EXPECT_NEAR(p.window_seconds, che.characteristic_seconds,
+                1e-4 * che.characteristic_seconds);
+    EXPECT_DOUBLE_EQ(p.rate_rps, rate);
+  }
+  EXPECT_NEAR(curve.mean_hit, che.hit_rate, 1e-6);
+}
+
+// Pure rate modulation under IRM leaves the hit rate unchanged: the
+// characteristic window shrinks exactly as fast as the intensity grows
+// (A_i depends only on the integrated window intensity). This is the
+// model's — correct — claim that an IRM flash crowd hurts via queueing,
+// not via the cache.
+TEST(AnalyticTransient, FlashCrowdPreservesHitRateShrinksWindow) {
+  const auto pop = ZipfPopularity::make(4000.0, 0.9);
+  const double cache = 300.0;
+  core::ArrivalConfig a;
+  a.shape = core::ArrivalShape::kFlashCrowd;
+  a.flash_at_seconds = 4.0;
+  a.flash_factor = 3.0;
+  a.flash_ramp_seconds = 0.0;
+  TransientOptions opt;
+  opt.samples = 33;
+  const TransientCurve curve = transient_curve(pop, cache, 500.0, a, 16.0, opt);
+  const CheSolution che = che_lru(pop, cache, 500.0);
+  EXPECT_NEAR(curve.min_hit, che.hit_rate, 1e-3);
+  EXPECT_NEAR(curve.max_hit, che.hit_rate, 1e-3);
+
+  // Deep inside the flash the window has shrunk ~3x.
+  double window_before = 0.0;
+  double window_inside = 0.0;
+  for (const auto& p : curve.points) {
+    if (p.t_seconds < 3.5) window_before = p.window_seconds;
+    if (p.t_seconds > 12.0 && window_inside == 0.0) window_inside = p.window_seconds;
+  }
+  EXPECT_GT(window_before, 2.0 * window_inside);
+}
+
+// The saturation clip bounds the modelled served rate: with the clip at
+// the nominal rate a flash crowd cannot churn the cache at all.
+TEST(AnalyticTransient, ClipBoundsServedRate) {
+  const auto pop = ZipfPopularity::make(4000.0, 0.9);
+  core::ArrivalConfig a;
+  a.shape = core::ArrivalShape::kFlashCrowd;
+  a.flash_at_seconds = 2.0;
+  a.flash_factor = 5.0;
+  TransientOptions opt;
+  opt.samples = 9;
+  opt.clip_rate_rps = 500.0;
+  const TransientCurve curve = transient_curve(pop, 300.0, 500.0, a, 8.0, opt);
+  for (const auto& p : curve.points) EXPECT_LE(p.rate_rps, 500.0 + 1e-9);
+}
+
+// Popularity churn is the genuinely non-stationary case: right after a
+// rotation the promoted files are not cached yet, so the hit rate dips
+// below stationary and recovers as the window refills.
+TEST(AnalyticTransient, ChurnDipsHitRateAfterRotation) {
+  const auto pop = ZipfPopularity::make(2000.0, 1.0);
+  const double cache = 150.0;
+  const double rate = 400.0;
+  core::ArrivalConfig a = stationary_arrival();
+  a.churn_period_seconds = 5.0;
+  a.churn_stride = 400;
+  TransientOptions opt;
+  opt.samples = 41;
+  const TransientCurve curve = transient_curve(pop, cache, rate, a, 20.0, opt);
+  const double stationary = che_lru(pop, cache, rate).hit_rate;
+  EXPECT_LT(curve.min_hit, stationary - 0.02);
+  EXPECT_LE(curve.mean_hit, stationary + 1e-9);
+  // Before the first rotation the ranking is still the warmup ranking.
+  EXPECT_NEAR(curve.points.front().hit_rate, stationary, 1e-3);
+
+  // The dip recovers within an epoch: the sample right before the next
+  // rotation must sit above the sample right after the previous one.
+  double after_rotation = 0.0;
+  double before_next = 0.0;
+  for (const auto& p : curve.points) {
+    if (p.t_seconds >= 5.0 && after_rotation == 0.0) after_rotation = p.hit_rate;
+    if (p.t_seconds < 10.0) before_next = p.hit_rate;
+  }
+  EXPECT_GT(before_next, after_rotation);
+}
+
+TEST(AnalyticTransient, EverythingFitsStaysPerfect) {
+  const auto pop = ZipfPopularity::make(100.0, 1.0);
+  core::ArrivalConfig a = stationary_arrival();
+  a.churn_period_seconds = 2.0;
+  a.churn_stride = 30;
+  TransientOptions opt;
+  opt.samples = 5;
+  const TransientCurve curve = transient_curve(pop, 200.0, 100.0, a, 10.0, opt);
+  for (const auto& p : curve.points) EXPECT_DOUBLE_EQ(p.hit_rate, 1.0);
+}
+
+TEST(AnalyticTransient, ValidatesInputs) {
+  const auto pop = ZipfPopularity::make(100.0, 1.0);
+  EXPECT_THROW((void)transient_curve(pop, 0.0, 1.0, stationary_arrival(), 1.0), Error);
+  EXPECT_THROW((void)transient_curve(pop, 10.0, 0.0, stationary_arrival(), 1.0), Error);
+  EXPECT_THROW((void)transient_curve(pop, 10.0, 1.0, stationary_arrival(), 0.0), Error);
+  TransientOptions opt;
+  opt.samples = 1;
+  EXPECT_THROW((void)transient_curve(pop, 10.0, 1.0, stationary_arrival(), 1.0, opt), Error);
+}
+
+}  // namespace
+}  // namespace l2s::analytic

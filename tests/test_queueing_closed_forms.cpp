@@ -1,0 +1,107 @@
+// Closed-form cross-checks of the queueing primitives against hand-solved
+// textbook cases — the level-2 building blocks of the hierarchical
+// analytic solver, pinned to exact algebra rather than to themselves.
+#include <gtest/gtest.h>
+
+#include "l2sim/common/error.hpp"
+#include "l2sim/queueing/jackson.hpp"
+#include "l2sim/queueing/mg1.hpp"
+#include "l2sim/queueing/mm1.hpp"
+#include "l2sim/queueing/mmc.hpp"
+
+namespace l2s::queueing {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// M/M/1 with lambda = 3, mu = 4: rho = 3/4, L = rho/(1-rho) = 3,
+// W = 1/(mu-lambda) = 1, Wq = rho/(mu-lambda) = 3/4.
+TEST(QueueingClosedForms, Mm1HandSolved) {
+  const Mm1Metrics m = mm1_metrics(3.0, 4.0);
+  EXPECT_NEAR(m.utilization, 0.75, kTol);
+  EXPECT_NEAR(m.mean_customers, 3.0, kTol);
+  EXPECT_NEAR(m.mean_response, 1.0, kTol);
+  EXPECT_NEAR(m.mean_waiting, 0.75, kTol);
+  EXPECT_TRUE(mm1_stable(3.0, 4.0));
+  EXPECT_FALSE(mm1_stable(4.0, 4.0));
+  EXPECT_THROW((void)mm1_metrics(4.0, 4.0), Error);
+}
+
+// M/M/2 with lambda = 3/2, mu = 1: offered load a = 3/2, rho = 3/4.
+// Erlang-B recurrence: B1 = 3/5, B2 = 9/29; Erlang-C = 9/14.
+// Wq = C/(c*mu - lambda) = (9/14)/(1/2) = 9/7, W = 9/7 + 1 = 16/7,
+// L = lambda * W = 24/7.
+TEST(QueueingClosedForms, Mm2ErlangCHandSolved) {
+  EXPECT_NEAR(erlang_c(1.5, 2), 9.0 / 14.0, kTol);
+  const MmcMetrics m = mmc_metrics(1.5, 1.0, 2);
+  EXPECT_NEAR(m.utilization, 0.75, kTol);
+  EXPECT_NEAR(m.prob_wait, 9.0 / 14.0, kTol);
+  EXPECT_NEAR(m.mean_waiting, 9.0 / 7.0, kTol);
+  EXPECT_NEAR(m.mean_response, 16.0 / 7.0, kTol);
+  EXPECT_NEAR(m.mean_customers, 24.0 / 7.0, kTol);
+}
+
+// M/M/c with c = 1 must collapse to M/M/1 exactly.
+TEST(QueueingClosedForms, MmcDegeneratesToMm1) {
+  const Mm1Metrics mm1 = mm1_metrics(3.0, 4.0);
+  const MmcMetrics mmc = mmc_metrics(3.0, 4.0, 1);
+  EXPECT_NEAR(mmc.prob_wait, mm1.utilization, kTol);  // P(wait) = rho for c=1
+  EXPECT_NEAR(mmc.mean_waiting, mm1.mean_waiting, kTol);
+  EXPECT_NEAR(mmc.mean_response, mm1.mean_response, kTol);
+  EXPECT_NEAR(mmc.mean_customers, mm1.mean_customers, kTol);
+}
+
+// M/G/1 Pollaczek-Khinchine with lambda = 2, mu = 5, cs2 = 1/2:
+// rho = 2/5, Wq = (1 + cs2)/2 * rho/(mu - lambda) = 3/4 * (2/5)/3 = 1/10,
+// W = 1/10 + 1/5 = 3/10, L = lambda * W = 3/5.
+TEST(QueueingClosedForms, Mg1PollaczekKhinchineHandSolved) {
+  const Mg1Metrics m = mg1_metrics(2.0, 5.0, 0.5);
+  EXPECT_NEAR(m.utilization, 0.4, kTol);
+  EXPECT_NEAR(m.mean_waiting, 0.1, kTol);
+  EXPECT_NEAR(m.mean_response, 0.3, kTol);
+  EXPECT_NEAR(m.mean_customers, 0.6, kTol);
+}
+
+// cs2 = 1 recovers M/M/1; M/D/1 waits exactly half as long.
+TEST(QueueingClosedForms, Mg1BracketsMm1AndMd1) {
+  const Mm1Metrics mm1 = mm1_metrics(3.0, 4.0);
+  const Mg1Metrics exp_service = mg1_metrics(3.0, 4.0, 1.0);
+  const Mg1Metrics det_service = md1_metrics(3.0, 4.0);
+  EXPECT_NEAR(exp_service.mean_waiting, mm1.mean_waiting, kTol);
+  EXPECT_NEAR(det_service.mean_waiting, 0.5 * mm1.mean_waiting, kTol);
+}
+
+// Two-station open Jackson network, hand-solved:
+//   A: mu = 10, v = 1      capacity 10
+//   B: mu = 4,  v = 1/2    capacity 8   <- bottleneck
+// At lambda = 2: W_A = 1/(10-2) = 1/8, W_B = 1/(4-1) = 1/3,
+// mean response = 1 * 1/8 + 1/2 * 1/3 = 7/24.
+TEST(QueueingClosedForms, TwoStationJacksonHandSolved) {
+  JacksonNetwork net;
+  net.add_station({"A", 10.0, 1.0, 1});
+  net.add_station({"B", 4.0, 0.5, 1});
+  EXPECT_NEAR(net.max_throughput(), 8.0, kTol);
+  EXPECT_EQ(net.bottleneck(), "B");
+  EXPECT_TRUE(net.stable_at(7.999));
+  EXPECT_FALSE(net.stable_at(8.0));
+
+  const NetworkReport report = net.solve(2.0);
+  ASSERT_EQ(report.stations.size(), 2u);
+  EXPECT_NEAR(report.stations[0].metrics.mean_response, 0.125, kTol);
+  EXPECT_NEAR(report.stations[1].metrics.mean_response, 1.0 / 3.0, kTol);
+  EXPECT_NEAR(report.mean_response, 7.0 / 24.0, kTol);
+}
+
+// Replicated stations split the flow: a group of 2 replicas at v = 1/2
+// each sees lambda/2, and the group's residence is replicas * v * W.
+TEST(QueueingClosedForms, JacksonReplicatedStation) {
+  JacksonNetwork net;
+  net.add_station({"node", 4.0, 0.5, 2});
+  EXPECT_NEAR(net.max_throughput(), 8.0, kTol);
+  const NetworkReport report = net.solve(2.0);
+  // Each replica: lambda = 1, W = 1/3; group residence 2 * 1/2 * 1/3.
+  EXPECT_NEAR(report.mean_response, 1.0 / 3.0, kTol);
+}
+
+}  // namespace
+}  // namespace l2s::queueing

@@ -1,0 +1,75 @@
+// Regression suite for model::Surface::value_at — in particular the
+// grid-boundary case: querying exactly the last grid line (or beyond) must
+// clamp to the boundary cell instead of indexing one row/column past the
+// end of the value grid.
+#include <gtest/gtest.h>
+
+#include "l2sim/model/surface.hpp"
+
+namespace l2s::model {
+namespace {
+
+// A surface sampled from an affine function is reproduced exactly by
+// bilinear interpolation everywhere, including between grid lines.
+Surface affine_surface() {
+  Surface s;
+  s.hit_rates = {0.0, 0.25, 0.5, 1.0};  // deliberately non-uniform
+  s.sizes_kb = {2.0, 4.0, 8.0};
+  for (double h : s.hit_rates) {
+    std::vector<double> row;
+    for (double kb : s.sizes_kb) row.push_back(3.0 * h + 2.0 * kb + 1.0);
+    s.values.push_back(row);
+  }
+  return s;
+}
+
+double affine(double h, double kb) { return 3.0 * h + 2.0 * kb + 1.0; }
+
+TEST(SurfaceLookup, InteriorBilinear) {
+  const Surface s = affine_surface();
+  EXPECT_DOUBLE_EQ(s.value_at(0.1, 3.0), affine(0.1, 3.0));
+  EXPECT_DOUBLE_EQ(s.value_at(0.375, 6.0), affine(0.375, 6.0));
+  EXPECT_DOUBLE_EQ(s.value_at(0.75, 5.5), affine(0.75, 5.5));
+}
+
+TEST(SurfaceLookup, ExactGridNodes) {
+  const Surface s = affine_surface();
+  for (std::size_t i = 0; i < s.hit_rates.size(); ++i)
+    for (std::size_t j = 0; j < s.sizes_kb.size(); ++j)
+      EXPECT_DOUBLE_EQ(s.value_at(s.hit_rates[i], s.sizes_kb[j]), s.at(i, j))
+          << "grid node (" << i << ", " << j << ")";
+}
+
+// The regression proper: the last grid line on either axis. A lookup that
+// maps x == axis.back() to (index = size() - 1, frac > 0) reads values one
+// past the end; the clamped form must return the boundary value itself.
+TEST(SurfaceLookup, LastGridLineClampsInsteadOfIndexingPastEnd) {
+  const Surface s = affine_surface();
+  const std::size_t last_i = s.hit_rates.size() - 1;
+  const std::size_t last_j = s.sizes_kb.size() - 1;
+  EXPECT_DOUBLE_EQ(s.value_at(1.0, 4.0), affine(1.0, 4.0));
+  EXPECT_DOUBLE_EQ(s.value_at(0.25, 8.0), affine(0.25, 8.0));
+  EXPECT_DOUBLE_EQ(s.value_at(1.0, 8.0), s.at(last_i, last_j));
+}
+
+TEST(SurfaceLookup, OutOfRangeClampsToBoundary) {
+  const Surface s = affine_surface();
+  EXPECT_DOUBLE_EQ(s.value_at(-1.0, 3.0), s.value_at(0.0, 3.0));
+  EXPECT_DOUBLE_EQ(s.value_at(2.0, 3.0), s.value_at(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(s.value_at(0.5, 0.0), s.value_at(0.5, 2.0));
+  EXPECT_DOUBLE_EQ(s.value_at(0.5, 100.0), s.value_at(0.5, 8.0));
+  EXPECT_DOUBLE_EQ(s.value_at(5.0, 100.0), s.at(s.hit_rates.size() - 1,
+                                                s.sizes_kb.size() - 1));
+}
+
+TEST(SurfaceLookup, SinglePointGrid) {
+  Surface s;
+  s.hit_rates = {0.5};
+  s.sizes_kb = {16.0};
+  s.values = {{42.0}};
+  EXPECT_DOUBLE_EQ(s.value_at(0.5, 16.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0, 100.0), 42.0);
+}
+
+}  // namespace
+}  // namespace l2s::model

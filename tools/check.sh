@@ -26,7 +26,13 @@
 #      replaying serial vs sharded, pairwise lookahead needs strictly
 #      fewer windows than the global-L baseline on rack-aligned shards;
 #      see docs/topology.md); emits build/BENCH_topology.json
-#   9. AddressSanitizer build, running the fault-injection suites
+#   9. analytic bench (gates: Che hit rate within 5 pp of the DES on
+#      every fault-free golden/stress cell, >= 100x analytic-vs-DES
+#      wall-clock on the 64-cell sweep; see docs/analytic.md) and the
+#      planner study (gate: the planned top-quartile brackets the
+#      measured paper-figure knee to within one grid cell); emits
+#      build/BENCH_analytic.json
+#  10. AddressSanitizer build, running the fault-injection suites
 #      (`ctest -L fault`) — the crash/retry/epoch machinery is where
 #      lifetime bugs would hide — the telemetry suites (`-L telemetry`:
 #      the span ring and exporter buffers), the flight-recorder suites
@@ -34,9 +40,11 @@
 #      shard introspection), the topology suites (`-L topo`: interconnect
 #      geometry, flow-level transfers, pairwise lookahead, the rack/
 #      fat-tree golden axis), the large-N sharded-engine suite
-#      (`-L largen`), and the chaos-harness suite (`-L chaos`: overload
-#      defenses + non-stationary arrivals + faults composed)
-#  10. ThreadSanitizer build, running the scheduler/event-kernel (sharded
+#      (`-L largen`), the chaos-harness suite (`-L chaos`: overload
+#      defenses + non-stationary arrivals + faults composed), and the
+#      analytic-model suites (`-L model`: Che fixed points, transient
+#      curves, the hierarchical solver and the planner)
+#  11. ThreadSanitizer build, running the scheduler/event-kernel (sharded
 #      kernel + mailboxes + windowed barriers included), run_parallel
 #      (including per-job telemetry + merge) and fault-determinism tests,
 #      plus the fault, telemetry, obs, topo, largen and chaos labels — the
@@ -90,13 +98,17 @@ if [[ "$skip_bench" -eq 0 ]]; then
   ./build/bench/shard_introspection_study
   echo "== topology bench (flow-mode event cut + pairwise lookahead gates) =="
   ./build/bench/topology_bench --out build/BENCH_topology.json
+  echo "== analytic bench (Che-vs-DES accuracy + sweep speedup gates) =="
+  ./build/bench/analytic_bench --out build/BENCH_analytic.json
+  echo "== planner study (knee-bracketing gate) =="
+  ./build/bench/planner_study
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "== AddressSanitizer: fault + telemetry + obs + topo + largen + chaos suites =="
+  echo "== AddressSanitizer: fault + telemetry + obs + topo + largen + chaos + model suites =="
   cmake -B build-asan -S . -DL2SIM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_topo_tests l2sim_largen_tests l2sim_chaos_tests
-  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|obs|topo|largen|chaos'
+  cmake --build build-asan -j --target l2sim_fault_tests l2sim_telemetry_tests l2sim_obs_tests l2sim_topo_tests l2sim_largen_tests l2sim_chaos_tests l2sim_model_tests
+  ctest --test-dir build-asan --output-on-failure -j -L 'fault|telemetry|obs|topo|largen|chaos|model'
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then

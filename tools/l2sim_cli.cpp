@@ -1,7 +1,10 @@
 // l2sim — command-line front end to the library.
 //
-//   l2sim model point --hlo 0.6 --size 16 [--nodes 16] [--replication 0]
-//   l2sim model latency --hlo 0.8 --size 16 [--conscious]
+//   l2sim model point --hit-rate 0.6 --size 16 [--nodes 16] [--replication 0]
+//   l2sim model latency --hit-rate 0.8 --size 16 [--conscious]
+//   l2sim model --analytic-cache --trace t.l2st [--nodes N] [--cache MB]
+//               (hit rate from the Che cache level — no measured axis)
+//   l2sim plan --trace t.l2st [--nodes 1,2,4,8] [--cache-mib 2,8,32] [--top K]
 //   l2sim trace gen --out t.l2st [--paper calgary | --files N --avg-file KB
 //                    --requests N --avg-req KB --alpha A] [--scale S]
 //   l2sim trace info --in t.l2st            (or --clf access.log)
@@ -32,8 +35,19 @@ using Args = l2s::CliArgs;
 int usage() {
   std::cerr <<
       "usage: l2sim <command> [options]\n"
-      "  model point    --hlo H --size KB [--nodes N] [--replication R]\n"
-      "  model latency  --hlo H --size KB [--conscious] [--points P]\n"
+      "  model point    --hit-rate H --size KB [--nodes N] [--replication R]\n"
+      "  model latency  --hit-rate H --size KB [--conscious] [--points P]\n"
+      "  model          --analytic-cache (--trace FILE | --paper NAME)\n"
+      "                 [--nodes N] [--cache MB] [--rate R] [--policy P]\n"
+      "                 [--replication R] [--transient-samples K]\n"
+      "                 [overload flags: --arrival/--flash-*/--diurnal-*/\n"
+      "                  --churn-*]   hit rates predicted, not supplied\n"
+      "  plan           (--trace FILE | --paper NAME [--scale S])\n"
+      "                 [--nodes N1,N2,...] [--cache-mib C1,C2,...]\n"
+      "                 [--top K] [--replication R] [--knee W]\n"
+      "                 [--crossover W] [--uncertainty W] [--policy P]\n"
+      "                 [--rate R]   rank a sweep grid by predicted\n"
+      "                 interest and emit the top-K cells as run commands\n"
       "  trace gen      --out FILE (--paper NAME | --files N --avg-file KB\n"
       "                 --requests N --avg-req KB --alpha A) [--scale S]\n"
       "                 [--temporal P]\n"
@@ -85,14 +99,60 @@ trace::Trace load_trace(const Args& args) {
   throw Error("no trace source: pass --trace, --clf or --paper");
 }
 
+core::PolicyKind policy_kind_by_name(const std::string& name) {
+  if (name == "l2s") return core::PolicyKind::kL2s;
+  if (name == "lard") return core::PolicyKind::kLard;
+  if (name == "trad" || name == "traditional") return core::PolicyKind::kTraditional;
+  throw Error("policy must be l2s, lard or trad");
+}
+
+// model --analytic-cache: run_model with the Che cache level — the hit
+// rate is predicted from the trace's popularity profile instead of being
+// passed on the command line.
+int cmd_model_analytic(const Args& args) {
+  const auto tr = load_trace(args);
+  core::ExperimentSpec spec;
+  spec.name = tr.name();
+  spec.sim.nodes = args.get_int("nodes", 16);
+  spec.sim.node.cache_bytes = static_cast<Bytes>(
+      args.get_double("cache", 32.0) * static_cast<double>(kMiB));
+  spec.sim.arrival.open_loop_rate = args.get_double("rate", 0.0);
+  spec.model_replication = args.get_double("replication", 0.15);
+  spec.policy = policy_kind_by_name(args.get("policy", "l2s"));
+  core::apply_overload_cli(args, spec);  // --arrival/--flash-*/--churn-*
+  spec.analytic.cache = true;
+  spec.analytic.transient_samples = args.get_int("transient-samples", 64);
+  const core::ModelResult r = core::run_model(spec, tr);
+
+  TextTable t({"metric", "value"});
+  t.cell("hit rate (%)").cell(r.hit_rate * 100.0, 2).end_row();
+  t.cell("forwarded (%)").cell(r.forwarded_fraction * 100.0, 2).end_row();
+  t.cell("max throughput (req/s)").cell(r.throughput_rps, 1).end_row();
+  t.cell("served (req/s)").cell(r.served_rate_rps, 1).end_row();
+  if (r.mean_response_seconds > 0.0)
+    t.cell("mean response (ms)").cell(r.mean_response_seconds * 1e3, 2).end_row();
+  t.cell("bottleneck").cell(r.bottleneck).end_row();
+  t.cell("solver iterations").cell(static_cast<long long>(r.iterations)).end_row();
+  t.print(std::cout);
+
+  TextTable nodes({"node", "hit rate (%)"});
+  for (std::size_t i = 0; i < r.per_node_hit.size(); ++i)
+    nodes.cell(static_cast<long long>(i)).cell(r.per_node_hit[i] * 100.0, 2).end_row();
+  nodes.print(std::cout);
+  return 0;
+}
+
 int cmd_model(const Args& args) {
+  if (args.has("analytic-cache")) return cmd_model_analytic(args);
   model::ModelParams params;
   params.nodes = args.get_int("nodes", 16);
   params.replication = args.get_double("replication", 0.0);
   if (args.has("cache")) params.cache_bytes = static_cast<Bytes>(
       args.get_double("cache", 128.0) * static_cast<double>(kMiB));
   const model::ClusterModel m(params);
-  const double hlo = args.get_double("hlo", 0.6);
+  // --hit-rate is the manual override (the paper's measured axis); --hlo
+  // is the historical spelling. `model --analytic-cache` predicts it.
+  const double hlo = args.get_double("hit-rate", args.get_double("hlo", 0.6));
   const double size = args.get_double("size", 16.0);
 
   const std::string sub = args.positional().empty() ? "point" : args.positional()[0];
@@ -165,6 +225,97 @@ int cmd_trace(const Args& args) {
       .cell(static_cast<double>(ch.working_set_bytes) / 1048576.0, 1)
       .end_row();
   t.print(std::cout);
+  return 0;
+}
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const auto comma = csv.find(',', pos);
+    out.push_back(std::atof(csv.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// plan: score a {nodes x cache} sweep grid on the analytic surface and
+// print every cell ranked by predicted interest, then the top-K as
+// ready-to-run `l2sim run` command lines — the DES budget goes where the
+// analytic model is least trustworthy (knees, policy crossovers,
+// approximation edges).
+int cmd_plan(const Args& args) {
+  const auto tr = load_trace(args);
+  const trace::TraceCharacteristics ch = trace::characterize(tr);
+
+  analytic::HierarchicalParams base;
+  base.workload = ch.to_workload_stats();
+  base.model.alpha = ch.alpha;
+  base.model.replication = args.get_double("replication", 0.15);
+
+  analytic::PlanAxes axes;
+  if (args.has("nodes")) {
+    axes.node_counts.clear();
+    for (const double v : parse_list(args.get("nodes")))
+      axes.node_counts.push_back(static_cast<int>(v));
+  }
+  if (args.has("cache-mib")) axes.cache_mib = parse_list(args.get("cache-mib"));
+
+  analytic::PlanWeights weights;
+  weights.knee = args.get_double("knee", weights.knee);
+  weights.crossover = args.get_double("crossover", weights.crossover);
+  weights.uncertainty = args.get_double("uncertainty", weights.uncertainty);
+
+  const analytic::Plan plan = analytic::plan_cells(base, axes, weights);
+  const auto top = static_cast<std::size_t>(
+      args.get_int("top", static_cast<int>((plan.cells.size() + 3) / 4)));
+
+  TextTable t({"rank", "nodes", "cache MiB", "score", "knee", "xover",
+               "uncert", "lc req/s", "lo req/s", "hit", "bottleneck"});
+  for (std::size_t k = 0; k < plan.cells.size(); ++k) {
+    const auto& c = plan.cells[k];
+    t.cell(static_cast<long long>(k + 1))
+        .cell(static_cast<long long>(c.nodes))
+        .cell(c.cache_mib, 0)
+        .cell(c.score, 3)
+        .cell(c.knee, 2)
+        .cell(c.crossover, 2)
+        .cell(c.uncertainty, 2)
+        .cell(c.conscious_rps, 0)
+        .cell(c.oblivious_rps, 0)
+        .cell(c.hit_rate, 3)
+        .cell(c.bottleneck)
+        .end_row();
+  }
+  t.print(std::cout);
+
+  // Materialize the top-K as runnable cells: library callers get specs via
+  // plan_to_specs; the shell gets equivalent `l2sim run` command lines.
+  core::ExperimentSpec base_spec;
+  base_spec.name = tr.name();
+  const auto specs = analytic::plan_to_specs(base_spec, plan, top);
+  std::string source;
+  if (args.has("trace") || args.has("in"))
+    source = "--trace " + args.get("trace", args.get("in"));
+  else if (args.has("clf"))
+    source = "--clf " + args.get("clf");
+  else
+    source = "--paper " + args.get("paper") + " --scale " +
+             format_double(args.get_double("scale", 0.1), 2);
+  const std::string policy = args.get("policy", "l2s");
+  const double rate = args.get_double("rate", 0.0);
+  std::cout << "\nplanned cells (top " << specs.size() << " of "
+            << plan.cells.size() << "):\n";
+  for (const auto& s : specs) {
+    std::cout << "  l2sim run " << source << " --policy " << policy
+              << " --nodes " << s.sim.nodes << " --cache "
+              << format_double(static_cast<double>(s.sim.node.cache_bytes) /
+                                   static_cast<double>(kMiB),
+                               0);
+    if (rate > 0.0) std::cout << " --rate " << format_double(rate, 0);
+    std::cout << "   # " << s.name << '\n';
+  }
   return 0;
 }
 
@@ -262,13 +413,6 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
-core::PolicyKind policy_kind_by_name(const std::string& name) {
-  if (name == "l2s") return core::PolicyKind::kL2s;
-  if (name == "lard") return core::PolicyKind::kLard;
-  if (name == "trad" || name == "traditional") return core::PolicyKind::kTraditional;
-  throw Error("diff: policy must be l2s, lard or trad");
-}
-
 int parse_shards(const std::string& value) {
   if (value == "auto") return core::EngineConfig::kAutoShards;
   return std::atoi(value.c_str());
@@ -346,6 +490,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, 2);
   try {
     if (cmd == "model") return cmd_model(args);
+    if (cmd == "plan") return cmd_plan(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "figure") return cmd_figure(args);
